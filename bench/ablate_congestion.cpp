@@ -1,0 +1,94 @@
+// Ablation: network congestion (the paper's parameter c).
+//
+// The Armadillo simulator "does not include network contention"; QSM's
+// contract says bulk synchrony plus send-rate discipline keeps congestion
+// secondary. We turn congestion ON (a finite-bisection fabric) and measure
+// how sample-sort communication degrades as the fabric narrows, and how
+// much the staggered schedule helps once the fabric can actually congest.
+#include <cstdio>
+#include <vector>
+
+#include "algos/samplesort.hpp"
+#include "common.hpp"
+#include "core/runtime.hpp"
+#include "net/exchange.hpp"
+
+namespace {
+
+using namespace qsm;
+
+int run(int argc, const char* const* argv) {
+  support::ArgParser args("bench_ablate_congestion",
+                          "ablation: finite-fabric congestion");
+  bench::register_common_flags(args);
+  args.flag_i64("n", 1 << 16, "sample-sort problem size");
+  if (!args.parse(argc, argv)) return 0;
+  const auto cfg = bench::read_common_flags(args);
+  const auto n = static_cast<std::uint64_t>(args.i64("n"));
+
+  std::printf(
+      "== Ablation: congestion (machine %s, p=%d, sample sort n=%llu) ==\n\n",
+      cfg.machine.name.c_str(), cfg.machine.p,
+      static_cast<unsigned long long>(n));
+
+  support::TextTable table({"fabric links", "sort comm (cy)", "vs infinite"});
+  table.set_precision(2, 2);
+  double infinite_comm = 0;
+  for (const int links : {0, 16, 8, 4, 2, 1}) {
+    auto variant = cfg.machine;
+    variant.net.fabric_links = links;
+    double comm = 0;
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+      rt::Runtime runtime(variant,
+                          rt::Options{.seed = cfg.seed + static_cast<std::uint64_t>(rep)});
+      auto data = runtime.alloc<std::int64_t>(n);
+      runtime.host_fill(data, bench::random_keys(n, cfg.seed + n + static_cast<std::uint64_t>(rep)));
+      comm += static_cast<double>(
+          algos::sample_sort(runtime, data).timing.comm_cycles);
+    }
+    comm /= cfg.reps;
+    if (links == 0) infinite_comm = comm;
+    table.add_row({links == 0 ? std::string("infinite")
+                              : std::to_string(links),
+                   comm, comm / infinite_comm});
+  }
+  bench::emit(table, cfg);
+
+  // Under a tight fabric, how much does the send schedule matter?
+  net::ExchangeSpec spec;
+  spec.p = cfg.machine.p;
+  spec.start.assign(static_cast<std::size_t>(cfg.machine.p), 0);
+  for (int i = 0; i < cfg.machine.p; ++i) {
+    for (int j = 0; j < cfg.machine.p; ++j) {
+      if (i != j) spec.transfers.push_back({i, j, 8192});
+    }
+  }
+  support::TextTable sched({"fabric links", "staggered (cy)", "naive (cy)",
+                            "naive/staggered"});
+  sched.set_precision(3, 2);
+  for (const int links : {0, 4, 1}) {
+    auto net_cfg = cfg.machine.net;
+    net_cfg.fabric_links = links;
+    spec.order = net::ExchangeSpec::SendOrder::Staggered;
+    const auto s = net::simulate_exchange(net_cfg, cfg.machine.sw, spec);
+    spec.order = net::ExchangeSpec::SendOrder::FixedTarget;
+    const auto f = net::simulate_exchange(net_cfg, cfg.machine.sw, spec);
+    sched.add_row({links == 0 ? std::string("infinite")
+                              : std::to_string(links),
+                   static_cast<long long>(s.finish),
+                   static_cast<long long>(f.finish),
+                   static_cast<double>(f.finish) /
+                       static_cast<double>(s.finish)});
+  }
+  bench::emit(sched, cfg);
+  std::printf(
+      "expected shape: communication degrades smoothly as the fabric "
+      "narrows (bulk synchrony tolerates congestion); the send schedule "
+      "matters most at moderate congestion — once a single link serializes "
+      "everything, order is irrelevant.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,62 @@
+// Ablation: the exchange send schedule.
+//
+// The paper's library exchanges data "in an order designed to reduce
+// contention and avoid deadlock". This bench quantifies that choice by
+// running the same all-to-all through the network model with the staggered
+// round-robin schedule versus the naive fixed-target order that convoys
+// one receiver at a time.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "net/exchange.hpp"
+
+namespace {
+
+using namespace qsm;
+
+int run(int argc, const char* const* argv) {
+  support::ArgParser args("bench_ablate_schedule",
+                          "ablation: staggered vs naive exchange schedule");
+  bench::register_common_flags(args);
+  if (!args.parse(argc, argv)) return 0;
+  const auto cfg = bench::read_common_flags(args);
+
+  std::printf("== Ablation: exchange send schedule (machine %s, p=%d) ==\n\n",
+              cfg.machine.name.c_str(), cfg.machine.p);
+
+  support::TextTable table({"bytes/pair", "staggered (cy)", "naive (cy)",
+                            "naive/staggered"});
+  table.set_precision(3, 2);
+
+  for (const std::int64_t bytes : {64LL, 512LL, 4096LL, 32768LL, 262144LL}) {
+    net::ExchangeSpec spec;
+    spec.p = cfg.machine.p;
+    spec.start.assign(static_cast<std::size_t>(cfg.machine.p), 0);
+    for (int i = 0; i < cfg.machine.p; ++i) {
+      for (int j = 0; j < cfg.machine.p; ++j) {
+        if (i != j) spec.transfers.push_back({i, j, bytes});
+      }
+    }
+    spec.order = net::ExchangeSpec::SendOrder::Staggered;
+    const auto staggered =
+        net::simulate_exchange(cfg.machine.net, cfg.machine.sw, spec);
+    spec.order = net::ExchangeSpec::SendOrder::FixedTarget;
+    const auto naive =
+        net::simulate_exchange(cfg.machine.net, cfg.machine.sw, spec);
+    table.add_row({static_cast<long long>(bytes),
+                   static_cast<long long>(staggered.finish),
+                   static_cast<long long>(naive.finish),
+                   static_cast<double>(naive.finish) /
+                       static_cast<double>(staggered.finish)});
+  }
+  bench::emit(table, cfg);
+  std::printf(
+      "expected shape: naive/staggered > 1 and growing with message size — "
+      "the staggered schedule exists for a reason.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,98 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+#include "machine/custom.hpp"
+#include "machine/presets.hpp"
+#include "support/contract.hpp"
+#include "support/rng.hpp"
+
+namespace qsm::bench {
+
+void register_common_flags(support::ArgParser& args) {
+  args.flag_str("machine", "default",
+                "machine preset: default, now, tcp, t3e, paragon, cs2");
+  args.flag_str("machine-file", "",
+                "load a custom machine description instead of a preset");
+  args.flag_i64("p", 0, "override processor count (0 = preset value)");
+  args.flag_i64("reps", 3, "repetitions per configuration (paper used 10)");
+  args.flag_i64("seed", 1, "base random seed");
+  args.flag_str("csv", "", "also write the table to this CSV file");
+}
+
+CommonConfig read_common_flags(const support::ArgParser& args) {
+  CommonConfig cfg;
+  const std::string& file = args.str("machine-file");
+  cfg.machine = file.empty() ? machine::preset_by_name(args.str("machine"))
+                             : machine::machine_from_file(file);
+  const auto p = args.i64("p");
+  if (p > 0) cfg.machine.p = static_cast<int>(p);
+  cfg.reps = static_cast<int>(args.i64("reps"));
+  QSM_REQUIRE(cfg.reps >= 1, "--reps must be at least 1");
+  cfg.seed = static_cast<std::uint64_t>(args.i64("seed"));
+  cfg.csv = args.str("csv");
+  return cfg;
+}
+
+std::vector<std::int64_t> random_keys(std::uint64_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng() >> 1);
+  return v;
+}
+
+RepeatedRuns summarize_runs(const std::vector<rt::RunResult>& runs) {
+  std::vector<double> total;
+  std::vector<double> comm;
+  std::vector<double> compute;
+  for (const auto& r : runs) {
+    total.push_back(static_cast<double>(r.total_cycles));
+    comm.push_back(static_cast<double>(r.comm_cycles));
+    compute.push_back(static_cast<double>(r.compute_cycles));
+  }
+  RepeatedRuns out;
+  out.total = support::summarize(total);
+  out.comm = support::summarize(comm);
+  out.compute = support::summarize(compute);
+  return out;
+}
+
+void print_preamble(const std::string& title, const CommonConfig& cfg,
+                    const models::Calibration& cal) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf(
+      "machine %s: p=%d  g=%.2f c/B  o=%lld cy  l=%lld cy  clock=%.0f MHz\n",
+      cfg.machine.name.c_str(), cfg.machine.p, cfg.machine.net.gap_cpb,
+      static_cast<long long>(cfg.machine.net.overhead),
+      static_cast<long long>(cfg.machine.net.latency),
+      cfg.machine.cpu.clock.hz / 1e6);
+  std::printf(
+      "observed through library: put %.1f cy/word (%.1f c/B), "
+      "get %.1f cy/word (%.1f c/B), L=%s cy, reps=%d\n\n",
+      cal.put_cpw, cal.put_cpb(), cal.get_cpw, cal.get_cpb(),
+      support::with_commas(cal.phase_overhead).c_str(), cfg.reps);
+}
+
+void emit(const support::TextTable& table, const CommonConfig& cfg) {
+  std::printf("%s", table.to_string().c_str());
+  if (!cfg.csv.empty()) {
+    table.write_csv(cfg.csv);
+    std::printf("(csv written to %s)\n", cfg.csv.c_str());
+  }
+  std::printf("\n");
+}
+
+std::vector<std::uint64_t> size_sweep(std::uint64_t lo, std::uint64_t hi,
+                                      double factor) {
+  QSM_REQUIRE(lo >= 1 && hi >= lo && factor > 1.0, "bad sweep bounds");
+  std::vector<std::uint64_t> out;
+  double v = static_cast<double>(lo);
+  while (static_cast<std::uint64_t>(v) <= hi) {
+    out.push_back(static_cast<std::uint64_t>(v));
+    v *= factor;
+  }
+  if (out.empty() || out.back() != hi) out.push_back(hi);
+  return out;
+}
+
+}  // namespace qsm::bench

@@ -1,0 +1,62 @@
+// Shared plumbing for the figure/table regenerators.
+//
+// Every bench binary follows the same pattern: parse flags (machine
+// preset, problem sizes, repetitions, CSV output), run the workload the
+// paper ran, print the same rows/series the paper reports, and optionally
+// mirror them to CSV for plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "machine/config.hpp"
+#include "models/calibration.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace qsm::bench {
+
+/// Flags shared by all harnesses. Call register_common_flags() before
+/// parse(), then common_* accessors after.
+void register_common_flags(support::ArgParser& args);
+
+struct CommonConfig {
+  machine::MachineConfig machine;
+  int reps{3};
+  std::uint64_t seed{1};
+  std::string csv;  ///< empty = no CSV mirror
+};
+
+[[nodiscard]] CommonConfig read_common_flags(const support::ArgParser& args);
+
+/// Random non-negative 63-bit keys.
+[[nodiscard]] std::vector<std::int64_t> random_keys(std::uint64_t n,
+                                                    std::uint64_t seed);
+
+/// Repeated-run summary of one workload configuration.
+struct RepeatedRuns {
+  support::Summary total;    ///< total cycles
+  support::Summary comm;     ///< communication cycles
+  support::Summary compute;  ///< max local compute cycles
+};
+
+/// Folds a set of RunResults into summaries.
+[[nodiscard]] RepeatedRuns summarize_runs(
+    const std::vector<rt::RunResult>& runs);
+
+/// Prints the standard header: machine, calibration constants, rep count.
+void print_preamble(const std::string& title, const CommonConfig& cfg,
+                    const models::Calibration& cal);
+
+/// Writes the table to stdout and, when cfg.csv is non-empty, to that file.
+void emit(const support::TextTable& table, const CommonConfig& cfg);
+
+/// Geometric sweep of problem sizes [lo, hi] multiplying by `factor`.
+[[nodiscard]] std::vector<std::uint64_t> size_sweep(std::uint64_t lo,
+                                                    std::uint64_t hi,
+                                                    double factor = 2.0);
+
+}  // namespace qsm::bench

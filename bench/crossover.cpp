@@ -1,0 +1,55 @@
+#include "crossover.hpp"
+
+#include "algos/samplesort.hpp"
+#include "common.hpp"
+#include "core/runtime.hpp"
+#include "models/predictors.hpp"
+#include "support/stats.hpp"
+
+namespace qsm::bench {
+
+CrossoverResult find_samplesort_crossover(
+    const machine::MachineConfig& variant,
+    const models::Calibration& reference_cal,
+    const std::vector<std::uint64_t>& sizes, int reps, std::uint64_t seed,
+    int oversample_c) {
+  CrossoverResult result;
+  const int p = variant.p;
+
+  std::vector<double> xs;
+  std::vector<double> ratio;  // measured / whp; crossover at 1.0
+  for (const std::uint64_t n : sizes) {
+    double comm = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      rt::Runtime runtime(variant,
+                          rt::Options{.seed = seed + static_cast<std::uint64_t>(rep)});
+      auto data = runtime.alloc<std::int64_t>(n);
+      runtime.host_fill(data,
+                        random_keys(n, seed + n * 131 + static_cast<std::uint64_t>(rep)));
+      comm += static_cast<double>(
+          algos::sample_sort(runtime, data, oversample_c).timing.comm_cycles);
+    }
+    comm /= reps;
+
+    CrossoverPoint pt;
+    pt.n = n;
+    pt.measured = comm;
+    pt.best = models::samplesort_comm(reference_cal, n, p,
+                                      models::samplesort_best_skew(n, p),
+                                      oversample_c)
+                  .qsm;
+    pt.whp = models::samplesort_comm(
+                 reference_cal, n, p,
+                 models::samplesort_whp_skew(n, p, 0.1, oversample_c),
+                 oversample_c)
+                 .qsm;
+    result.points.push_back(pt);
+    xs.push_back(static_cast<double>(n));
+    ratio.push_back(pt.measured / pt.whp);
+  }
+
+  result.n_star = support::first_crossing_below(xs, ratio, 1.0);
+  return result;
+}
+
+}  // namespace qsm::bench

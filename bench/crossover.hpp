@@ -1,0 +1,41 @@
+// Crossover finder for Figures 5 and 6.
+//
+// For a machine variant (latency or overhead scaled up), find the problem
+// size n* at which measured sample-sort communication time first falls
+// inside the [Best-case, WHP-bound] band predicted from the *reference*
+// machine's calibration — the predictions deliberately do not change with
+// l or o, exactly as in the paper ("QSM's predictions do not account for
+// latency and are thus constant as l is varied").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/config.hpp"
+#include "models/calibration.hpp"
+
+namespace qsm::bench {
+
+struct CrossoverPoint {
+  std::uint64_t n{0};
+  double measured{0};
+  double best{0};
+  double whp{0};
+};
+
+struct CrossoverResult {
+  /// Interpolated problem size where measured enters the band (crosses
+  /// below the WHP bound); negative if it never does within the sweep.
+  double n_star{-1};
+  std::vector<CrossoverPoint> points;
+};
+
+/// Runs sample sort over `sizes` on `variant` and locates the crossover
+/// against predictions from `reference_cal`.
+[[nodiscard]] CrossoverResult find_samplesort_crossover(
+    const machine::MachineConfig& variant,
+    const models::Calibration& reference_cal,
+    const std::vector<std::uint64_t>& sizes, int reps, std::uint64_t seed,
+    int oversample_c = 4);
+
+}  // namespace qsm::bench

@@ -1,0 +1,85 @@
+// Figure 1: measured vs predicted communication time for prefix sums.
+//
+// Paper finding: both QSM and BSP *underestimate* prefix-sum communication
+// (messages are tiny, so the per-message overhead and latency they ignore
+// dominate), QSM sits below BSP (it also ignores L), measured communication
+// is flat in n, and the absolute error is small because communication
+// itself is tiny relative to total time.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "algos/prefix.hpp"
+#include "support/ascii_chart.hpp"
+#include "common.hpp"
+#include "core/runtime.hpp"
+#include "models/calibration.hpp"
+#include "models/predictors.hpp"
+
+namespace {
+
+using namespace qsm;
+
+int run(int argc, const char* const* argv) {
+  support::ArgParser args("bench_fig1_prefix",
+                          "Figure 1: prefix sums, measured vs QSM/BSP "
+                          "predicted communication time");
+  bench::register_common_flags(args);
+  args.flag_i64("nmin", 1 << 12, "smallest problem size");
+  args.flag_i64("nmax", 1 << 20, "largest problem size");
+  if (!args.parse(argc, argv)) return 0;
+  const auto cfg = bench::read_common_flags(args);
+
+  const auto cal = models::calibrate(cfg.machine);
+  bench::print_preamble("Figure 1: prefix sums", cfg, cal);
+  const auto pred = models::prefix_comm(cal);
+
+  support::TextTable table({"n", "comm(meas)", "comm(QSM)", "comm(BSP)",
+                            "total(meas)", "comm/total"});
+  table.set_precision(1, 0);
+  table.set_precision(2, 0);
+  table.set_precision(3, 0);
+  table.set_precision(4, 0);
+  table.set_precision(5, 3);
+
+  std::vector<double> xs, meas, totals;
+  for (const std::uint64_t n :
+       bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
+                         static_cast<std::uint64_t>(args.i64("nmax")))) {
+    std::vector<rt::RunResult> runs;
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+      rt::Runtime runtime(cfg.machine,
+                          rt::Options{.seed = cfg.seed + static_cast<std::uint64_t>(rep)});
+      auto data = runtime.alloc<std::int64_t>(n);
+      runtime.host_fill(data, bench::random_keys(n, cfg.seed + n + static_cast<std::uint64_t>(rep)));
+      runs.push_back(algos::parallel_prefix(runtime, data).timing);
+    }
+    const auto s = bench::summarize_runs(runs);
+    table.add_row({static_cast<long long>(n), s.comm.mean, pred.qsm, pred.bsp,
+                   s.total.mean, s.comm.mean / s.total.mean});
+    xs.push_back(static_cast<double>(n));
+    meas.push_back(s.comm.mean);
+    totals.push_back(s.total.mean);
+  }
+  bench::emit(table, cfg);
+
+  support::AsciiChart chart({.width = 68,
+                             .height = 16,
+                             .log_x = true,
+                             .log_y = true,
+                             .x_label = "n",
+                             .y_label = "cycles"});
+  chart.add_series("total", xs, totals);
+  chart.add_series("comm(meas)", xs, meas);
+  chart.add_series("comm(BSP)", xs, std::vector<double>(xs.size(), pred.bsp));
+  chart.add_series("comm(QSM)", xs, std::vector<double>(xs.size(), pred.qsm));
+  std::printf("%s\n", chart.render().c_str());
+  std::printf(
+      "expected shape: comm(QSM) < comm(BSP) < comm(meas); comm(meas) flat "
+      "in n; comm/total shrinking as n grows.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

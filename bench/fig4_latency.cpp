@@ -1,0 +1,115 @@
+// Figure 4: sample-sort communication time as hardware latency varies.
+//
+// The QSM prediction columns come from the *default* machine's calibration
+// and therefore do not move as l grows — the paper's point is that measured
+// curves converge onto those latency-blind predictions once n is large
+// enough for pipelining to hide l.
+#include <cstdio>
+#include <vector>
+
+#include "algos/samplesort.hpp"
+#include "support/ascii_chart.hpp"
+#include "common.hpp"
+#include "core/runtime.hpp"
+#include "models/calibration.hpp"
+#include "models/predictors.hpp"
+
+namespace {
+
+using namespace qsm;
+
+int run(int argc, const char* const* argv) {
+  support::ArgParser args("bench_fig4_latency",
+                          "Figure 4: sample sort measured communication vs "
+                          "QSM predictions as latency is varied");
+  bench::register_common_flags(args);
+  args.flag_i64("nmin", 1 << 12, "smallest problem size");
+  args.flag_i64("nmax", 1 << 18, "largest problem size");
+  args.flag_str("lat-multipliers", "1,8,32,128",
+                "comma-separated multipliers applied to hardware latency");
+  if (!args.parse(argc, argv)) return 0;
+  auto cfg = bench::read_common_flags(args);
+
+  std::vector<long long> multipliers;
+  {
+    const std::string& spec = args.str("lat-multipliers");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      const auto comma = spec.find(',', pos);
+      multipliers.push_back(std::stoll(spec.substr(pos, comma - pos)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  const auto cal = models::calibrate(cfg.machine);
+  bench::print_preamble("Figure 4: latency sweep", cfg, cal);
+  const int p = cfg.machine.p;
+
+  std::vector<std::string> headers{"n", "best(QSM)", "whp(QSM)"};
+  for (const long long m : multipliers) {
+    headers.push_back("meas l*" + std::to_string(m));
+  }
+  support::TextTable table(headers);
+  for (std::size_t col = 1; col < headers.size(); ++col) {
+    table.set_precision(col, 0);
+  }
+
+  const auto sizes =
+      bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
+                        static_cast<std::uint64_t>(args.i64("nmax")));
+  std::vector<double> xs, whp_line;
+  std::vector<std::vector<double>> meas(multipliers.size());
+  for (const std::uint64_t n : sizes) {
+    std::vector<support::Cell> row;
+    row.push_back(static_cast<long long>(n));
+    row.push_back(
+        models::samplesort_comm(cal, n, p, models::samplesort_best_skew(n, p))
+            .qsm);
+    row.push_back(models::samplesort_comm(
+                      cal, n, p, models::samplesort_whp_skew(n, p))
+                      .qsm);
+    xs.push_back(static_cast<double>(n));
+    whp_line.push_back(std::get<double>(row[2]));
+    std::size_t series_idx = 0;
+    for (const long long m : multipliers) {
+      auto variant = cfg.machine;
+      variant.net.latency *= m;
+      double comm = 0;
+      for (int rep = 0; rep < cfg.reps; ++rep) {
+        rt::Runtime runtime(variant,
+                            rt::Options{.seed = cfg.seed + static_cast<std::uint64_t>(rep)});
+        auto data = runtime.alloc<std::int64_t>(n);
+        runtime.host_fill(data,
+                          bench::random_keys(n, cfg.seed + n * 7 + static_cast<std::uint64_t>(rep)));
+        comm += static_cast<double>(
+            algos::sample_sort(runtime, data).timing.comm_cycles);
+      }
+      row.push_back(comm / cfg.reps);
+      meas[series_idx++].push_back(comm / cfg.reps);
+    }
+    table.add_row(std::move(row));
+  }
+  bench::emit(table, cfg);
+
+  support::AsciiChart chart({.width = 68,
+                             .height = 18,
+                             .log_x = true,
+                             .log_y = true,
+                             .x_label = "n",
+                             .y_label = "comm cycles"});
+  chart.add_series("whp(QSM)", xs, whp_line);
+  for (std::size_t s = 0; s < multipliers.size(); ++s) {
+    chart.add_series("l*" + std::to_string(multipliers[s]), xs, meas[s]);
+  }
+  std::printf("%s\n", chart.render().c_str());
+  std::printf(
+      "expected shape: higher latency columns start far above whp(QSM) at "
+      "small n and converge toward the (latency-blind) predictions as n "
+      "grows.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,83 @@
+// Figure 5: problem size needed for measured communication to fall inside
+// the [Best-case, WHP] band, as hardware latency l varies.
+//
+// Paper finding: the crossover problem size n* grows linearly in l.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "crossover.hpp"
+#include "models/calibration.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace qsm;
+
+int run(int argc, const char* const* argv) {
+  support::ArgParser args("bench_fig5_crossover_l",
+                          "Figure 5: crossover problem size vs latency");
+  bench::register_common_flags(args);
+  args.flag_i64("nmin", 1 << 12, "smallest problem size scanned");
+  args.flag_i64("nmax", 1 << 18, "largest problem size scanned");
+  args.flag_str("lat-multipliers", "1,4,8,16",
+                "comma-separated multipliers applied to hardware latency");
+  if (!args.parse(argc, argv)) return 0;
+  auto cfg = bench::read_common_flags(args);
+
+  std::vector<long long> multipliers;
+  {
+    const std::string& spec = args.str("lat-multipliers");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      const auto comma = spec.find(',', pos);
+      multipliers.push_back(std::stoll(spec.substr(pos, comma - pos)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  const auto cal = models::calibrate(cfg.machine);
+  bench::print_preamble("Figure 5: crossover vs latency", cfg, cal);
+
+  const auto sizes =
+      bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
+                        static_cast<std::uint64_t>(args.i64("nmax")),
+                        std::sqrt(2.0));
+
+  support::TextTable table({"latency l (cy)", "crossover n*", "n*/p"});
+  table.set_precision(1, 0);
+  table.set_precision(2, 0);
+  std::vector<double> ls;
+  std::vector<double> ns;
+  for (const long long m : multipliers) {
+    auto variant = cfg.machine;
+    variant.net.latency *= m;
+    const auto res = bench::find_samplesort_crossover(variant, cal, sizes,
+                                                      cfg.reps, cfg.seed);
+    table.add_row({static_cast<long long>(variant.net.latency), res.n_star,
+                   res.n_star / cfg.machine.p});
+    if (res.n_star > 0) {
+      ls.push_back(static_cast<double>(variant.net.latency));
+      ns.push_back(res.n_star);
+    }
+  }
+  bench::emit(table, cfg);
+
+  if (ls.size() >= 2) {
+    const auto fit = support::fit_line(ls, ns);
+    std::printf(
+        "linear fit: n* = %.3f * l + %.0f   (R^2 = %.3f)\n"
+        "expected shape: strongly linear (R^2 near 1), positive slope — the "
+        "paper's Figure 5.\n",
+        fit.slope, fit.intercept, fit.r2);
+  } else {
+    std::printf("not enough crossovers found to fit a line; widen --nmax.\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

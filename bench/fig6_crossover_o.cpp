@@ -1,0 +1,86 @@
+// Figure 6: problem size needed for measured communication to fall inside
+// the [Best-case, WHP] band, as per-message overhead o varies.
+//
+// Paper finding: like latency, the crossover problem size n* grows
+// linearly in o — which is why QSM can leave o out of the model and rely
+// on the compiler/runtime batching messages.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "crossover.hpp"
+#include "models/calibration.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace qsm;
+
+int run(int argc, const char* const* argv) {
+  support::ArgParser args("bench_fig6_crossover_o",
+                          "Figure 6: crossover problem size vs per-message "
+                          "overhead");
+  bench::register_common_flags(args);
+  args.flag_i64("nmin", 1 << 12, "smallest problem size scanned");
+  args.flag_i64("nmax", 1 << 18, "largest problem size scanned");
+  args.flag_str("ovh-multipliers", "1,2,4,8",
+                "comma-separated multipliers applied to per-message overhead");
+  if (!args.parse(argc, argv)) return 0;
+  auto cfg = bench::read_common_flags(args);
+
+  std::vector<long long> multipliers;
+  {
+    const std::string& spec = args.str("ovh-multipliers");
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+      const auto comma = spec.find(',', pos);
+      multipliers.push_back(std::stoll(spec.substr(pos, comma - pos)));
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+
+  const auto cal = models::calibrate(cfg.machine);
+  bench::print_preamble("Figure 6: crossover vs overhead", cfg, cal);
+
+  const auto sizes =
+      bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
+                        static_cast<std::uint64_t>(args.i64("nmax")),
+                        std::sqrt(2.0));
+
+  support::TextTable table({"overhead o (cy)", "crossover n*", "n*/p"});
+  table.set_precision(1, 0);
+  table.set_precision(2, 0);
+  std::vector<double> os;
+  std::vector<double> ns;
+  for (const long long m : multipliers) {
+    auto variant = cfg.machine;
+    variant.net.overhead *= m;
+    const auto res = bench::find_samplesort_crossover(variant, cal, sizes,
+                                                      cfg.reps, cfg.seed);
+    table.add_row({static_cast<long long>(variant.net.overhead), res.n_star,
+                   res.n_star / cfg.machine.p});
+    if (res.n_star > 0) {
+      os.push_back(static_cast<double>(variant.net.overhead));
+      ns.push_back(res.n_star);
+    }
+  }
+  bench::emit(table, cfg);
+
+  if (os.size() >= 2) {
+    const auto fit = support::fit_line(os, ns);
+    std::printf(
+        "linear fit: n* = %.3f * o + %.0f   (R^2 = %.3f)\n"
+        "expected shape: strongly linear (R^2 near 1), positive slope — the "
+        "paper's Figure 6.\n",
+        fit.slope, fit.intercept, fit.r2);
+  } else {
+    std::printf("not enough crossovers found to fit a line; widen --nmax.\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,104 @@
+// Host-performance microbenchmarks (google-benchmark).
+//
+// These measure the *simulator's own* throughput on the host — event-queue
+// rate, exchange simulation, a full runtime sync, tail-bound inversion —
+// so regressions in the infrastructure show up independently of the
+// simulated results.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "machine/presets.hpp"
+#include "membench/membench.hpp"
+#include "models/chernoff.hpp"
+#include "net/exchange.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace qsm;
+
+void BM_EngineEventThroughput(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < n; ++i) {
+      engine.schedule(i, [] {});
+    }
+    benchmark::DoNotOptimize(engine.run());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EngineEventThroughput)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ExchangeSimulation(benchmark::State& state) {
+  const int p = static_cast<int>(state.range(0));
+  net::NetworkParams hw;
+  net::SoftwareParams sw;
+  net::ExchangeSpec spec;
+  spec.p = p;
+  spec.start.assign(static_cast<std::size_t>(p), 0);
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < p; ++j) {
+      if (i != j) spec.transfers.push_back({i, j, 4096});
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::simulate_exchange(hw, sw, spec));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(spec.transfers.size()));
+}
+BENCHMARK(BM_ExchangeSimulation)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_RuntimeSync(benchmark::State& state) {
+  const auto phases = static_cast<int>(state.range(0));
+  rt::Runtime runtime(machine::default_sim(4));
+  for (auto _ : state) {
+    runtime.run([&](rt::Context& ctx) {
+      for (int i = 0; i < phases; ++i) ctx.sync();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * phases);
+}
+BENCHMARK(BM_RuntimeSync)->Arg(8)->Arg(64);
+
+void BM_RuntimePutVolume(benchmark::State& state) {
+  const auto words = static_cast<std::uint64_t>(state.range(0));
+  rt::Runtime runtime(machine::default_sim(4));
+  auto data = runtime.alloc<std::int64_t>(4 * words);
+  for (auto _ : state) {
+    runtime.run([&](rt::Context& ctx) {
+      const auto next = static_cast<std::uint64_t>((ctx.rank() + 1) % 4);
+      std::vector<std::int64_t> buf(words, 1);
+      ctx.put_range(data, next * words, words, buf.data());
+      ctx.sync();
+    });
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(words) * 4);
+}
+BENCHMARK(BM_RuntimePutVolume)->Arg(1 << 10)->Arg(1 << 14);
+
+void BM_ChernoffQuantile(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        models::binom_upper_quantile(1 << 20, 0.25, 0.01));
+  }
+}
+BENCHMARK(BM_ChernoffQuantile);
+
+void BM_MemBankSimulation(benchmark::State& state) {
+  const auto cfg = membench::smp_native();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        membench::run_membench(cfg, membench::Pattern::Random, 500));
+  }
+  state.SetItemsProcessed(state.iterations() * 500 * cfg.procs);
+}
+BENCHMARK(BM_MemBankSimulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// Related work: LogP vs QSM accounting on the same traffic (paper sections
+// 2.1 and 5).
+//
+// Martin et al. found parallel programs most sensitive to per-message
+// overhead; the paper counters that under a bulk-synchronous contract the
+// runtime batches, so o stops mattering. Here we price one balanced
+// exchange of W words three ways — LogP with one word per message, LogP
+// with runtime batching, and QSM (g per word, message-blind) — and compare
+// each against the event-driven simulation of the batched exchange.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "models/calibration.hpp"
+#include "models/logp.hpp"
+#include "net/exchange.hpp"
+
+namespace {
+
+using namespace qsm;
+
+int run(int argc, const char* const* argv) {
+  support::ArgParser args("bench_related_logp",
+                          "LogP vs QSM pricing of one balanced exchange");
+  bench::register_common_flags(args);
+  if (!args.parse(argc, argv)) return 0;
+  const auto cfg = bench::read_common_flags(args);
+  const int p = cfg.machine.p;
+
+  const auto cal = models::calibrate(cfg.machine);
+  bench::print_preamble("Related work: LogP vs QSM accounting", cfg, cal);
+
+  models::LogPParams logp;
+  logp.latency = static_cast<double>(cfg.machine.net.latency);
+  logp.overhead = static_cast<double>(cfg.machine.net.overhead);
+  // One word-record on the wire takes record_bytes * g cycles: that is
+  // LogP's per-message gap for this machine.
+  logp.gap_msg = cfg.machine.net.gap_cpb *
+                 static_cast<double>(cfg.machine.sw.put_record_bytes);
+  logp.processors = p;
+  std::printf("LogP view of this machine: L=%.0f o=%.0f g=%.0f cy/msg, "
+              "capacity ceil(L/g)=%lld messages in flight\n\n",
+              logp.latency, logp.overhead, logp.gap_msg,
+              static_cast<long long>(models::logp_capacity(logp)));
+
+  support::TextTable table({"words/node", "LogP eager", "LogP batched",
+                            "LogGP batched", "QSM (g*words)",
+                            "simulated batched"});
+  for (std::size_t c = 1; c <= 5; ++c) table.set_precision(c, 0);
+
+  for (const std::int64_t words : {256LL, 1024LL, 4096LL, 16384LL, 65536LL}) {
+    const double eager = models::logp_word_exchange_time(logp, words, 1);
+    // The runtime batches into one message per destination pair.
+    const double batched = models::logp_word_exchange_time(
+        logp, words, std::max<std::int64_t>(1, words / (p - 1)));
+    auto loggp = logp;
+    // LogGP's G: the wire rate plus the library's copy costs per byte.
+    loggp.gap_byte = cfg.machine.net.gap_cpb + 2.0 * cfg.machine.sw.copy_cpb;
+    loggp.gap_msg = static_cast<double>(cfg.machine.net.overhead);
+    const double loggp_batched = models::loggp_word_exchange_time(
+        loggp, words, std::max<std::int64_t>(1, words / (p - 1)),
+        cfg.machine.sw.put_record_bytes);
+    const double qsm = cal.put_cpw * static_cast<double>(words);
+
+    net::ExchangeSpec spec;
+    spec.p = p;
+    spec.start.assign(static_cast<std::size_t>(p), 0);
+    const std::int64_t per_pair = words / (p - 1);
+    for (int i = 0; i < p; ++i) {
+      for (int j = 0; j < p; ++j) {
+        if (i != j) {
+          spec.transfers.push_back(
+              {i, j, per_pair * cfg.machine.sw.put_record_bytes});
+        }
+      }
+    }
+    const auto sim =
+        net::simulate_exchange(cfg.machine.net, cfg.machine.sw, spec);
+    table.add_row({static_cast<long long>(words), eager, batched,
+                   loggp_batched, qsm, static_cast<double>(sim.finish)});
+  }
+  bench::emit(table, cfg);
+  std::printf(
+      "expected shape: LogP-eager dwarfs everything (per-message o and g "
+      "on every word); plain LogP-batched goes flat (no message-length "
+      "term — LogGP's raison d'etre); LogGP-batched, QSM, and the "
+      "simulation agree within a small factor at scale — QSM's "
+      "message-blind accounting is safe exactly because the runtime "
+      "batches.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,89 @@
+// Table 3: raw hardware parameters vs performance observed through the
+// bulk-synchronous shared-memory library.
+//
+// The paper's numbers for the default simulated system: 3 cycles/byte
+// hardware gap becomes 35 cycles/byte for puts and 287 cycles/byte for
+// gets through the library, and a 16-processor barrier costs 25,500 cycles
+// (64 us). We measure the same three quantities with the calibration
+// microbenchmarks and also report Table 2's node parameters for reference.
+#include <cstdio>
+
+#include "common.hpp"
+#include "models/calibration.hpp"
+#include "net/barrier.hpp"
+
+namespace {
+
+using namespace qsm;
+
+int run(int argc, const char* const* argv) {
+  support::ArgParser args("bench_table3_network",
+                          "Table 3: raw vs observed network performance");
+  bench::register_common_flags(args);
+  args.flag_i64("words", 1 << 15, "bulk transfer size per node (words)");
+  if (!args.parse(argc, argv)) return 0;
+  const auto cfg = bench::read_common_flags(args);
+
+  const auto cal = models::calibrate(
+      cfg.machine, static_cast<std::uint64_t>(args.i64("words")));
+  const auto& clk = cfg.machine.cpu.clock;
+
+  std::printf("== Table 3: raw hardware vs observed (machine %s) ==\n\n",
+              cfg.machine.name.c_str());
+
+  support::TextTable node({"node parameter", "setting"});
+  node.add_row({std::string("clock frequency"),
+                std::to_string(static_cast<long long>(clk.hz / 1e6)) + " MHz"});
+  node.add_row({std::string("L1 cache"),
+                std::to_string(cfg.machine.cpu.l1_bytes / 1024) + " KB, " +
+                    std::to_string(cfg.machine.cpu.l1_hit) + " cycle hit"});
+  node.add_row({std::string("L2 cache"),
+                std::to_string(cfg.machine.cpu.l2_bytes / 1024) + " KB, " +
+                    std::to_string(cfg.machine.cpu.l2_hit) + " cycle hit"});
+  node.add_row({std::string("L2 miss"),
+                std::to_string(cfg.machine.cpu.mem_access) + " cycles"});
+  bench::emit(node, cfg);
+
+  support::TextTable table({"parameter", "hardware", "observed (HW+SW)"});
+  table.add_row(
+      {std::string("gap g (puts)"),
+       std::to_string(cfg.machine.net.gap_cpb) + " cy/B (" +
+           std::to_string(static_cast<long long>(
+               clk.gap_to_bytes_per_second(cfg.machine.net.gap_cpb) / 1e6)) +
+           " MB/s)",
+       std::to_string(cal.put_cpb()) + " cy/B"});
+  table.add_row({std::string("gap g (gets)"),
+                 std::to_string(cfg.machine.net.gap_cpb) + " cy/B",
+                 std::to_string(cal.get_cpb()) + " cy/B"});
+  table.add_row({std::string("per-message overhead o"),
+                 support::with_commas(cfg.machine.net.overhead) + " cy (" +
+                     std::to_string(clk.cycles_to_us(cfg.machine.net.overhead)) +
+                     " us)",
+                 std::string("N/A (batched away)")});
+  table.add_row({std::string("latency l"),
+                 support::with_commas(cfg.machine.net.latency) + " cy (" +
+                     std::to_string(clk.cycles_to_us(cfg.machine.net.latency)) +
+                     " us)",
+                 std::string("N/A (pipelined away)")});
+  table.add_row(
+      {std::string("barrier L (" + std::to_string(cfg.machine.p) + " procs)"),
+       std::string("N/A"),
+       support::with_commas(cal.barrier) + " cy (" +
+           std::to_string(clk.cycles_to_us(cal.barrier)) + " us)"});
+  table.add_row(
+      {std::string("empty sync (plan + barrier)"), std::string("N/A"),
+       support::with_commas(cal.phase_overhead) + " cy (" +
+           std::to_string(clk.cycles_to_us(cal.phase_overhead)) + " us)"});
+  bench::emit(table, cfg);
+
+  std::printf(
+      "paper values for this system: 35 cy/B put, 287 cy/B get, 25,500 cy "
+      "barrier. expected shape: observed gaps an order of magnitude above "
+      "raw hardware; gets well above puts (round trip); barrier in the "
+      "tens of thousands of cycles.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,0 +1,79 @@
+// Example: exploring the cost models without running anything.
+//
+// Algorithm designers use QSM *analytically*. This example answers "what
+// does the model say?" questions directly: it calibrates a machine, then
+// prints predicted communication time for the three paper workloads across
+// problem sizes, plus the n_min at which QSM's simplifications become safe
+// — all from the closed forms, no simulation of the algorithms themselves.
+//
+//   $ ./example_model_explorer [--machine now]
+#include <cstdio>
+
+#include "machine/custom.hpp"
+#include "machine/presets.hpp"
+#include "models/calibration.hpp"
+#include "models/nmin.hpp"
+#include "models/predictors.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+using namespace qsm;
+
+int main(int argc, char** argv) {
+  support::ArgParser args("example_model_explorer",
+                          "query the QSM/BSP cost models for a machine");
+  args.flag_str("machine", "default", "machine preset");
+  args.flag_str("machine-file", "",
+                "load a custom machine description instead of a preset");
+  if (!args.parse(argc, argv)) return 0;
+  const auto cfg = args.str("machine-file").empty()
+                       ? machine::preset_by_name(args.str("machine"))
+                       : machine::machine_from_file(args.str("machine-file"));
+  const int p = cfg.p;
+
+  const auto cal = models::calibrate(cfg);
+  std::printf("machine %s: p=%d, observed put %.1f cy/word, get %.1f "
+              "cy/word, L=%s cycles\n\n",
+              cfg.name.c_str(), p, cal.put_cpw, cal.get_cpw,
+              support::with_commas(cal.phase_overhead).c_str());
+
+  // Prefix sums: communication independent of n.
+  const auto prefix = models::prefix_comm(cal);
+  std::printf("prefix sums: QSM comm = %.0f cycles, BSP = %.0f cycles — "
+              "independent of n (one phase, p-1 words per node)\n\n",
+              prefix.qsm, prefix.bsp);
+
+  support::TextTable table({"n", "sort best", "sort whp", "rank best",
+                            "rank whp", "sort ms (QSM)"});
+  for (std::size_t c = 1; c <= 4; ++c) table.set_precision(c, 0);
+  table.set_precision(5, 3);
+  for (const std::uint64_t n :
+       {1u << 14, 1u << 16, 1u << 18, 1u << 20, 1u << 22}) {
+    const auto sort_best =
+        models::samplesort_comm(cal, n, p, models::samplesort_best_skew(n, p));
+    const auto sort_whp =
+        models::samplesort_comm(cal, n, p, models::samplesort_whp_skew(n, p));
+    const auto rank_best =
+        models::listrank_comm(cal, n, p, models::listrank_best_skew(n, p));
+    const auto rank_whp =
+        models::listrank_comm(cal, n, p, models::listrank_whp_skew(n, p));
+    table.add_row({static_cast<long long>(n), sort_best.qsm, sort_whp.qsm,
+                   rank_best.qsm, rank_whp.qsm,
+                   cfg.cpu.clock.cycles_to_us(
+                       static_cast<support::cycles_t>(sort_best.qsm)) /
+                       1000.0});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  if (p >= 2) {
+    const auto in = models::nmin_input_from(cfg);
+    std::printf(
+        "n_min guidance: QSM's omission of l and o is safe (10%% tolerance) "
+        "above roughly n/p = %.0f elements per processor on this machine "
+        "(ignored per-run cost %.0f cycles vs %.2f cycles per element).\n",
+        models::nmin_per_proc_samplesort(in),
+        models::samplesort_ignored_cost(in),
+        models::samplesort_cost_per_element(in));
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Example: ranking a linked structure — "which revision is how old?"
+//
+// A version-control-style scenario: revisions form a chain via
+// parent pointers, scattered over storage nodes in arrival order (i.e.,
+// randomly with respect to chain order). We want every revision's distance
+// from the newest revision. That is exactly parallel list ranking; this
+// example builds the chain, ranks it on the simulated machine with both
+// the QSM elimination algorithm and the PRAM pointer-jumping baseline,
+// and verifies the results against each other.
+//
+//   $ ./example_pagechain [--n 65536] [--machine t3e]
+#include <cstdio>
+
+#include "algos/listrank.hpp"
+#include "algos/wyllie.hpp"
+#include "machine/presets.hpp"
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+using namespace qsm;
+
+int main(int argc, char** argv) {
+  support::ArgParser args("example_pagechain",
+                          "rank a revision chain with two algorithms");
+  args.flag_i64("n", 1 << 16, "number of revisions");
+  args.flag_str("machine", "default", "machine preset");
+  args.flag_i64("p", 8, "processors");
+  if (!args.parse(argc, argv)) return 0;
+  const auto n = static_cast<std::uint64_t>(args.i64("n"));
+  auto cfg = machine::preset_by_name(args.str("machine"));
+  cfg.p = static_cast<int>(args.i64("p"));
+
+  // Revisions arrive in random order relative to the chain: exactly the
+  // random block assignment the list-ranking algorithm asks for.
+  const auto chain = algos::make_random_list(n, 99);
+  std::printf("revision chain: %llu revisions, head=%llu tail=%llu, "
+              "machine %s (p=%d)\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(chain.head),
+              static_cast<unsigned long long>(chain.tail), cfg.name.c_str(),
+              cfg.p);
+
+  rt::Runtime rt_elim(cfg);
+  auto age_elim = rt_elim.alloc<std::int64_t>(n, rt::Layout::Block, "age");
+  const auto elim = algos::list_rank(rt_elim, chain, age_elim);
+
+  rt::Runtime rt_jump(cfg);
+  auto age_jump = rt_jump.alloc<std::int64_t>(n, rt::Layout::Block, "age");
+  const auto jump = algos::wyllie_list_rank(rt_jump, chain, age_jump);
+
+  const auto a = rt_elim.host_read(age_elim);
+  const auto b = rt_jump.host_read(age_jump);
+  if (a != b) {
+    std::fprintf(stderr, "algorithms disagree!\n");
+    return 1;
+  }
+  std::printf("both algorithms agree; newest revision %llu has age 0, "
+              "oldest (%llu) has age %lld\n\n",
+              static_cast<unsigned long long>(chain.tail),
+              static_cast<unsigned long long>(chain.head),
+              static_cast<long long>(a[chain.head]));
+
+  support::TextTable table({"algorithm", "total cycles", "comm cycles",
+                            "remote words", "phases"});
+  table.add_row({std::string("QSM elimination"),
+                 support::with_commas(elim.timing.total_cycles),
+                 support::with_commas(elim.timing.comm_cycles),
+                 static_cast<long long>(elim.timing.rw_total),
+                 static_cast<long long>(elim.timing.phases)});
+  table.add_row({std::string("pointer jumping"),
+                 support::with_commas(jump.timing.total_cycles),
+                 support::with_commas(jump.timing.comm_cycles),
+                 static_cast<long long>(jump.timing.rw_total),
+                 static_cast<long long>(jump.timing.phases)});
+  std::printf("%s", table.to_string().c_str());
+  std::printf(
+      "\nthe elimination algorithm moves ~%.1fx fewer remote words — the "
+      "payoff of designing against QSM's g*m_rw cost term instead of a "
+      "PRAM unit-cost model.\n",
+      static_cast<double>(jump.timing.rw_total) /
+          static_cast<double>(elim.timing.rw_total));
+  return 0;
+}

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure plus the ablations into outputs/.
+#
+# Usage: scripts/regen_all.sh [build-dir] [outputs-dir]
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-outputs}"
+mkdir -p "$OUT"
+
+run() {
+  local name="$1"
+  shift
+  echo "== $name =="
+  "$BUILD/bench/$name" --csv "$OUT/$name.csv" "$@" | tee "$OUT/$name.txt"
+  echo
+}
+
+run bench_table3_network
+run bench_fig1_prefix
+run bench_fig2_samplesort
+run bench_fig3_listrank
+run bench_fig4_latency
+run bench_fig5_crossover_l
+run bench_fig6_crossover_o
+run bench_table4_nmin
+run bench_fig7_membank
+
+# Ablations / related work (no CSV flag needed but harmless).
+run bench_ablate_schedule
+run bench_ablate_layout
+run bench_ablate_batching
+run bench_ablate_wyllie
+run bench_ablate_congestion
+run bench_ablate_pipelining
+run bench_ablate_radix
+run bench_related_logp
+run bench_sweep_gap
+run bench_netcurve
+run bench_sweep_p
+
+echo "== bench_micro_host =="
+"$BUILD/bench/bench_micro_host" --benchmark_min_time=0.05 \
+  | tee "$OUT/bench_micro_host.txt"
+
+echo
+echo "all outputs in $OUT/"

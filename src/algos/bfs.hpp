@@ -1,0 +1,48 @@
+// Level-synchronous breadth-first search on the QSM runtime.
+//
+// Not one of the paper's three workloads — BFS is the kind of algorithm a
+// *user* of the library writes, and it exercises the full API surface:
+// block-distributed CSR adjacency, bulk get_range of edge lists, blind
+// concurrent puts (several discoverers write the same level to one vertex
+// — QSM's queuing write semantics make that safe), and a Collectives
+// allreduce for termination. Four phases per BFS level.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace qsm::algos {
+
+/// Host-side CSR graph over vertices 0..n-1.
+struct Graph {
+  std::uint64_t n{0};
+  std::vector<std::uint64_t> offsets;  ///< size n+1
+  std::vector<std::uint64_t> targets;  ///< size offsets[n]
+
+  [[nodiscard]] std::uint64_t edges() const { return targets.size(); }
+  void validate() const;
+};
+
+/// Random undirected graph: `n * avg_degree / 2` distinct edges thrown
+/// uniformly, stored in both directions.
+[[nodiscard]] Graph make_random_graph(std::uint64_t n, double avg_degree,
+                                      std::uint64_t seed);
+
+/// Reference BFS distances from `source` (-1 for unreachable vertices).
+[[nodiscard]] std::vector<std::int64_t> sequential_bfs(const Graph& g,
+                                                       std::uint64_t source);
+
+struct BfsOutcome {
+  rt::RunResult timing;
+  int levels{0};  ///< BFS levels executed (eccentricity of source + 1)
+};
+
+/// Runs BFS on the simulated machine, writing distances into `dist`
+/// (an n-element block-layout array allocated by the caller).
+BfsOutcome parallel_bfs(rt::Runtime& runtime, const Graph& g,
+                        std::uint64_t source,
+                        rt::GlobalArray<std::int64_t> dist);
+
+}  // namespace qsm::algos

@@ -1,0 +1,34 @@
+// Connected components by label propagation on the QSM runtime.
+//
+// A second user-style irregular application (with BFS): every vertex
+// starts labeled with its own id and repeatedly adopts the minimum label
+// in its neighborhood; the labels stabilize at the component minima after
+// O(diameter) bulk-synchronous rounds. Each round reads neighbor labels
+// with bulk gets and publishes improvements with concurrent min-puts
+// (writes of the same improved label race benignly; the rank-major queue
+// resolution keeps it deterministic). Termination by allreduce of the
+// per-round improvement count.
+#pragma once
+
+#include <cstdint>
+
+#include "algos/bfs.hpp"  // Graph
+
+namespace qsm::algos {
+
+struct ComponentsOutcome {
+  rt::RunResult timing;
+  int rounds{0};
+  std::uint64_t components{0};
+};
+
+/// Reference labeling: label of a vertex = smallest vertex id in its
+/// component.
+[[nodiscard]] std::vector<std::int64_t> sequential_components(const Graph& g);
+
+/// Computes component labels into `labels` (an n-element block-layout
+/// array allocated by the caller).
+ComponentsOutcome connected_components(rt::Runtime& runtime, const Graph& g,
+                                       rt::GlobalArray<std::int64_t> labels);
+
+}  // namespace qsm::algos

@@ -1,0 +1,60 @@
+// QSM randomized list ranking (paper section 3.1.1 and appendix).
+//
+// The canonical irregular-communication workload. Each node owns a random
+// block of n/p elements of a linked list. For c*log2(p) bulk-synchronous
+// iterations, every active element flips a coin; an element that flipped 1
+// whose successor flipped 0 splices itself out (random-mate elimination),
+// transferring its link weight to its predecessor. Once ~n/p elements
+// remain they are gathered to node 0, ranked sequentially, and the
+// eliminated elements are re-inserted in reverse order, each computing
+// rank(i) = rank(successor-at-removal) + weight-at-removal.
+//
+// Ranks are distances to the tail (rank(tail) = 0).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace qsm::algos {
+
+/// A linked list over indices 0..n-1. succ[tail] == tail, pred[head] ==
+/// head; every other element has distinct pred/succ.
+struct ListProblem {
+  std::vector<std::uint64_t> succ;
+  std::vector<std::uint64_t> pred;
+  std::uint64_t head{0};
+  std::uint64_t tail{0};
+
+  [[nodiscard]] std::uint64_t size() const { return succ.size(); }
+};
+
+/// Builds a list whose order is a uniform random permutation of 0..n-1
+/// (so block ownership is a random assignment of list positions, as the
+/// algorithm requires).
+[[nodiscard]] ListProblem make_random_list(std::uint64_t n,
+                                           std::uint64_t seed);
+
+/// Reference ranks (distance to tail) by sequential traversal.
+[[nodiscard]] std::vector<std::int64_t> sequential_list_rank(
+    const ListProblem& list);
+
+struct ListRankOutcome {
+  rt::RunResult timing;
+  /// x[i]: max over nodes of active elements entering iteration i
+  /// (x[0] = n/p).
+  std::vector<std::uint64_t> x;
+  /// Elements gathered to node 0 for the sequential phase.
+  std::uint64_t z{0};
+  /// Elimination iterations executed (c * ceil(log2 p)).
+  int iterations{0};
+};
+
+/// Ranks `list` on the simulated machine, writing distances-to-tail into
+/// `ranks` (an n-element block-layout array allocated by the caller).
+ListRankOutcome list_rank(rt::Runtime& runtime, const ListProblem& list,
+                          rt::GlobalArray<std::int64_t> ranks,
+                          int iteration_c = 4);
+
+}  // namespace qsm::algos

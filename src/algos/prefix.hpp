@@ -1,0 +1,30 @@
+// QSM parallel prefix sums (paper section 3.1.1 and appendix).
+//
+// One synchronization: each node computes prefix sums over its block,
+// broadcasts its block total to every other node (p-1 remote puts), then
+// adds the offset of all preceding nodes to its local results. QSM predicts
+// communication time g(p-1); running time is O(n/p + g p) for p <= sqrt(n).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace qsm::algos {
+
+struct PrefixOutcome {
+  rt::RunResult timing;
+};
+
+/// Runs the parallel prefix-sums algorithm in place on `data` (block
+/// layout). After the call, data[i] holds the inclusive prefix sum of the
+/// original data[0..i].
+PrefixOutcome parallel_prefix(rt::Runtime& runtime,
+                              rt::GlobalArray<std::int64_t> data);
+
+/// Reference implementation for verification.
+[[nodiscard]] std::vector<std::int64_t> sequential_prefix(
+    const std::vector<std::int64_t>& in);
+
+}  // namespace qsm::algos

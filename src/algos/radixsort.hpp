@@ -1,0 +1,32 @@
+// Parallel LSD radix sort on the QSM runtime.
+//
+// An alternative sorting algorithm for design-space comparison against
+// sample sort (bench_ablate_radix). Radix does no comparison sorting —
+// each pass is a counting sort on one digit — but it pays for that with
+// communication: every pass scatters all n keys across the machine
+// (word-grained puts to computed global positions), so remote traffic is
+// ~passes * n words against sample sort's ~2n. Under QSM's g*m_rw term
+// the comparison is immediate; the bench measures where each wins.
+//
+// Keys must be non-negative. The pass count adapts to the global maximum
+// key, discovered with a Collectives allreduce.
+#pragma once
+
+#include <cstdint>
+
+#include "core/runtime.hpp"
+
+namespace qsm::algos {
+
+struct RadixSortOutcome {
+  rt::RunResult timing;
+  int passes{0};
+  int digit_bits{0};
+};
+
+/// Sorts `data` (block layout, non-negative keys) ascending, stable LSD.
+RadixSortOutcome radix_sort(rt::Runtime& runtime,
+                            rt::GlobalArray<std::int64_t> data,
+                            int digit_bits = 8);
+
+}  // namespace qsm::algos

@@ -1,0 +1,42 @@
+// QSM sample sort (paper section 3.1.1 and appendix).
+//
+// Five phases with high probability when p <= sqrt(n / log n):
+//   1. registration (shared-array setup),
+//   2. sample broadcast: c*log2(n) random local samples per node to all,
+//   3. counts: after all nodes sort the samples and agree on p-1 pivots,
+//      each node groups its block by bucket and sends (count, pointer)
+//      pairs to each bucket owner,
+//   4. redistribution: bucket owner b fetches the contributions with
+//      get_range and every node broadcasts its bucket total (the parallel
+//      prefix of bucket sizes),
+//   5. write-back: each node sorts its bucket and writes it to the output
+//      offset.
+// QSM communication prediction: 4(p-1)g log n + 3(p-1)g + gBr + gB, where
+// B is the largest bucket and r the largest remote fraction.
+#pragma once
+
+#include <cstdint>
+
+#include "core/runtime.hpp"
+
+namespace qsm::algos {
+
+struct SampleSortOutcome {
+  rt::RunResult timing;
+  /// B: size in words of the largest bucket.
+  std::uint64_t largest_bucket{0};
+  /// r: largest fraction of a bucket's elements that lived outside the
+  /// bucket owner before redistribution.
+  double remote_fraction{0};
+  /// Samples per node (c * ceil(log2 n)).
+  std::uint64_t samples_per_node{0};
+  int oversample_c{0};
+};
+
+/// Sorts `data` (block layout) in place, ascending. Requires
+/// p*p*log2(n) <= n (the paper's p <= sqrt(n/log n) condition).
+SampleSortOutcome sample_sort(rt::Runtime& runtime,
+                              rt::GlobalArray<std::int64_t> data,
+                              int oversample_c = 4);
+
+}  // namespace qsm::algos

@@ -1,0 +1,25 @@
+// Wyllie's pointer-jumping list ranking — the PRAM-style baseline.
+//
+// Section 2.1 of the paper notes that PRAM algorithms typically use many
+// more phases (and much more communication) than their QSM counterparts.
+// Pointer jumping is the canonical example: every element stays active for
+// all ceil(log2 n) rounds and issues two remote reads per round, for
+// Theta(n log n / p) remote words per node, against the elimination
+// algorithm's Theta(n/p). The ablation bench quantifies that gap on the
+// same simulated machine.
+#pragma once
+
+#include "algos/listrank.hpp"
+
+namespace qsm::algos {
+
+struct WyllieOutcome {
+  rt::RunResult timing;
+  int rounds{0};
+};
+
+/// Ranks `list` by pointer jumping, writing distances-to-tail into `ranks`.
+WyllieOutcome wyllie_list_rank(rt::Runtime& runtime, const ListProblem& list,
+                               rt::GlobalArray<std::int64_t> ranks);
+
+}  // namespace qsm::algos

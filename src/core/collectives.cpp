@@ -1,0 +1,72 @@
+#include "core/collectives.hpp"
+
+#include <algorithm>
+
+#include "support/contract.hpp"
+
+namespace qsm::rt {
+
+Collectives::Collectives(Runtime& runtime, std::string name)
+    : p_(runtime.nprocs()) {
+  const auto up = static_cast<std::uint64_t>(p_);
+  slots_ = runtime.alloc<std::int64_t>(up * up, Layout::Block,
+                                       std::move(name));
+}
+
+std::vector<std::int64_t> Collectives::exchange(Context& ctx,
+                                                std::int64_t value) {
+  const auto up = static_cast<std::uint64_t>(p_);
+  const auto me = static_cast<std::uint64_t>(ctx.rank());
+  for (int j = 0; j < p_; ++j) {
+    const std::uint64_t slot = static_cast<std::uint64_t>(j) * up + me;
+    if (j == ctx.rank()) {
+      ctx.write_local(slots_, slot, value);
+    } else {
+      ctx.put(slots_, slot, value);
+    }
+  }
+  ctx.sync();
+  std::vector<std::int64_t> row(up);
+  for (std::uint64_t i = 0; i < up; ++i) {
+    row[i] = ctx.read_local(slots_, me * up + i);
+  }
+  ctx.charge_ops(p_);
+  return row;
+}
+
+std::int64_t Collectives::broadcast(Context& ctx, std::int64_t value,
+                                    int root) {
+  QSM_REQUIRE(root >= 0 && root < p_, "broadcast root out of range");
+  // Non-roots still participate in the phase (their contribution is
+  // ignored) so the program stays bulk-synchronous.
+  const auto row = exchange(ctx, value);
+  return row[static_cast<std::uint64_t>(root)];
+}
+
+std::int64_t Collectives::allreduce_sum(Context& ctx, std::int64_t value) {
+  const auto row = exchange(ctx, value);
+  std::int64_t sum = 0;
+  for (const std::int64_t v : row) sum += v;
+  return sum;
+}
+
+std::int64_t Collectives::allreduce_max(Context& ctx, std::int64_t value) {
+  const auto row = exchange(ctx, value);
+  return *std::max_element(row.begin(), row.end());
+}
+
+std::int64_t Collectives::exscan_sum(Context& ctx, std::int64_t value) {
+  const auto row = exchange(ctx, value);
+  std::int64_t sum = 0;
+  for (int i = 0; i < ctx.rank(); ++i) {
+    sum += row[static_cast<std::uint64_t>(i)];
+  }
+  return sum;
+}
+
+std::vector<std::int64_t> Collectives::allgather(Context& ctx,
+                                                 std::int64_t value) {
+  return exchange(ctx, value);
+}
+
+}  // namespace qsm::rt

@@ -1,0 +1,56 @@
+// Word-granularity collectives on top of the QSM runtime.
+//
+// The paper's algorithms keep re-deriving the same one-phase pattern: every
+// node writes its word into a p x p slot matrix (row j is node j's, so the
+// broadcast is p-1 remote puts) and reads its own row locally after the
+// sync. Collectives packages that pattern behind the obvious interfaces —
+// each call is one bulk-synchronous phase costing g(p-1) per node, the
+// same as the prefix-sums algorithm's communication.
+//
+// All calls are collective: every node must make the same call in the same
+// phase. A Collectives object owns its scratch array and may be reused for
+// any number of consecutive operations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace qsm::rt {
+
+class Collectives {
+ public:
+  /// Allocates the p*p scratch matrix on `runtime`. Construct before
+  /// Runtime::run (allocation is host-side).
+  explicit Collectives(Runtime& runtime, std::string name = "collectives");
+
+  /// Every node receives root's value. One phase.
+  [[nodiscard]] std::int64_t broadcast(Context& ctx, std::int64_t value,
+                                       int root);
+
+  /// Every node receives the sum of all contributions. One phase.
+  [[nodiscard]] std::int64_t allreduce_sum(Context& ctx, std::int64_t value);
+
+  /// Every node receives the max of all contributions. One phase.
+  [[nodiscard]] std::int64_t allreduce_max(Context& ctx, std::int64_t value);
+
+  /// Exclusive prefix sum: node i receives the sum of contributions from
+  /// nodes 0..i-1 (0 on node 0). One phase.
+  [[nodiscard]] std::int64_t exscan_sum(Context& ctx, std::int64_t value);
+
+  /// Every node receives the full vector of contributions, indexed by
+  /// rank. One phase.
+  [[nodiscard]] std::vector<std::int64_t> allgather(Context& ctx,
+                                                    std::int64_t value);
+
+ private:
+  /// The shared phase: scatter `value` to every node's row, sync, and
+  /// return this node's row.
+  std::vector<std::int64_t> exchange(Context& ctx, std::int64_t value);
+
+  GlobalArray<std::int64_t> slots_;
+  int p_;
+};
+
+}  // namespace qsm::rt

@@ -1,0 +1,84 @@
+// Shared-memory data layout policies.
+//
+// QSM itself says nothing about where shared data lives; the implementation
+// contract (paper Table 1) says the runtime should randomize layout to avoid
+// memory-bank conflicts, except when the algorithm declares its own layout
+// balanced. We support three policies:
+//   Block  — element i lives on node i / ceil(n/p); the natural layout for
+//            "input distributed evenly across the processors".
+//   Cyclic — element i lives on node i mod p.
+//   Hashed — element i lives on node hash(i, salt) mod p; the randomized
+//            layout QSM assumes by default.
+#pragma once
+
+#include <cstdint>
+
+#include "support/contract.hpp"
+#include "support/rng.hpp"
+
+namespace qsm::rt {
+
+enum class Layout { Block, Cyclic, Hashed };
+
+[[nodiscard]] constexpr const char* to_string(Layout l) {
+  switch (l) {
+    case Layout::Block:
+      return "block";
+    case Layout::Cyclic:
+      return "cyclic";
+    case Layout::Hashed:
+      return "hashed";
+  }
+  return "?";
+}
+
+/// Elements per node under Block layout.
+[[nodiscard]] constexpr std::uint64_t block_chunk(std::uint64_t n, int p) {
+  return (n + static_cast<std::uint64_t>(p) - 1) /
+         static_cast<std::uint64_t>(p);
+}
+
+/// Mixes an index with a salt; used for the Hashed policy. SplitMix64's
+/// finalizer is a good integer hash (full avalanche).
+[[nodiscard]] inline std::uint64_t hash_index(std::uint64_t idx,
+                                              std::uint64_t salt) {
+  std::uint64_t z = idx + salt + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// The node that owns element `idx` of an n-element array on p nodes.
+[[nodiscard]] inline int owner_of(Layout layout, std::uint64_t idx,
+                                  std::uint64_t n, int p,
+                                  std::uint64_t salt) {
+  QSM_ASSERT(idx < n, "index out of array bounds");
+  const auto up = static_cast<std::uint64_t>(p);
+  switch (layout) {
+    case Layout::Block:
+      return static_cast<int>(idx / block_chunk(n, p));
+    case Layout::Cyclic:
+      return static_cast<int>(idx % up);
+    case Layout::Hashed:
+      return static_cast<int>(hash_index(idx, salt) % up);
+  }
+  return 0;
+}
+
+/// Owned index range [begin, end) under Block layout (empty for nodes past
+/// the data).
+struct IndexRange {
+  std::uint64_t begin{0};
+  std::uint64_t end{0};
+  [[nodiscard]] std::uint64_t size() const { return end - begin; }
+  [[nodiscard]] bool empty() const { return begin >= end; }
+};
+
+[[nodiscard]] inline IndexRange block_range(std::uint64_t n, int p, int rank) {
+  const std::uint64_t chunk = block_chunk(n, p);
+  const std::uint64_t b = chunk * static_cast<std::uint64_t>(rank);
+  const std::uint64_t e = b + chunk;
+  return {b > n ? n : b, e > n ? n : e};
+}
+
+}  // namespace qsm::rt

@@ -1,0 +1,338 @@
+// The QSM runtime library.
+//
+// This is the paper's bulk-synchronous shared-memory library: programs are
+// written as per-processor C++ against a Context whose get()/put() calls
+// "merely enqueue requests on the local node"; data moves only at sync(),
+// when the runtime builds a communication plan, exchanges it, moves put data
+// and get requests/replies through the simulated network, and closes the
+// phase with a tree barrier.
+//
+// Data is computed for real (tests verify sorted outputs and list ranks);
+// *time* is simulated: local work is charged through the machine's CPU cost
+// model and communication is priced by the event-driven network model, so a
+// run yields both correct results and a cycle-accurate-style timing trace.
+//
+// Bulk-synchronous contract (paper section 2): values returned by gets
+// issued in a phase are not usable until after the sync, and the same
+// location must not be both read and written in one phase (checked when
+// Options::check_rules is set). Concurrent writes to one location queue;
+// we resolve the final value deterministically by (rank, enqueue order),
+// with the last writer winning.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/layout.hpp"
+#include "core/trace.hpp"
+#include "machine/config.hpp"
+#include "msg/comm.hpp"
+#include "support/contract.hpp"
+#include "support/rng.hpp"
+
+namespace qsm::rt {
+
+/// Shared-memory element types: trivially copyable, at most one 8-byte word
+/// (the library is word-grained, like the paper's).
+template <typename T>
+concept Word = std::is_trivially_copyable_v<T> && sizeof(T) <= 8;
+
+/// Typed handle to a shared array. Cheap to copy; valid for the lifetime of
+/// the Runtime that allocated it.
+template <Word T>
+struct GlobalArray {
+  std::uint32_t id{UINT32_MAX};
+  std::uint64_t n{0};
+
+  [[nodiscard]] bool valid() const { return id != UINT32_MAX; }
+};
+
+struct Options {
+  /// Seed for all per-node RNG streams and hashed layouts.
+  std::uint64_t seed{1};
+  /// Detect same-phase read+write of a location (throws ContractViolation
+  /// from sync()). Costs a hash probe per word; on for tests, off for
+  /// large benchmark runs.
+  bool check_rules{false};
+  /// Track kappa (max accesses to any one location per phase).
+  bool track_kappa{false};
+};
+
+class Runtime;
+
+/// Per-processor view of the machine, passed to the program function.
+class Context {
+ public:
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nprocs() const;
+  /// This node's simulated clock.
+  [[nodiscard]] cycles_t now() const;
+
+  /// Charges local compute: n simple operations.
+  void charge_ops(std::int64_t n);
+  /// Charges n data accesses over a working set of the given byte size
+  /// (prices through the Table 2 cache hierarchy).
+  void charge_mem(std::int64_t n, std::int64_t working_set_bytes);
+  /// Charges raw cycles.
+  void charge_cycles(cycles_t c);
+
+  /// Deterministic per-node random stream.
+  [[nodiscard]] support::Xoshiro256& rng();
+
+  /// Direct access to an element this node owns (no network, no queueing).
+  /// Owner mismatch is a contract violation — remote data must use get/put.
+  template <Word T>
+  [[nodiscard]] T read_local(GlobalArray<T> a, std::uint64_t idx);
+  template <Word T>
+  void write_local(GlobalArray<T> a, std::uint64_t idx, T value);
+
+  /// Enqueues a read of a[idx] into *dest; *dest is filled during the next
+  /// sync(). dest must stay valid until then.
+  template <Word T>
+  void get(GlobalArray<T> a, std::uint64_t idx, T* dest) {
+    get_range(a, idx, 1, dest);
+  }
+  /// Enqueues a write of value to a[idx], applied at the next sync().
+  template <Word T>
+  void put(GlobalArray<T> a, std::uint64_t idx, T value) {
+    put_range(a, idx, 1, &value);
+  }
+
+  /// Range forms: count consecutive elements starting at `start`. The
+  /// library is word-grained (each word is one remote operation, m_rw),
+  /// but ranges keep host-side bookkeeping compact.
+  template <Word T>
+  void get_range(GlobalArray<T> a, std::uint64_t start, std::uint64_t count,
+                 T* dest);
+  template <Word T>
+  void put_range(GlobalArray<T> a, std::uint64_t start, std::uint64_t count,
+                 const T* src);
+
+  /// Ends the phase: exchanges all enqueued traffic and synchronizes.
+  void sync();
+
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+ private:
+  friend class Runtime;
+  Context(Runtime* rt, int rank) : rt_(rt), rank_(rank) {}
+
+  Runtime* rt_;
+  int rank_;
+};
+
+/// Owns shared arrays and executes bulk-synchronous programs on the
+/// simulated machine.
+class Runtime {
+ public:
+  explicit Runtime(machine::MachineConfig cfg, Options opts = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] const machine::MachineConfig& machine() const {
+    return comm_.config();
+  }
+  [[nodiscard]] const msg::Comm& comm() const { return comm_; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+  [[nodiscard]] int nprocs() const { return comm_.nprocs(); }
+
+  /// Allocates an n-element shared array (contents zero).
+  template <Word T>
+  GlobalArray<T> alloc(std::uint64_t n, Layout layout = Layout::Block,
+                       std::string name = "");
+
+  /// Releases an array's storage. The handle (and any copy of it) becomes
+  /// invalid; further use is a contract violation. Must not be called
+  /// while a program is running. Long-lived runtimes that call algorithms
+  /// repeatedly use this to drop per-call scratch arrays.
+  template <Word T>
+  void free(GlobalArray<T> a) {
+    free_array(a.id);
+  }
+
+  /// Host-side (outside simulated time) bulk initialization and readback.
+  template <Word T>
+  void host_fill(GlobalArray<T> a, const std::vector<T>& values);
+  template <Word T>
+  [[nodiscard]] std::vector<T> host_read(GlobalArray<T> a);
+
+  /// Runs `program` once on every simulated processor (p threads). The
+  /// program must be bulk-synchronous: every node executes the same number
+  /// of sync() calls. Clocks reset at the start of each run; array
+  /// contents persist across runs.
+  RunResult run(const std::function<void(Context&)>& program);
+
+ private:
+  friend class Context;
+
+  struct ArrayStore {
+    std::string name;
+    Layout layout{Layout::Block};
+    std::uint64_t salt{0};
+    std::uint64_t n{0};
+    std::vector<std::uint64_t> data;  // one word per element
+    bool freed{false};
+  };
+
+  struct GetReq {
+    std::uint32_t array;
+    std::uint32_t elem_size;
+    std::uint64_t start;
+    std::uint64_t count;
+    std::byte* dest;
+  };
+  struct PutReq {
+    std::uint32_t array;
+    std::uint64_t start;
+    std::uint64_t count;
+    std::size_t buf_offset;  // into NodeState::put_buf
+  };
+
+  struct NodeState {
+    cycles_t now{0};
+    cycles_t compute{0};
+    cycles_t compute_at_phase_start{0};
+    std::unique_ptr<support::Xoshiro256> rng;
+    std::vector<GetReq> gets;
+    std::vector<PutReq> puts;
+    std::vector<std::uint64_t> put_buf;
+    std::uint64_t enq_words{0};
+    std::uint64_t phase_count{0};
+  };
+
+  ArrayStore& store(std::uint32_t id);
+  void free_array(std::uint32_t id);
+  [[nodiscard]] int owner(const ArrayStore& s, std::uint64_t idx) const;
+
+  /// Runs at each barrier: moves data, prices the exchange, advances clocks.
+  void process_phase();
+
+  void reset_clocks();
+  void check_queues_empty() const;
+
+  // --- word packing (little-endian host assumed; checked in runtime.cpp).
+  template <Word T>
+  static std::uint64_t to_word(T v) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, &v, sizeof(T));
+    return w;
+  }
+  template <Word T>
+  static T from_word(std::uint64_t w) {
+    T v;
+    std::memcpy(&v, &w, sizeof(T));
+    return v;
+  }
+
+  msg::Comm comm_;
+  Options opts_;
+  std::vector<ArrayStore> arrays_;
+  std::vector<NodeState> nodes_;
+  RunResult result_;  ///< being assembled by the current run()
+  std::uint64_t run_counter_{0};
+
+  struct Barrier;  // internal phase barrier with completion + error plumbing
+  std::unique_ptr<Barrier> barrier_;
+};
+
+// ---- Context templates --------------------------------------------------
+
+template <Word T>
+T Context::read_local(GlobalArray<T> a, std::uint64_t idx) {
+  auto& s = rt_->store(a.id);
+  QSM_REQUIRE(idx < s.n, "read_local out of bounds");
+  QSM_REQUIRE(rt_->owner(s, idx) == rank_,
+              "read_local on an element this node does not own");
+  return Runtime::from_word<T>(s.data[idx]);
+}
+
+template <Word T>
+void Context::write_local(GlobalArray<T> a, std::uint64_t idx, T value) {
+  auto& s = rt_->store(a.id);
+  QSM_REQUIRE(idx < s.n, "write_local out of bounds");
+  QSM_REQUIRE(rt_->owner(s, idx) == rank_,
+              "write_local on an element this node does not own");
+  s.data[idx] = Runtime::to_word(value);
+}
+
+template <Word T>
+void Context::get_range(GlobalArray<T> a, std::uint64_t start,
+                        std::uint64_t count, T* dest) {
+  if (count == 0) return;
+  auto& s = rt_->store(a.id);
+  QSM_REQUIRE(start < s.n && count <= s.n - start, "get_range out of bounds");
+  auto& node = rt_->nodes_[static_cast<std::size_t>(rank_)];
+  node.gets.push_back(Runtime::GetReq{a.id, static_cast<std::uint32_t>(sizeof(T)),
+                                      start, count,
+                                      reinterpret_cast<std::byte*>(dest)});
+  node.enq_words += count;
+  // Enqueueing is local CPU work done during the phase ("get() and put()
+  // calls merely enqueue requests on the local node").
+  charge_cycles(static_cast<cycles_t>(count) *
+                rt_->machine().sw.per_request_cpu);
+}
+
+template <Word T>
+void Context::put_range(GlobalArray<T> a, std::uint64_t start,
+                        std::uint64_t count, const T* src) {
+  if (count == 0) return;
+  auto& s = rt_->store(a.id);
+  QSM_REQUIRE(start < s.n && count <= s.n - start, "put_range out of bounds");
+  auto& node = rt_->nodes_[static_cast<std::size_t>(rank_)];
+  const std::size_t off = node.put_buf.size();
+  node.put_buf.reserve(off + count);
+  for (std::uint64_t k = 0; k < count; ++k) {
+    node.put_buf.push_back(Runtime::to_word(src[k]));
+  }
+  node.puts.push_back(Runtime::PutReq{a.id, start, count, off});
+  node.enq_words += count;
+  charge_cycles(static_cast<cycles_t>(count) *
+                rt_->machine().sw.per_request_cpu);
+}
+
+// ---- Runtime templates ---------------------------------------------------
+
+template <Word T>
+GlobalArray<T> Runtime::alloc(std::uint64_t n, Layout layout,
+                              std::string name) {
+  QSM_REQUIRE(n > 0, "cannot allocate an empty shared array");
+  ArrayStore s;
+  s.name = name.empty() ? ("array" + std::to_string(arrays_.size()))
+                        : std::move(name);
+  s.layout = layout;
+  s.salt = support::SplitMix64(opts_.seed ^ (arrays_.size() + 0x51ULL)).next();
+  s.n = n;
+  s.data.assign(n, 0);
+  arrays_.push_back(std::move(s));
+  return GlobalArray<T>{static_cast<std::uint32_t>(arrays_.size() - 1), n};
+}
+
+template <Word T>
+void Runtime::host_fill(GlobalArray<T> a, const std::vector<T>& values) {
+  auto& s = store(a.id);
+  QSM_REQUIRE(values.size() == s.n, "host_fill size mismatch");
+  for (std::uint64_t i = 0; i < s.n; ++i) {
+    s.data[i] = to_word(values[i]);
+  }
+}
+
+template <Word T>
+std::vector<T> Runtime::host_read(GlobalArray<T> a) {
+  auto& s = store(a.id);
+  std::vector<T> out(s.n);
+  for (std::uint64_t i = 0; i < s.n; ++i) {
+    out[i] = from_word<T>(s.data[i]);
+  }
+  return out;
+}
+
+}  // namespace qsm::rt

@@ -1,0 +1,87 @@
+// Per-phase and per-run instrumentation.
+//
+// Every sync() records a PhaseStats row; a RunResult aggregates them. These
+// are the numbers the benchmark harnesses report: the paper's "measured
+// communication time" is the sum of the per-phase comm_cycles (everything
+// from the moment the last node reaches the sync to barrier release), and
+// the model inputs (m_rw, kappa, phases) come from the same trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/cycles.hpp"
+
+namespace qsm::rt {
+
+using support::cycles_t;
+
+struct PhaseStats {
+  /// Spread between first and last node arriving at the sync (load
+  /// imbalance of the preceding compute section).
+  cycles_t arrival_spread{0};
+  /// Cycles from last arrival to completion of the data exchange
+  /// (marshalling + plan + put/get rounds + apply costs).
+  cycles_t exchange_cycles{0};
+  /// Cycles of the closing tree barrier.
+  cycles_t barrier_cycles{0};
+  /// exchange_cycles + barrier_cycles: the phase's communication time.
+  [[nodiscard]] cycles_t comm_cycles() const {
+    return exchange_cycles + barrier_cycles;
+  }
+
+  /// Maximum over nodes of local compute cycles charged since the previous
+  /// sync (QSM's per-phase m_op, in cycles).
+  cycles_t m_op_max{0};
+  /// Maximum over nodes of remote words read+written this phase (QSM's
+  /// per-phase m_rw).
+  std::uint64_t m_rw_max{0};
+  /// Maximum over nodes of remote words written this phase.
+  std::uint64_t max_put_words{0};
+  /// Maximum over nodes of remote words read this phase.
+  std::uint64_t max_get_words{0};
+  /// Total remote words moved by all nodes this phase.
+  std::uint64_t rw_total{0};
+  /// Words that turned out to be locally owned (no network traffic).
+  std::uint64_t local_words{0};
+  /// Maximum accesses to any single shared location (QSM's kappa); only
+  /// filled when Options::track_kappa is set.
+  std::uint64_t kappa{0};
+  /// Messages and wire bytes the exchange actually used.
+  std::uint64_t messages{0};
+  std::int64_t wire_bytes{0};
+};
+
+struct RunResult {
+  /// Simulated completion time of the slowest node.
+  cycles_t total_cycles{0};
+  /// Sum over phases of comm_cycles (the paper's communication time).
+  cycles_t comm_cycles{0};
+  /// Portion of comm_cycles spent in barriers.
+  cycles_t barrier_cycles{0};
+  /// Maximum over nodes of locally charged compute cycles.
+  cycles_t compute_cycles{0};
+  /// Number of sync() calls (QSM phase count, pi).
+  std::uint64_t phases{0};
+  /// Total remote words moved (W, the communication volume).
+  std::uint64_t rw_total{0};
+  /// Max kappa over phases (0 when tracking is off).
+  std::uint64_t kappa_max{0};
+  std::uint64_t messages{0};
+  std::int64_t wire_bytes{0};
+
+  std::vector<PhaseStats> trace;
+
+  void add_phase(const PhaseStats& ps) {
+    comm_cycles += ps.comm_cycles();
+    barrier_cycles += ps.barrier_cycles;
+    phases += 1;
+    rw_total += ps.rw_total;
+    if (ps.kappa > kappa_max) kappa_max = ps.kappa;
+    messages += ps.messages;
+    wire_bytes += ps.wire_bytes;
+    trace.push_back(ps);
+  }
+};
+
+}  // namespace qsm::rt

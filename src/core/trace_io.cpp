@@ -1,0 +1,32 @@
+#include "core/trace_io.hpp"
+
+namespace qsm::rt {
+
+support::TextTable trace_table(const RunResult& run) {
+  support::TextTable t({"phase", "arrival_spread", "exchange_cycles",
+                        "barrier_cycles", "m_op_max", "m_rw_max",
+                        "max_put_words", "max_get_words", "kappa",
+                        "local_words", "messages", "wire_bytes"});
+  for (std::size_t i = 0; i < run.trace.size(); ++i) {
+    const auto& ps = run.trace[i];
+    t.add_row({static_cast<long long>(i),
+               static_cast<long long>(ps.arrival_spread),
+               static_cast<long long>(ps.exchange_cycles),
+               static_cast<long long>(ps.barrier_cycles),
+               static_cast<long long>(ps.m_op_max),
+               static_cast<long long>(ps.m_rw_max),
+               static_cast<long long>(ps.max_put_words),
+               static_cast<long long>(ps.max_get_words),
+               static_cast<long long>(ps.kappa),
+               static_cast<long long>(ps.local_words),
+               static_cast<long long>(ps.messages),
+               static_cast<long long>(ps.wire_bytes)});
+  }
+  return t;
+}
+
+void write_trace_csv(const RunResult& run, const std::string& path) {
+  trace_table(run).write_csv(path);
+}
+
+}  // namespace qsm::rt

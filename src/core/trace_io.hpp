@@ -1,0 +1,21 @@
+// Phase-trace export.
+//
+// Dumps a RunResult's per-phase statistics as CSV so runs can be inspected
+// or plotted without rerunning the simulation.
+#pragma once
+
+#include <string>
+
+#include "core/trace.hpp"
+#include "support/table.hpp"
+
+namespace qsm::rt {
+
+/// Builds a table with one row per phase: spread, exchange, barrier,
+/// m_op/m_rw/put/get maxima, kappa, local words, messages, wire bytes.
+[[nodiscard]] support::TextTable trace_table(const RunResult& run);
+
+/// Writes trace_table(run) to `path` as CSV.
+void write_trace_csv(const RunResult& run, const std::string& path);
+
+}  // namespace qsm::rt

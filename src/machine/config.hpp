@@ -1,0 +1,27 @@
+// Full machine description: node count, CPU model, network hardware, and
+// communication-software costs.
+#pragma once
+
+#include <string>
+
+#include "machine/cpu.hpp"
+#include "net/params.hpp"
+
+namespace qsm::machine {
+
+struct MachineConfig {
+  std::string name{"default"};
+  int p{16};
+  CpuModel cpu{};
+  net::NetworkParams net{};
+  net::SoftwareParams sw{};
+
+  void validate() const {
+    QSM_REQUIRE(p >= 1, "machine needs at least one processor");
+    cpu.validate();
+    net.validate();
+    sw.validate();
+  }
+};
+
+}  // namespace qsm::machine

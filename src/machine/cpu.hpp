@@ -1,0 +1,66 @@
+// Node CPU cost model.
+//
+// The paper runs on Armadillo, a cycle-accurate out-of-order processor
+// simulator configured per Table 2 (400 MHz, 4-wide, 8 KB L1 / 256 KB L2).
+// We substitute an abstract cost model: local work is charged in cycles via
+// a per-operation rate plus a memory-hierarchy charge keyed by working-set
+// size. That keeps the compute/communication balance of the original system
+// without simulating micro-architecture (see DESIGN.md section 2).
+#pragma once
+
+#include <cstdint>
+
+#include "support/contract.hpp"
+#include "support/cycles.hpp"
+
+namespace qsm::machine {
+
+using support::cycles_t;
+
+struct CpuModel {
+  /// Clock frequency (Table 2: 400 MHz).
+  support::ClockRate clock{};
+  /// Average cycles per simple local operation. The Table 2 core is 4-wide
+  /// with 1-cycle functional units; real codes on it retire roughly one
+  /// useful op per cycle once memory stalls are included.
+  double cycles_per_op{1.0};
+
+  // Memory hierarchy, from Table 2.
+  std::int64_t l1_bytes{8 * 1024};
+  cycles_t l1_hit{1};
+  std::int64_t l2_bytes{256 * 1024};
+  cycles_t l2_hit{3};
+  cycles_t mem_access{10};  ///< L2 miss: 3 + 7 cycles
+
+  void validate() const {
+    QSM_REQUIRE(clock.hz > 0, "clock rate must be positive");
+    QSM_REQUIRE(cycles_per_op > 0, "op rate must be positive");
+    QSM_REQUIRE(l1_bytes > 0 && l2_bytes >= l1_bytes, "bad cache sizes");
+    QSM_REQUIRE(l1_hit > 0 && l2_hit >= l1_hit && mem_access >= l2_hit,
+                "cache latencies must be ordered");
+  }
+
+  /// Cost of `n` simple local operations.
+  [[nodiscard]] cycles_t op_cost(std::int64_t n) const {
+    QSM_REQUIRE(n >= 0, "negative op count");
+    return support::ceil_cycles(cycles_per_op * static_cast<double>(n));
+  }
+
+  /// Amortized cost of one data access within a working set of the given
+  /// size: L1 hit if it fits in L1, L2 hit if it fits in L2, else memory.
+  [[nodiscard]] cycles_t access_cost(std::int64_t working_set_bytes) const {
+    QSM_REQUIRE(working_set_bytes >= 0, "negative working set");
+    if (working_set_bytes <= l1_bytes) return l1_hit;
+    if (working_set_bytes <= l2_bytes) return l2_hit;
+    return mem_access;
+  }
+
+  /// Cost of `n` data accesses over a working set of the given size.
+  [[nodiscard]] cycles_t access_cost(std::int64_t n,
+                                     std::int64_t working_set_bytes) const {
+    QSM_REQUIRE(n >= 0, "negative access count");
+    return n * access_cost(working_set_bytes);
+  }
+};
+
+}  // namespace qsm::machine

@@ -1,0 +1,125 @@
+#include "machine/custom.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "machine/presets.hpp"
+
+namespace qsm::machine {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("machine description line " +
+                           std::to_string(line) + ": " + msg);
+}
+
+double parse_number(int line, const std::string& key,
+                    const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    fail(line, "key '" + key + "' needs a number, got '" + value + "'");
+  }
+}
+
+net::Topology parse_topology(int line, const std::string& value) {
+  if (value == "full" || value == "fully-connected") {
+    return net::Topology::FullyConnected;
+  }
+  if (value == "ring") return net::Topology::Ring;
+  if (value == "torus" || value == "torus-2d") return net::Topology::Torus2D;
+  fail(line, "unknown topology '" + value + "' (full, ring, torus)");
+}
+
+}  // namespace
+
+MachineConfig machine_from_string(const std::string& text) {
+  MachineConfig m = default_sim();
+  m.name = "custom";
+  std::istringstream is(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    std::string line = trim(hash == std::string::npos ? raw
+                                                      : raw.substr(0, hash));
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected 'key = value'");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty()) fail(line_no, "empty key or value");
+
+    if (key == "name") {
+      m.name = value;
+    } else if (key == "p") {
+      m.p = static_cast<int>(parse_number(line_no, key, value));
+    } else if (key == "clock_mhz") {
+      m.cpu.clock.hz = parse_number(line_no, key, value) * 1e6;
+    } else if (key == "cycles_per_op") {
+      m.cpu.cycles_per_op = parse_number(line_no, key, value);
+    } else if (key == "l1_kb") {
+      m.cpu.l1_bytes =
+          static_cast<std::int64_t>(parse_number(line_no, key, value) * 1024);
+    } else if (key == "l2_kb") {
+      m.cpu.l2_bytes =
+          static_cast<std::int64_t>(parse_number(line_no, key, value) * 1024);
+    } else if (key == "gap_cpb") {
+      m.net.gap_cpb = parse_number(line_no, key, value);
+    } else if (key == "overhead") {
+      m.net.overhead = static_cast<support::cycles_t>(
+          parse_number(line_no, key, value));
+    } else if (key == "latency") {
+      m.net.latency = static_cast<support::cycles_t>(
+          parse_number(line_no, key, value));
+    } else if (key == "fabric_links") {
+      m.net.fabric_links =
+          static_cast<int>(parse_number(line_no, key, value));
+    } else if (key == "topology") {
+      m.net.topology = parse_topology(line_no, value);
+    } else if (key == "copy_cpb") {
+      m.sw.copy_cpb = parse_number(line_no, key, value);
+    } else if (key == "per_message_cpu") {
+      m.sw.per_message_cpu = static_cast<support::cycles_t>(
+          parse_number(line_no, key, value));
+    } else if (key == "per_request_cpu") {
+      m.sw.per_request_cpu = static_cast<support::cycles_t>(
+          parse_number(line_no, key, value));
+    } else if (key == "per_apply_cpu") {
+      m.sw.per_apply_cpu = static_cast<support::cycles_t>(
+          parse_number(line_no, key, value));
+    } else {
+      fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+  try {
+    m.validate();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(
+        std::string("machine description is inconsistent: ") + e.what());
+  }
+  return m;
+}
+
+MachineConfig machine_from_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("cannot open machine file: " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return machine_from_string(buf.str());
+}
+
+}  // namespace qsm::machine

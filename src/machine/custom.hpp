@@ -1,0 +1,32 @@
+// User-defined machine descriptions.
+//
+// The preset catalogue covers the paper's six architectures; downstream
+// users will want their own. A machine file is plain "key = value" lines
+// ('#' comments), e.g.
+//
+//     # my cluster
+//     name = quad-cluster
+//     p = 4
+//     clock_mhz = 2000
+//     gap_cpb = 0.8
+//     overhead = 900
+//     latency = 2500
+//     topology = torus
+//
+// Unknown keys are an error (typos in experiment scripts must fail loudly).
+#pragma once
+
+#include <string>
+
+#include "machine/config.hpp"
+
+namespace qsm::machine {
+
+/// Parses a machine description; unspecified keys keep the default-sim
+/// values. Throws std::runtime_error with a line reference on bad input.
+[[nodiscard]] MachineConfig machine_from_string(const std::string& text);
+
+/// Reads `path` and parses it with machine_from_string.
+[[nodiscard]] MachineConfig machine_from_file(const std::string& path);
+
+}  // namespace qsm::machine

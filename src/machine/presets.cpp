@@ -1,0 +1,63 @@
+#include "machine/presets.hpp"
+
+#include <stdexcept>
+
+namespace qsm::machine {
+
+namespace {
+/// The paper's Table 4 parameters are network-hardware numbers; the
+/// communication-software stack is assumed comparable across machines (the
+/// table's `k` factor), so every preset shares the default SoftwareParams.
+MachineConfig make(std::string name, int p, double gap_cpb,
+                   support::cycles_t overhead, support::cycles_t latency,
+                   double clock_hz) {
+  MachineConfig m;
+  m.name = std::move(name);
+  m.p = p;
+  m.cpu.clock.hz = clock_hz;
+  m.net.gap_cpb = gap_cpb;
+  m.net.overhead = overhead;
+  m.net.latency = latency;
+  m.validate();
+  return m;
+}
+}  // namespace
+
+MachineConfig default_sim(int p) {
+  return make("default-sim", p, 3.0, 400, 1600, 400e6);
+}
+
+MachineConfig berkeley_now() { return make("berkeley-now", 32, 4.3, 481, 830, 167e6); }
+
+MachineConfig pentium_tcp() {
+  return make("pentium2-tcp", 32, 24.0, 150000, 75000, 300e6);
+}
+
+MachineConfig cray_t3e() { return make("cray-t3e", 64, 1.6, 50, 126, 450e6); }
+
+MachineConfig intel_paragon() {
+  return make("intel-paragon", 64, 0.35, 90, 325, 50e6);
+}
+
+MachineConfig meiko_cs2() { return make("meiko-cs2", 32, 1.4, 112, 497, 90e6); }
+
+std::vector<MachineConfig> table4_presets() {
+  return {default_sim(), berkeley_now(), pentium_tcp(),
+          cray_t3e(),    intel_paragon(), meiko_cs2()};
+}
+
+MachineConfig preset_by_name(const std::string& name) {
+  if (name == "default" || name == "default-sim") return default_sim();
+  if (name == "now" || name == "berkeley-now") return berkeley_now();
+  if (name == "tcp" || name == "pentium2-tcp") return pentium_tcp();
+  if (name == "t3e" || name == "cray-t3e") return cray_t3e();
+  if (name == "paragon" || name == "intel-paragon") return intel_paragon();
+  if (name == "cs2" || name == "meiko-cs2") return meiko_cs2();
+  throw std::runtime_error("unknown machine preset: " + name);
+}
+
+std::vector<std::string> preset_names() {
+  return {"default", "now", "tcp", "t3e", "paragon", "cs2"};
+}
+
+}  // namespace qsm::machine

@@ -1,0 +1,46 @@
+// Machine preset catalogue.
+//
+// default_sim() reproduces the paper's simulated system (Tables 2 and 3).
+// The remaining presets are the Table 4 architectures, with (p, l, o, g)
+// taken from that table (all values already in clock cycles of the target
+// machine; values the paper put in parentheses were estimates there too).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/config.hpp"
+
+namespace qsm::machine {
+
+/// The paper's default 16-node simulated multiprocessor:
+/// g = 3 cycles/byte (133 MB/s at 400 MHz), o = 400 cycles, l = 1600 cycles.
+[[nodiscard]] MachineConfig default_sim(int p = 16);
+
+/// Berkeley NOW: p=32, l=830, o=481, g=4.3.
+[[nodiscard]] MachineConfig berkeley_now();
+
+/// 300 MHz Pentium-II, TCP/IP over 100 Mb switched Ethernet:
+/// p=32, l=75000, o=150000, g=24.
+[[nodiscard]] MachineConfig pentium_tcp();
+
+/// Cray T3E: p=64, l=126, o=50, g=1.6.
+[[nodiscard]] MachineConfig cray_t3e();
+
+/// Intel Paragon: p=64, l=325, o=90, g=0.35.
+[[nodiscard]] MachineConfig intel_paragon();
+
+/// Meiko CS-2: p=32, l=497, o=112, g=1.4.
+[[nodiscard]] MachineConfig meiko_cs2();
+
+/// All Table 4 rows in paper order (default simulation first).
+[[nodiscard]] std::vector<MachineConfig> table4_presets();
+
+/// Looks a preset up by name ("default", "now", "tcp", "t3e", "paragon",
+/// "cs2"); throws std::runtime_error for unknown names.
+[[nodiscard]] MachineConfig preset_by_name(const std::string& name);
+
+/// Names accepted by preset_by_name.
+[[nodiscard]] std::vector<std::string> preset_names();
+
+}  // namespace qsm::machine

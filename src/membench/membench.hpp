@@ -1,0 +1,89 @@
+// Memory-bank contention microbenchmark (paper section 4, Figure 7).
+//
+// Each processor issues back-to-back accesses to global memory in one of
+// three patterns:
+//   Random     — every access goes to a random word in a random bank (what a
+//                QSM runtime achieves by randomizing layout),
+//   Conflict   — every access goes to bank 0 (an unmitigated hot spot),
+//   NoConflict — processor i always uses bank (i+1) mod B (a perfect,
+//                hand-placed layout).
+// The paper measured this on a Sun E5000 SMP (native and through BSPlib), a
+// NOW over 10 Mb/s Ethernet TCP, and a Cray T3E (shmem). We reproduce the
+// measurement on an event-driven banked-memory model whose per-machine
+// parameters (per-access software cost, interconnect latency, bank
+// occupancy) are set from the published magnitudes of those systems — the
+// substitution is documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/cycles.hpp"
+
+namespace qsm::membench {
+
+using support::cycles_t;
+
+struct BankMachineConfig {
+  std::string name;
+  int procs{8};
+  int banks{8};
+  support::ClockRate clock{};
+  /// CPU cost per access on the issuing processor (library / OS path).
+  cycles_t sw_overhead{20};
+  /// One-way interconnect latency between a processor and a bank.
+  cycles_t interconnect_latency{40};
+  /// Bank service (occupancy) per word access; the serialization point
+  /// that creates contention.
+  cycles_t bank_occupancy{60};
+  /// Max in-flight accesses per processor (1 = blocking accesses, as the
+  /// shared-memory "high-performance" access functions behave).
+  int outstanding{1};
+
+  void validate() const;
+};
+
+enum class Pattern { Random, Conflict, NoConflict };
+
+[[nodiscard]] const char* to_string(Pattern p);
+
+struct MemBenchResult {
+  Pattern pattern{Pattern::Random};
+  std::uint64_t accesses{0};
+  cycles_t makespan{0};
+  /// Mean completion latency of one access, cycles and microseconds.
+  double avg_access_cycles{0};
+  double avg_access_us{0};
+  /// Utilization of the most-loaded bank over the run.
+  double hottest_bank_utilization{0};
+};
+
+/// Runs `accesses_per_proc` accesses on every processor under `pattern`.
+/// Deterministic for a given seed.
+[[nodiscard]] MemBenchResult run_membench(const BankMachineConfig& cfg,
+                                          Pattern pattern,
+                                          std::uint64_t accesses_per_proc,
+                                          std::uint64_t seed = 1);
+
+/// All three patterns on one machine.
+[[nodiscard]] std::vector<MemBenchResult> run_all_patterns(
+    const BankMachineConfig& cfg, std::uint64_t accesses_per_proc,
+    std::uint64_t seed = 1);
+
+// ---- Figure 7 machine presets ---------------------------------------------
+
+/// 8-processor Sun UltraEnterprise, hardware shared memory.
+[[nodiscard]] BankMachineConfig smp_native();
+/// Same hardware through BSPlib's optimized ("level-2") library.
+[[nodiscard]] BankMachineConfig smp_bsplib_l2();
+/// Same hardware through the less-optimized ("level-1") library.
+[[nodiscard]] BankMachineConfig smp_bsplib_l1();
+/// 16 UltraSPARCs over 10 Mb/s Ethernet, BSPlib over TCP.
+[[nodiscard]] BankMachineConfig now_bsplib();
+/// 32 nodes of a Cray T3E using shmem.
+[[nodiscard]] BankMachineConfig cray_t3e_shmem();
+
+[[nodiscard]] std::vector<BankMachineConfig> fig7_presets();
+
+}  // namespace qsm::membench

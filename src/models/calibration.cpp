@@ -1,0 +1,88 @@
+#include "models/calibration.hpp"
+
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "support/contract.hpp"
+
+namespace qsm::models {
+
+Calibration calibrate(const machine::MachineConfig& cfg,
+                      std::uint64_t words_per_node) {
+  QSM_REQUIRE(words_per_node >= 1, "need at least one word");
+  Calibration cal;
+  cal.p = cfg.p;
+  cal.word_bytes = cfg.sw.word_bytes;
+
+  rt::Runtime runtime(cfg);
+  const int p = cfg.p;
+  const auto up = static_cast<std::uint64_t>(p);
+  const std::uint64_t m = words_per_node;
+
+  // --- fixed per-phase overhead: a run of empty syncs ----------------------
+  constexpr int kEmptyPhases = 8;
+  {
+    const auto res = runtime.run([&](rt::Context& ctx) {
+      for (int k = 0; k < kEmptyPhases; ++k) ctx.sync();
+    });
+    cal.phase_overhead = res.comm_cycles / kEmptyPhases;
+    cal.barrier = res.barrier_cycles / kEmptyPhases;
+  }
+
+  if (p == 1) {
+    // No remote traffic exists; leave per-word costs at the software
+    // request cost so models degrade gracefully.
+    cal.put_cpw = static_cast<double>(cfg.sw.per_request_cpu);
+    cal.get_cpw = cal.put_cpw;
+    return cal;
+  }
+
+  auto data = runtime.alloc<std::int64_t>(up * m, rt::Layout::Block,
+                                          "calibration");
+
+  // The probe pattern is a balanced all-to-all — every node moves m words
+  // spread evenly over the other p-1 nodes — because that is the traffic
+  // shape of the bulk-synchronous algorithms the constants will price
+  // (the s-QSM's symmetric-gap assumption).
+  const std::uint64_t per_peer = std::max<std::uint64_t>(1, m / (up - 1));
+
+  // --- bulk puts ----------------------------------------------------------
+  std::uint64_t words_moved = 0;
+  {
+    const auto res = runtime.run([&](rt::Context& ctx) {
+      const auto me = static_cast<std::uint64_t>(ctx.rank());
+      std::vector<std::int64_t> buf(per_peer, ctx.rank());
+      for (std::uint64_t j = 0; j < up; ++j) {
+        if (j == me) continue;
+        ctx.put_range(data, j * m + me * per_peer, per_peer, buf.data());
+      }
+      ctx.sync();
+    });
+    words_moved = per_peer * (up - 1);
+    const auto marginal = res.comm_cycles - cal.phase_overhead;
+    cal.put_cpw =
+        static_cast<double>(marginal) / static_cast<double>(words_moved);
+  }
+
+  // --- bulk gets ----------------------------------------------------------
+  {
+    const auto res = runtime.run([&](rt::Context& ctx) {
+      const auto me = static_cast<std::uint64_t>(ctx.rank());
+      std::vector<std::int64_t> buf(per_peer);
+      for (std::uint64_t j = 0; j < up; ++j) {
+        if (j == me) continue;
+        ctx.get_range(data, j * m + me * per_peer, per_peer, buf.data());
+      }
+      ctx.sync();
+    });
+    const auto marginal = res.comm_cycles - cal.phase_overhead;
+    cal.get_cpw =
+        static_cast<double>(marginal) / static_cast<double>(words_moved);
+  }
+
+  QSM_ASSERT(cal.put_cpw > 0 && cal.get_cpw > 0,
+             "calibration produced non-positive costs");
+  return cal;
+}
+
+}  // namespace qsm::models

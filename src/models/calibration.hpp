@@ -1,0 +1,48 @@
+// Network calibration through the shared-memory library.
+//
+// The paper's Table 3 distinguishes the raw hardware parameters from the
+// performance observed *through* the library (35 cpb puts, 287 cpb gets,
+// 25,500-cycle barrier). The analytical models must be fed the observed
+// constants, not the raw ones — "for all of the models calculating
+// appropriate constants for an algorithm on a particular architecture is
+// nontrivial" — so we measure them with microbenchmarks on the simulated
+// machine, exactly as one would on real hardware.
+#pragma once
+
+#include <cstdint>
+
+#include "machine/config.hpp"
+#include "support/cycles.hpp"
+
+namespace qsm::models {
+
+struct Calibration {
+  int p{0};
+  /// Marginal cost of one remote put through the library, cycles per word.
+  double put_cpw{0};
+  /// Marginal cost of one remote get through the library, cycles per word.
+  double get_cpw{0};
+  /// Fixed cost of a sync with no traffic: communication plan plus tree
+  /// barrier. This is the L that a BSP analysis adds per phase.
+  support::cycles_t phase_overhead{0};
+  /// Tree-barrier portion of phase_overhead alone.
+  support::cycles_t barrier{0};
+  /// The machine's word size in bytes.
+  std::int64_t word_bytes{8};
+
+  [[nodiscard]] double put_cpb() const {
+    return put_cpw / static_cast<double>(word_bytes);
+  }
+  [[nodiscard]] double get_cpb() const {
+    return get_cpw / static_cast<double>(word_bytes);
+  }
+};
+
+/// Runs the calibration microbenchmarks (empty syncs, a bulk put phase,
+/// a bulk get phase) on a fresh runtime for `cfg`.
+/// `words_per_node` sets the bulk transfer size; larger amortizes
+/// per-message costs better.
+[[nodiscard]] Calibration calibrate(const machine::MachineConfig& cfg,
+                                    std::uint64_t words_per_node = 1 << 15);
+
+}  // namespace qsm::models

@@ -1,0 +1,82 @@
+#include "models/chernoff.hpp"
+
+#include <cmath>
+
+#include "support/contract.hpp"
+
+namespace qsm::models {
+
+double bernoulli_kl(double a, double q) {
+  QSM_REQUIRE(a >= 0.0 && a <= 1.0, "a must be a probability");
+  QSM_REQUIRE(q > 0.0 && q < 1.0, "q must be in (0,1)");
+  auto term = [](double x, double y) {
+    if (x == 0.0) return 0.0;
+    return x * std::log(x / y);
+  };
+  return term(a, q) + term(1.0 - a, 1.0 - q);
+}
+
+double binom_upper_tail_bound(std::uint64_t n, double q, std::uint64_t m) {
+  QSM_REQUIRE(n > 0, "need a positive trial count");
+  if (m > n) return 0.0;
+  const double a = static_cast<double>(m) / static_cast<double>(n);
+  if (a <= q) return 1.0;
+  return std::exp(-static_cast<double>(n) * bernoulli_kl(a, q));
+}
+
+double binom_lower_tail_bound(std::uint64_t n, double q, std::uint64_t m) {
+  QSM_REQUIRE(n > 0, "need a positive trial count");
+  const double a = static_cast<double>(m) / static_cast<double>(n);
+  if (a >= q) return 1.0;
+  return std::exp(-static_cast<double>(n) * bernoulli_kl(a, q));
+}
+
+std::uint64_t binom_upper_quantile(std::uint64_t n, double q, double delta) {
+  QSM_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  QSM_REQUIRE(n > 0, "need a positive trial count");
+  // Binary search the smallest m in [ceil(nq), n] whose tail bound is
+  // below delta. The bound is monotonically decreasing in m above nq.
+  std::uint64_t lo = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(n) * q));
+  std::uint64_t hi = n;
+  if (binom_upper_tail_bound(n, q, hi) > delta) return n;  // can't do better
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (binom_upper_tail_bound(n, q, mid) <= delta) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+std::uint64_t binom_lower_quantile(std::uint64_t n, double q, double delta) {
+  QSM_REQUIRE(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+  QSM_REQUIRE(n > 0, "need a positive trial count");
+  // Largest m in [0, floor(nq)] whose lower-tail bound is <= delta; the
+  // bound is increasing in m below nq.
+  std::uint64_t hi = static_cast<std::uint64_t>(
+      std::floor(static_cast<double>(n) * q));
+  if (binom_lower_tail_bound(n, q, 0) > delta) return 0;
+  std::uint64_t lo = 0;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo + 1) / 2;
+    if (binom_lower_tail_bound(n, q, mid) <= delta) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+std::uint64_t max_bucket_bound(std::uint64_t n, std::uint64_t buckets,
+                               double delta) {
+  QSM_REQUIRE(buckets > 0, "need at least one bucket");
+  if (buckets == 1) return n;
+  const double q = 1.0 / static_cast<double>(buckets);
+  return binom_upper_quantile(n, q, delta / static_cast<double>(buckets));
+}
+
+}  // namespace qsm::models

@@ -1,0 +1,42 @@
+// Chernoff tail bounds.
+//
+// The paper's "WHP bound" lines apply Chernoff bounds to the randomized
+// quantities of sample sort (largest bucket B, remote fraction r) and list
+// ranking (per-iteration survivor counts x_i, gathered size z) so that the
+// bound holds for at least 90% of runs. We use the sharp KL-divergence form
+//   P[Bin(n,q) >= m] <= exp(-n * KL(m/n || q)),   m/n >= q
+// and invert it numerically.
+#pragma once
+
+#include <cstdint>
+
+namespace qsm::models {
+
+/// KL divergence KL(a || q) between Bernoulli(a) and Bernoulli(q), nats.
+[[nodiscard]] double bernoulli_kl(double a, double q);
+
+/// Chernoff upper bound on P[Bin(n, q) >= m] (1.0 when m <= nq).
+[[nodiscard]] double binom_upper_tail_bound(std::uint64_t n, double q,
+                                            std::uint64_t m);
+
+/// Chernoff upper bound on P[Bin(n, q) <= m] (1.0 when m >= nq).
+[[nodiscard]] double binom_lower_tail_bound(std::uint64_t n, double q,
+                                            std::uint64_t m);
+
+/// Smallest m such that P[Bin(n, q) >= m] <= delta under the Chernoff
+/// bound; i.e. an upper quantile that holds with probability >= 1 - delta.
+[[nodiscard]] std::uint64_t binom_upper_quantile(std::uint64_t n, double q,
+                                                 double delta);
+
+/// Largest m such that P[Bin(n, q) <= m] <= delta (a lower quantile).
+[[nodiscard]] std::uint64_t binom_lower_quantile(std::uint64_t n, double q,
+                                                 double delta);
+
+/// Bound B such that, with probability >= 1 - delta, no bucket receives
+/// more than B of n balls thrown into `buckets` near-uniform buckets
+/// (union bound over buckets + Chernoff per bucket).
+[[nodiscard]] std::uint64_t max_bucket_bound(std::uint64_t n,
+                                             std::uint64_t buckets,
+                                             double delta);
+
+}  // namespace qsm::models

@@ -1,0 +1,58 @@
+#include "models/emulation.hpp"
+
+#include <algorithm>
+
+#include "models/chernoff.hpp"
+#include "support/contract.hpp"
+
+namespace qsm::models {
+
+void BspParams::validate() const {
+  QSM_REQUIRE(gap_word > 0, "gap must be positive");
+  QSM_REQUIRE(L >= 0, "L must be non-negative");
+  QSM_REQUIRE(processors >= 1, "need at least one processor");
+}
+
+std::uint64_t hashed_h_relation(std::uint64_t m_rw_per_proc, int p,
+                                double delta) {
+  QSM_REQUIRE(p >= 1, "need at least one processor");
+  if (p == 1 || m_rw_per_proc == 0) return m_rw_per_proc;
+  // p * m_rw balls (every processor's accesses) into p modules; bound the
+  // max module load, then it upper-bounds the per-superstep h.
+  const std::uint64_t balls =
+      m_rw_per_proc * static_cast<std::uint64_t>(p);
+  return max_bucket_bound(balls, static_cast<std::uint64_t>(p), delta);
+}
+
+double bsp_cost_of_qsm_phase(const BspParams& params,
+                             const rt::PhaseStats& ps, double delta) {
+  params.validate();
+  const std::uint64_t h =
+      hashed_h_relation(ps.m_rw_max, params.processors, delta);
+  const double comm =
+      params.gap_word *
+      static_cast<double>(std::max({ps.m_rw_max, h, ps.kappa}));
+  return static_cast<double>(ps.m_op_max) + comm + params.L;
+}
+
+double bsp_cost_of_qsm_run(const BspParams& params, const rt::RunResult& run,
+                           double delta) {
+  // Spread the failure probability across phases so the whole-run bound
+  // holds with probability >= 1 - delta.
+  const double slice =
+      run.trace.empty() ? delta
+                        : delta / static_cast<double>(run.trace.size());
+  double total = 0;
+  for (const auto& ps : run.trace) {
+    total += bsp_cost_of_qsm_phase(params, ps, slice);
+  }
+  return total;
+}
+
+double emulation_slack(std::uint64_t m_rw_per_proc, int p, double delta) {
+  QSM_REQUIRE(m_rw_per_proc >= 1, "need at least one access");
+  return static_cast<double>(hashed_h_relation(m_rw_per_proc, p, delta)) /
+         static_cast<double>(m_rw_per_proc);
+}
+
+}  // namespace qsm::models

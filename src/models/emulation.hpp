@@ -1,0 +1,54 @@
+// QSM <-> BSP emulation cost calculators.
+//
+// The theoretical backbone the paper cites ([11] Gibbons–Matias–
+// Ramachandran; [19] Ramachandran–Grayson–Dahlin TR98-22): a QSM algorithm
+// can be run on a BSP machine by hashing the shared memory across the
+// processors' memories; with enough slack (n/p large), the emulation is
+// work-preserving — each QSM phase of cost X becomes a BSP superstep of
+// cost O(X) whp. These calculators make the constants concrete for our
+// machines: given a phase's (m_op, m_rw, kappa), they bound the h-relation
+// the hashed memory induces (balls-in-bins via the Chernoff machinery) and
+// price the BSP superstep.
+#pragma once
+
+#include <cstdint>
+
+#include "core/trace.hpp"
+
+namespace qsm::models {
+
+struct BspParams {
+  double gap_word{1.0};  ///< g, cycles per word
+  double L{0.0};         ///< per-superstep synchronization cost, cycles
+  int processors{16};
+
+  void validate() const;
+};
+
+/// Whp bound on the h-relation induced by m_rw random (hashed) remote
+/// accesses per processor spread over p memory modules: the most-loaded
+/// module receives at most this many words (probability >= 1 - delta).
+[[nodiscard]] std::uint64_t hashed_h_relation(std::uint64_t m_rw_per_proc,
+                                              int p, double delta = 0.1);
+
+/// BSP cost of emulating one QSM phase via hashing:
+///   m_op + g * max(m_rw, h) + kappa-serialization + L,
+/// where h is the hashed-memory h-relation bound. Queue contention kappa
+/// serializes at the owning module, costing g*kappa on the BSP.
+[[nodiscard]] double bsp_cost_of_qsm_phase(const BspParams& params,
+                                           const rt::PhaseStats& ps,
+                                           double delta = 0.1);
+
+/// Total BSP cost of emulating a whole run, phase by phase.
+[[nodiscard]] double bsp_cost_of_qsm_run(const BspParams& params,
+                                         const rt::RunResult& run,
+                                         double delta = 0.1);
+
+/// The emulation's slack factor: hashed_h_relation / (m_rw / 1) relative
+/// to the ideal balanced load m_rw. Approaches 1 as m_rw grows — the
+/// "provided the input size is sufficiently large" in the paper's
+/// introduction, made quantitative.
+[[nodiscard]] double emulation_slack(std::uint64_t m_rw_per_proc, int p,
+                                     double delta = 0.1);
+
+}  // namespace qsm::models

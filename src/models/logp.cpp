@@ -1,0 +1,77 @@
+#include "models/logp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contract.hpp"
+
+namespace qsm::models {
+
+void LogPParams::validate() const {
+  QSM_REQUIRE(latency >= 0 && overhead >= 0 && gap_msg >= 0,
+              "LogP parameters must be non-negative");
+  QSM_REQUIRE(processors >= 1, "LogP needs at least one processor");
+}
+
+std::int64_t logp_capacity(const LogPParams& params) {
+  params.validate();
+  QSM_REQUIRE(params.gap_msg > 0, "capacity needs a positive gap");
+  return static_cast<std::int64_t>(
+      std::ceil(params.latency / params.gap_msg));
+}
+
+double logp_send_time(const LogPParams& params, std::int64_t messages) {
+  params.validate();
+  QSM_REQUIRE(messages >= 0, "negative message count");
+  if (messages == 0) return 0;
+  const double spacing = std::max(params.gap_msg, params.overhead);
+  return params.overhead + static_cast<double>(messages - 1) * spacing;
+}
+
+double logp_exchange_time(const LogPParams& params, std::int64_t messages) {
+  params.validate();
+  QSM_REQUIRE(messages >= 0, "negative message count");
+  if (messages == 0) return 0;
+  // CPU handles o per send and o per receive; the network needs g spacing.
+  const double cpu = 2.0 * params.overhead * static_cast<double>(messages);
+  const double wire =
+      std::max(params.gap_msg, params.overhead) *
+      static_cast<double>(messages - 1);
+  return std::max(cpu, wire) + params.latency + params.overhead;
+}
+
+double logp_word_exchange_time(const LogPParams& params, std::int64_t words,
+                               std::int64_t words_per_message) {
+  QSM_REQUIRE(words >= 0, "negative word count");
+  QSM_REQUIRE(words_per_message >= 1, "messages must carry at least a word");
+  const std::int64_t messages =
+      (words + words_per_message - 1) / words_per_message;
+  return logp_exchange_time(params, messages);
+}
+
+double loggp_word_exchange_time(const LogPParams& params, std::int64_t words,
+                                std::int64_t words_per_message,
+                                std::int64_t bytes_per_word) {
+  QSM_REQUIRE(words >= 0, "negative word count");
+  QSM_REQUIRE(words_per_message >= 1, "messages must carry at least a word");
+  QSM_REQUIRE(bytes_per_word >= 1, "words must have at least one byte");
+  if (words == 0) return 0;
+  const std::int64_t messages =
+      (words + words_per_message - 1) / words_per_message;
+  // Each message's body streams at G per byte on top of the per-message
+  // pipeline; the byte streams of successive messages pipeline too, so the
+  // aggregate byte term is G * total_bytes.
+  const double byte_term = params.gap_byte *
+                           static_cast<double>(words) *
+                           static_cast<double>(bytes_per_word);
+  return logp_exchange_time(params, messages) + byte_term;
+}
+
+double logp_barrier_time(const LogPParams& params) {
+  params.validate();
+  const double rounds =
+      2.0 * std::ceil(std::log2(std::max(2, params.processors)));
+  return rounds * (2.0 * params.overhead + params.latency);
+}
+
+}  // namespace qsm::models

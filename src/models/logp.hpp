@@ -1,0 +1,67 @@
+// The LogP cost model (Culler et al.), for the paper's section 2.1
+// comparison and the related-work discussion of section 5.
+//
+// LogP describes a machine by L (latency), o (per-message processor
+// overhead at each end), g (minimum gap between successive messages from
+// one processor — a per-MESSAGE rate, unlike QSM/BSP's per-word gap), and
+// P. Its capacity constraint allows at most ceil(L/g) undelivered messages
+// to any destination. Under LogP the cost of fine-grained communication is
+// dominated by o and g per message, which is exactly the accounting QSM
+// discards by contract: the runtime batches, so designers need not count
+// messages. bench_related_logp quantifies the difference on the same
+// traffic.
+#pragma once
+
+#include <cstdint>
+
+namespace qsm::models {
+
+struct LogPParams {
+  double latency{1600};   ///< L, cycles
+  double overhead{400};   ///< o, cycles, paid at sender and receiver
+  double gap_msg{400};    ///< g, cycles between message injections
+  /// LogGP's G: per-byte gap for long messages (Alexandrov et al., the
+  /// paper's reference [1]). 0 = plain LogP, which prices a megabyte
+  /// message like a one-word message.
+  double gap_byte{0};
+  int processors{16};     ///< P
+
+  void validate() const;
+};
+
+/// Max undelivered messages to one destination (the capacity constraint):
+/// ceil(L / g).
+[[nodiscard]] std::int64_t logp_capacity(const LogPParams& params);
+
+/// Time for one processor to inject m messages: the processor is busy o
+/// per send and the network accepts one message per max(g, o).
+[[nodiscard]] double logp_send_time(const LogPParams& params,
+                                    std::int64_t messages);
+
+/// Completion time of a balanced exchange where every processor sends and
+/// receives `messages` messages: injection pipeline + last message flight
+/// + receive overheads (receives interleave with sends on the CPU, so the
+/// CPU term is o * (sends + receives)).
+[[nodiscard]] double logp_exchange_time(const LogPParams& params,
+                                        std::int64_t messages);
+
+/// The same word volume sent as `words / words_per_message` messages:
+/// LogP's prediction for batched vs eager communication. This is the
+/// quantity QSM's contract optimizes behind the designer's back.
+[[nodiscard]] double logp_word_exchange_time(const LogPParams& params,
+                                             std::int64_t words,
+                                             std::int64_t words_per_message);
+
+/// One barrier under LogP: 2*ceil(log2 P) rounds of single messages.
+[[nodiscard]] double logp_barrier_time(const LogPParams& params);
+
+/// LogGP: a balanced exchange of `words` per node packed into messages of
+/// `words_per_message`, where each message of B bytes additionally streams
+/// at G per byte. With gap_byte == 0 this reduces to
+/// logp_word_exchange_time.
+[[nodiscard]] double loggp_word_exchange_time(const LogPParams& params,
+                                              std::int64_t words,
+                                              std::int64_t words_per_message,
+                                              std::int64_t bytes_per_word = 8);
+
+}  // namespace qsm::models

@@ -1,0 +1,45 @@
+#include "models/nmin.hpp"
+
+#include <cmath>
+
+#include "support/contract.hpp"
+
+namespace qsm::models {
+
+NminInput nmin_input_from(const machine::MachineConfig& cfg) {
+  NminInput in;
+  in.name = cfg.name;
+  in.p = cfg.p;
+  in.latency = static_cast<double>(cfg.net.latency);
+  in.overhead = static_cast<double>(cfg.net.overhead);
+  in.gap_cpb = cfg.net.gap_cpb;
+  return in;
+}
+
+double samplesort_ignored_cost(const NminInput& in) {
+  QSM_REQUIRE(in.p >= 2, "extrapolation needs a parallel machine");
+  const double phases = 5.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(in.p)));
+  // Per phase: each node sends ~(p-1) messages (2o each end-to-end), one
+  // message latency is exposed per phase after pipelining, and the closing
+  // tree barrier costs 2*ceil(log2 p) hops of (2o + l).
+  const double per_phase = 2.0 * in.overhead * (in.p - 1) + in.latency +
+                           2.0 * rounds * (2.0 * in.overhead + in.latency);
+  return phases * per_phase;
+}
+
+double samplesort_cost_per_element(const NminInput& in, double record_bytes) {
+  QSM_REQUIRE(record_bytes > 0, "record size must be positive");
+  // Bucket fetch + write-back: two crossings per element.
+  return 2.0 * in.gap_cpb * record_bytes;
+}
+
+double nmin_per_proc_samplesort(const NminInput& in, double tol,
+                                double k_software) {
+  QSM_REQUIRE(tol > 0 && tol < 1, "tolerance must be in (0,1)");
+  QSM_REQUIRE(k_software > 0, "software factor must be positive");
+  return k_software * samplesort_ignored_cost(in) /
+         (tol * samplesort_cost_per_element(in));
+}
+
+}  // namespace qsm::models

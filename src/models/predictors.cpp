@@ -1,0 +1,211 @@
+#include "models/predictors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/chernoff.hpp"
+#include "support/contract.hpp"
+
+namespace qsm::models {
+
+namespace {
+
+std::uint64_t ceil_log2(std::uint64_t n) {
+  std::uint64_t l = 0;
+  while ((1ULL << l) < n) ++l;
+  return l;
+}
+
+}  // namespace
+
+// ---- estimate-from-trace ----------------------------------------------------
+
+double qsm_estimate_from_trace(const Calibration& cal,
+                               const rt::RunResult& run) {
+  double total = 0;
+  for (const auto& ps : run.trace) {
+    total += cal.put_cpw * static_cast<double>(ps.max_put_words) +
+             cal.get_cpw * static_cast<double>(ps.max_get_words);
+  }
+  return total;
+}
+
+double bsp_estimate_from_trace(const Calibration& cal,
+                               const rt::RunResult& run) {
+  return qsm_estimate_from_trace(cal, run) +
+         static_cast<double>(run.phases) *
+             static_cast<double>(cal.phase_overhead);
+}
+
+// ---- prefix sums ------------------------------------------------------------
+
+CommPrediction prefix_comm(const Calibration& cal) {
+  CommPrediction pred;
+  pred.qsm = cal.put_cpw * static_cast<double>(cal.p - 1);
+  pred.bsp = pred.qsm + static_cast<double>(cal.phase_overhead);
+  return pred;
+}
+
+// ---- sample sort -------------------------------------------------------------
+
+SortSkew samplesort_best_skew(std::uint64_t n, int p) {
+  QSM_REQUIRE(p >= 1, "need at least one node");
+  SortSkew s;
+  s.largest_bucket = static_cast<double>(n) / p;
+  s.remote_fraction = static_cast<double>(p - 1) / p;
+  return s;
+}
+
+SortSkew samplesort_whp_skew(std::uint64_t n, int p, double delta,
+                             int oversample_c) {
+  QSM_REQUIRE(p >= 1, "need at least one node");
+  SortSkew s;
+  if (p == 1) {
+    s.largest_bucket = static_cast<double>(n);
+    s.remote_fraction = 0;
+    return s;
+  }
+  // Split the failure probability between the two bounded quantities.
+  const double half = delta / 2;
+  // Largest bucket. The dominant randomness is in the *pivots*: with
+  // s samples per bucket, a bucket overflows (1+eps)n/p only if an
+  // interval of that many keys caught fewer than s samples, which a
+  // Chernoff argument bounds by ~exp(-eps^2 s / 3) per bucket. This is
+  // deliberately conservative, exactly like the paper's bounds ("likely
+  // to be quite conservative"). Multinomial placement noise is orders of
+  // magnitude smaller, but take the max to stay a valid bound for huge s.
+  const double samples =
+      static_cast<double>(oversample_c) *
+      static_cast<double>(std::max<std::uint64_t>(1, ceil_log2(n)));
+  const double eps =
+      std::sqrt(3.0 * std::log(2.0 * p / half) / samples);
+  const double pivot_bound = (static_cast<double>(n) / p) * (1.0 + eps);
+  const double multinomial_bound = static_cast<double>(
+      max_bucket_bound(n, static_cast<std::uint64_t>(p), half));
+  s.largest_bucket = std::max(pivot_bound, multinomial_bound);
+  // Remote fraction of the largest bucket: each of its elements originated
+  // at a uniformly random node, so the remote count is ~Bin(B, (p-1)/p).
+  const auto b = static_cast<std::uint64_t>(s.largest_bucket);
+  const double q = static_cast<double>(p - 1) / p;
+  s.remote_fraction =
+      static_cast<double>(binom_upper_quantile(b, q, half)) /
+      s.largest_bucket;
+  return s;
+}
+
+CommPrediction samplesort_comm(const Calibration& cal, std::uint64_t n, int p,
+                               const SortSkew& skew, int oversample_c) {
+  QSM_REQUIRE(p >= 1 && n >= 1, "bad problem shape");
+  const double s =
+      static_cast<double>(oversample_c) *
+      static_cast<double>(std::max<std::uint64_t>(1, ceil_log2(n)));
+  const double B = skew.largest_bucket;
+  const double r = skew.remote_fraction;
+  CommPrediction pred;
+  // Puts: sample broadcast s(p-1), counts/pointers/totals 3(p-1), plus the
+  // write-back. The paper's formula charges gB for the write-back; in our
+  // implementation bucket b's output range coincides with node b's block,
+  // so only the skew excess B - n/p crosses the network.
+  const double writeback = std::max(0.0, B - static_cast<double>(n) / p);
+  // Gets: fetching the bucket's remote contributions, B*r.
+  pred.qsm = cal.put_cpw * (s * (p - 1) + 3.0 * (p - 1) + writeback) +
+             cal.get_cpw * (B * r);
+  pred.bsp = pred.qsm + 5.0 * static_cast<double>(cal.phase_overhead);
+  return pred;
+}
+
+// ---- list ranking ---------------------------------------------------------------
+
+ListRankSkew listrank_best_skew(std::uint64_t n, int p, int iteration_c) {
+  QSM_REQUIRE(p >= 1, "need at least one node");
+  ListRankSkew s;
+  const int iters =
+      p == 1 ? 0
+             : static_cast<int>(
+                   static_cast<std::uint64_t>(iteration_c) *
+                   std::max<std::uint64_t>(
+                       1, ceil_log2(static_cast<std::uint64_t>(p))));
+  double x = static_cast<double>(n) / p;
+  for (int i = 0; i < iters; ++i) {
+    s.active.push_back(x);
+    s.flips.push_back(x / 2.0);
+    s.elims.push_back(x / 4.0);
+    x *= 0.75;
+  }
+  s.z = x * p;
+  s.remote_fraction = p == 1 ? 0.0 : static_cast<double>(p - 1) / p;
+  return s;
+}
+
+ListRankSkew listrank_whp_skew(std::uint64_t n, int p, int iteration_c,
+                               double delta) {
+  QSM_REQUIRE(p >= 1, "need at least one node");
+  ListRankSkew s;
+  const int iters =
+      p == 1 ? 0
+             : static_cast<int>(
+                   static_cast<std::uint64_t>(iteration_c) *
+                   std::max<std::uint64_t>(
+                       1, ceil_log2(static_cast<std::uint64_t>(p))));
+  if (iters == 0) {
+    s.z = static_cast<double>(n);
+    return s;
+  }
+  // Budget the failure probability across all bounded quantities: three
+  // per iteration per node (survivors, flips, eliminations).
+  const double slice = delta / (3.0 * iters * p);
+  double x = static_cast<double>(n) / p;  // x_1 is deterministic
+  for (int i = 0; i < iters; ++i) {
+    s.active.push_back(x);
+    const auto xi = static_cast<std::uint64_t>(std::ceil(x));
+    if (xi == 0) {
+      s.flips.push_back(0);
+      s.elims.push_back(0);
+      continue;
+    }
+    // Candidates read their successor's flip when they flipped 1.
+    s.flips.push_back(
+        static_cast<double>(binom_upper_quantile(xi, 0.5, slice)));
+    // An element is eliminated with probability 1/4.
+    s.elims.push_back(
+        static_cast<double>(binom_upper_quantile(xi, 0.25, slice)));
+    // Survivors: each element stays with probability 3/4; use the upper
+    // quantile so the bound is pessimistic for the next round.
+    x = static_cast<double>(binom_upper_quantile(xi, 0.75, slice));
+  }
+  s.z = x * p;
+  s.remote_fraction = static_cast<double>(p - 1) / p;
+  return s;
+}
+
+CommPrediction listrank_comm(const Calibration& cal, std::uint64_t n, int p,
+                             const ListRankSkew& skew) {
+  QSM_REQUIRE(skew.active.size() == skew.flips.size() &&
+                  skew.active.size() == skew.elims.size(),
+              "inconsistent skew vectors");
+  (void)n;
+  const double pi = skew.remote_fraction;
+  double get_words = 0;
+  double put_words = 0;
+  for (std::size_t i = 0; i < skew.active.size(); ++i) {
+    // Forward: candidates read the successor flip (1 get each); each
+    // elimination issues 4 puts (splice + weight transfer). Expansion
+    // replays each elimination with 1 get.
+    get_words += pi * (skew.flips[i] + skew.elims[i]);
+    put_words += pi * 4.0 * skew.elims[i];
+  }
+  // Gather: counts broadcast (p-1) then 3 words per surviving element;
+  // node 0 scatters z final ranks, pi of them remote.
+  const double survivors_per_node = skew.z / p;
+  put_words += (p - 1) + 3.0 * survivors_per_node * pi;
+  const double scatter = skew.z * pi;  // node 0's puts (it is the max node)
+  put_words += scatter;
+
+  CommPrediction pred;
+  pred.qsm = cal.put_cpw * put_words + cal.get_cpw * get_words;
+  const double phases = 5.0 * static_cast<double>(skew.active.size()) + 4.0;
+  pred.bsp = pred.qsm + phases * static_cast<double>(cal.phase_overhead);
+  return pred;
+}
+
+}  // namespace qsm::models

@@ -1,0 +1,101 @@
+// Analytical communication-time predictors for the three workloads.
+//
+// Each figure in the paper compares measured communication time against:
+//   * "Best case"    — closed form with ideal (zero-skew) randomization,
+//   * "WHP bound"    — closed form with Chernoff-bounded skew (holds with
+//                      probability >= 0.9),
+//   * "QSM estimate" — the QSM cost of the phases that actually ran,
+//                      priced with only the observed gap (no l, o, or L),
+//   * "BSP estimate" — the QSM estimate plus L per phase.
+// The estimates-from-trace take the per-phase maximum put/get word counts
+// recorded by the runtime; they deliberately ignore latency, per-message
+// overhead, and barrier costs — that is the QSM simplification under test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hpp"
+#include "models/calibration.hpp"
+
+namespace qsm::models {
+
+struct CommPrediction {
+  double qsm{0};  ///< cycles
+  double bsp{0};  ///< cycles (QSM + L per phase)
+};
+
+// ---- estimate-from-trace (any algorithm) ---------------------------------
+
+/// QSM cost of the phases that actually ran: sum over phases of the busiest
+/// node's put/get words priced at the calibrated per-word gap.
+[[nodiscard]] double qsm_estimate_from_trace(const Calibration& cal,
+                                             const rt::RunResult& run);
+
+/// The BSP version adds the per-phase synchronization cost L.
+[[nodiscard]] double bsp_estimate_from_trace(const Calibration& cal,
+                                             const rt::RunResult& run);
+
+// ---- prefix sums ----------------------------------------------------------
+
+/// The prefix algorithm's communication is exactly p-1 remote puts per
+/// node in one phase: QSM predicts g(p-1).
+[[nodiscard]] CommPrediction prefix_comm(const Calibration& cal);
+
+// ---- sample sort ----------------------------------------------------------
+
+struct SortSkew {
+  double largest_bucket{0};   ///< B, words
+  double remote_fraction{0};  ///< r
+};
+
+/// Ideal load balance: B = n/p, r = (p-1)/p.
+[[nodiscard]] SortSkew samplesort_best_skew(std::uint64_t n, int p);
+
+/// Chernoff-bounded skew holding with probability >= 1 - delta. The
+/// largest-bucket bound is dominated by pivot randomness, so it depends on
+/// the oversampling factor.
+[[nodiscard]] SortSkew samplesort_whp_skew(std::uint64_t n, int p,
+                                           double delta = 0.1,
+                                           int oversample_c = 4);
+
+/// Paper section 3.2: comm = g(s(p-1) + 3(p-1) + B) + g_get * B r, with
+/// s = oversample_c * ceil(log2 n) samples broadcast per node and five
+/// phases for the BSP term.
+[[nodiscard]] CommPrediction samplesort_comm(const Calibration& cal,
+                                             std::uint64_t n, int p,
+                                             const SortSkew& skew,
+                                             int oversample_c = 4);
+
+// ---- list ranking -----------------------------------------------------------
+
+struct ListRankSkew {
+  /// Max active elements per node entering each elimination iteration.
+  std::vector<double> active;
+  /// Elements reading their successor's flip per node per iteration
+  /// (the algorithm's get traffic; ~active/2).
+  std::vector<double> flips;
+  /// Removals per node per iteration (~active/4; each costs 4 puts
+  /// forward and 1 get during expansion).
+  std::vector<double> elims;
+  /// Total elements gathered to node 0.
+  double z{0};
+  /// Fraction of accesses that are remote ((p-1)/p under random block
+  /// assignment).
+  double remote_fraction{0};
+};
+
+[[nodiscard]] ListRankSkew listrank_best_skew(std::uint64_t n, int p,
+                                              int iteration_c = 4);
+
+[[nodiscard]] ListRankSkew listrank_whp_skew(std::uint64_t n, int p,
+                                             int iteration_c = 4,
+                                             double delta = 0.1);
+
+/// Prices the skew through the calibration; the BSP term adds L for each
+/// of the 5*iters + 4 phases our schedule uses.
+[[nodiscard]] CommPrediction listrank_comm(const Calibration& cal,
+                                           std::uint64_t n, int p,
+                                           const ListRankSkew& skew);
+
+}  // namespace qsm::models

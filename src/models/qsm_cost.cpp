@@ -1,0 +1,48 @@
+#include "models/qsm_cost.hpp"
+
+#include <algorithm>
+
+#include "support/contract.hpp"
+
+namespace qsm::models {
+
+namespace {
+void check(const QsmChargeParams& params) {
+  QSM_REQUIRE(params.g_word > 0, "gap must be positive");
+  QSM_REQUIRE(params.L >= 0, "L must be non-negative");
+}
+}  // namespace
+
+double qsm_phase_cost(const QsmChargeParams& params,
+                      const rt::PhaseStats& ps) {
+  check(params);
+  return std::max({static_cast<double>(ps.m_op_max),
+                   params.g_word * static_cast<double>(ps.m_rw_max),
+                   static_cast<double>(ps.kappa)}) +
+         params.L;
+}
+
+double sqsm_phase_cost(const QsmChargeParams& params,
+                       const rt::PhaseStats& ps) {
+  check(params);
+  return std::max({static_cast<double>(ps.m_op_max),
+                   params.g_word * static_cast<double>(ps.m_rw_max),
+                   params.g_word * static_cast<double>(ps.kappa)}) +
+         params.L;
+}
+
+double qsm_trace_cost(const QsmChargeParams& params,
+                      const rt::RunResult& run) {
+  double total = 0;
+  for (const auto& ps : run.trace) total += qsm_phase_cost(params, ps);
+  return total;
+}
+
+double sqsm_trace_cost(const QsmChargeParams& params,
+                       const rt::RunResult& run) {
+  double total = 0;
+  for (const auto& ps : run.trace) total += sqsm_phase_cost(params, ps);
+  return total;
+}
+
+}  // namespace qsm::models

@@ -1,0 +1,38 @@
+// The QSM and s-QSM phase-cost formulas, evaluated over executed traces.
+//
+// QSM charges each phase max(m_op, g·m_rw, κ); the symmetric s-QSM charges
+// max(m_op, g·m_rw, g·κ) — the queue at a memory location drains at the
+// gap rate rather than one access per cycle (paper section 2). Feeding the
+// runtime's per-phase trace through these formulas yields the *model's*
+// cost of the program that actually ran, which is what a designer analyzes
+// on paper; comparing it to the simulated time is the whole game.
+#pragma once
+
+#include "core/trace.hpp"
+
+namespace qsm::models {
+
+struct QsmChargeParams {
+  /// Effective gap in cycles per word (use Calibration::put_cpw or the
+  /// raw hardware g times the word size, depending on the analysis).
+  double g_word{1.0};
+  /// Per-phase synchronization cost added by a BSP-style analysis; QSM
+  /// proper sets this to zero.
+  double L{0.0};
+};
+
+/// QSM cost of one phase: max(m_op, g*m_rw, kappa) + L.
+[[nodiscard]] double qsm_phase_cost(const QsmChargeParams& params,
+                                    const rt::PhaseStats& ps);
+
+/// s-QSM cost of one phase: max(m_op, g*m_rw, g*kappa) + L.
+[[nodiscard]] double sqsm_phase_cost(const QsmChargeParams& params,
+                                     const rt::PhaseStats& ps);
+
+/// Sums the per-phase charges over a run.
+[[nodiscard]] double qsm_trace_cost(const QsmChargeParams& params,
+                                    const rt::RunResult& run);
+[[nodiscard]] double sqsm_trace_cost(const QsmChargeParams& params,
+                                     const rt::RunResult& run);
+
+}  // namespace qsm::models

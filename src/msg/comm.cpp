@@ -1,0 +1,44 @@
+#include "msg/comm.hpp"
+
+#include "support/contract.hpp"
+
+namespace qsm::msg {
+
+net::ExchangeResult Comm::allgather(const std::vector<cycles_t>& start,
+                                    std::int64_t bytes_per_node,
+                                    bool control) const {
+  QSM_REQUIRE(bytes_per_node >= 0, "negative allgather payload");
+  const int p = cfg_.p;
+  QSM_REQUIRE(start.size() == static_cast<std::size_t>(p),
+              "start times must cover every node");
+  net::ExchangeSpec spec;
+  spec.p = p;
+  spec.start = start;
+  spec.control = control;
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < p; ++j) {
+      if (i != j) spec.transfers.push_back({i, j, bytes_per_node});
+    }
+  }
+  return net::simulate_exchange(cfg_.net, cfg_.sw, spec);
+}
+
+net::ExchangeResult Comm::gather(const std::vector<cycles_t>& start, int root,
+                                 const std::vector<std::int64_t>& bytes) const {
+  const int p = cfg_.p;
+  QSM_REQUIRE(root >= 0 && root < p, "gather root out of range");
+  QSM_REQUIRE(start.size() == static_cast<std::size_t>(p) &&
+                  bytes.size() == static_cast<std::size_t>(p),
+              "start/bytes must cover every node");
+  net::ExchangeSpec spec;
+  spec.p = p;
+  spec.start = start;
+  for (int i = 0; i < p; ++i) {
+    const std::int64_t b = bytes[static_cast<std::size_t>(i)];
+    QSM_REQUIRE(b >= 0, "negative gather payload");
+    if (i != root && b > 0) spec.transfers.push_back({i, root, b});
+  }
+  return net::simulate_exchange(cfg_.net, cfg_.sw, spec);
+}
+
+}  // namespace qsm::msg

@@ -1,0 +1,68 @@
+// Message-passing collective layer (the libmvpplus substitute).
+//
+// The paper's shared-memory library runs on Armadillo's message-passing
+// library. Comm is our equivalent: given a machine description it prices
+// the collective patterns the QSM runtime needs — personalized all-to-all
+// exchanges, allgathers (the communication plan), gathers to a root, and
+// barriers — all through the deterministic event-driven network model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/config.hpp"
+#include "net/barrier.hpp"
+#include "net/exchange.hpp"
+
+namespace qsm::msg {
+
+using support::cycles_t;
+
+class Comm {
+ public:
+  explicit Comm(machine::MachineConfig cfg) : cfg_(std::move(cfg)) {
+    cfg_.validate();
+  }
+
+  [[nodiscard]] const machine::MachineConfig& config() const { return cfg_; }
+  [[nodiscard]] int nprocs() const { return cfg_.p; }
+
+  /// Cost of the end-of-phase tree barrier (closed form).
+  [[nodiscard]] cycles_t barrier_cost() const {
+    return net::tree_barrier_cost(cfg_.net, cfg_.sw, cfg_.p);
+  }
+
+  /// Event-driven barrier with per-node arrival times; returns release time.
+  [[nodiscard]] cycles_t barrier(const std::vector<cycles_t>& arrive) const {
+    return net::simulate_tree_barrier(cfg_.net, cfg_.sw, arrive);
+  }
+
+  /// Personalized all-to-all: node i sends bytes[i][j] payload to node j.
+  [[nodiscard]] net::ExchangeResult alltoallv(
+      const std::vector<cycles_t>& start,
+      const std::vector<std::vector<std::int64_t>>& bytes) const {
+    return net::simulate_alltoallv(cfg_.net, cfg_.sw, start, bytes);
+  }
+
+  /// Allgather: every node broadcasts `bytes_per_node` payload to all
+  /// others (the communication-plan distribution during sync()). Set
+  /// `control` for fast-path control traffic such as the plan counts.
+  [[nodiscard]] net::ExchangeResult allgather(
+      const std::vector<cycles_t>& start, std::int64_t bytes_per_node,
+      bool control = false) const;
+
+  /// Gather: every node sends bytes[i] payload to `root`.
+  [[nodiscard]] net::ExchangeResult gather(
+      const std::vector<cycles_t>& start, int root,
+      const std::vector<std::int64_t>& bytes) const;
+
+  /// One isolated point-to-point message of `bytes` payload.
+  [[nodiscard]] cycles_t point_to_point(std::int64_t bytes) const {
+    return net::MsgCost{cfg_.net, cfg_.sw}.isolated(bytes);
+  }
+
+ private:
+  machine::MachineConfig cfg_;
+};
+
+}  // namespace qsm::msg

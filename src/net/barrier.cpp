@@ -1,0 +1,84 @@
+#include "net/barrier.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/contract.hpp"
+
+namespace qsm::net {
+
+int barrier_rounds(int p) {
+  QSM_REQUIRE(p >= 1, "barrier needs at least one node");
+  int rounds = 0;
+  int span = 1;
+  while (span < p) {
+    span <<= 1;
+    ++rounds;
+  }
+  return rounds;
+}
+
+namespace {
+/// One barrier token end to end: a zero-payload control message on the
+/// library's fast path, at unit hop distance.
+cycles_t hop_cost(const NetworkParams& hw, const SoftwareParams& sw) {
+  const MsgCost cost{hw, sw};
+  return cost.control_isolated(0);
+}
+
+/// The same token between a specific pair, honoring the topology's hop
+/// distance.
+cycles_t pair_cost(const NetworkParams& hw, const SoftwareParams& sw, int a,
+                   int b, int p) {
+  const MsgCost cost{hw, sw};
+  return 2 * cost.control_cpu() + 2 * cost.wire_time(0) +
+         hw.latency * hops(hw.topology, a, b, p);
+}
+}  // namespace
+
+cycles_t tree_barrier_cost(const NetworkParams& hw, const SoftwareParams& sw,
+                           int p) {
+  if (p <= 1) return 0;
+  return 2 * static_cast<cycles_t>(barrier_rounds(p)) * hop_cost(hw, sw);
+}
+
+cycles_t simulate_tree_barrier(const NetworkParams& hw,
+                               const SoftwareParams& sw,
+                               const std::vector<cycles_t>& arrive) {
+  const int p = static_cast<int>(arrive.size());
+  QSM_REQUIRE(p >= 1, "barrier needs at least one node");
+  if (p == 1) return arrive[0];
+
+  std::vector<cycles_t> ready = arrive;
+
+  // Combine pass: in round r (span = 2^r), node i with (i % 2span == span)
+  // sends to parent i - span; the parent is ready when both it and the
+  // child's message are in. Message time honors the topology's distance.
+  const int rounds = barrier_rounds(p);
+  for (int r = 0; r < rounds; ++r) {
+    const int span = 1 << r;
+    for (int child = span; child < p; child += 2 * span) {
+      const int parent = child - span;
+      const auto c = static_cast<std::size_t>(child);
+      const auto q = static_cast<std::size_t>(parent);
+      ready[q] = std::max(ready[q],
+                          ready[c] + pair_cost(hw, sw, child, parent, p));
+    }
+  }
+
+  // Release pass: the root's release propagates back down the same tree.
+  std::vector<cycles_t> released(static_cast<std::size_t>(p), 0);
+  released[0] = ready[0];
+  for (int r = rounds - 1; r >= 0; --r) {
+    const int span = 1 << r;
+    for (int child = span; child < p; child += 2 * span) {
+      const int parent = child - span;
+      const auto c = static_cast<std::size_t>(child);
+      const auto q = static_cast<std::size_t>(parent);
+      released[c] = released[q] + pair_cost(hw, sw, parent, child, p);
+    }
+  }
+  return *std::max_element(released.begin(), released.end());
+}
+
+}  // namespace qsm::net

@@ -1,0 +1,181 @@
+#include "net/exchange.hpp"
+
+#include <algorithm>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+#include "support/contract.hpp"
+
+namespace qsm::net {
+
+namespace {
+
+/// Sort key that realizes the staggered round-robin send schedule: node i's
+/// r-th send goes to partner (i + r) mod p, so the round index of a message
+/// (src -> dst) is (dst - src) mod p.
+int round_of(int src, int dst, int p) {
+  int r = (dst - src) % p;
+  if (r < 0) r += p;
+  return r;
+}
+
+}  // namespace
+
+ExchangeResult simulate_exchange(const NetworkParams& hw,
+                                 const SoftwareParams& sw,
+                                 const ExchangeSpec& spec) {
+  hw.validate();
+  sw.validate();
+  const int p = spec.p;
+  QSM_REQUIRE(p >= 1, "exchange needs at least one node");
+  QSM_REQUIRE(spec.start.size() == static_cast<std::size_t>(p),
+              "start times must cover every node");
+  for (cycles_t s : spec.start) {
+    QSM_REQUIRE(s >= 0, "start times must be non-negative");
+  }
+
+  const MsgCost cost{hw, sw};
+
+  // Order each node's sends by round-robin partner round, stably, so the
+  // schedule is deterministic and staggered.
+  std::vector<Transfer> sends = spec.transfers;
+  for (const Transfer& t : sends) {
+    QSM_REQUIRE(t.src >= 0 && t.src < p && t.dst >= 0 && t.dst < p,
+                "transfer endpoint out of range");
+    QSM_REQUIRE(t.src != t.dst, "self-transfer is not network traffic");
+    QSM_REQUIRE(t.bytes >= 0, "negative transfer size");
+  }
+  if (spec.order == ExchangeSpec::SendOrder::Staggered) {
+    std::stable_sort(sends.begin(), sends.end(),
+                     [p](const Transfer& a, const Transfer& b) {
+                       if (a.src != b.src) return a.src < b.src;
+                       return round_of(a.src, a.dst, p) <
+                              round_of(b.src, b.dst, p);
+                     });
+  } else {
+    // Naive order: every sender walks destinations 0, 1, 2, ... so all
+    // nodes hammer the same receiver at once.
+    std::stable_sort(sends.begin(), sends.end(),
+                     [](const Transfer& a, const Transfer& b) {
+                       if (a.src != b.src) return a.src < b.src;
+                       return a.dst < b.dst;
+                     });
+  }
+
+  sim::Engine engine;
+  std::vector<sim::Resource> cpu(static_cast<std::size_t>(p));
+  std::vector<sim::Resource> tx(static_cast<std::size_t>(p));
+  std::vector<sim::Resource> rx(static_cast<std::size_t>(p));
+  sim::Resource fabric("fabric");  // used only when hw.fabric_links > 0
+
+  ExchangeResult result;
+  result.nodes.assign(static_cast<std::size_t>(p), NodeTimings{});
+  // Every node is at least "finished" at its own start time (a node with no
+  // traffic is done when it arrives).
+  for (int i = 0; i < p; ++i) {
+    result.nodes[static_cast<std::size_t>(i)].finish =
+        spec.start[static_cast<std::size_t>(i)];
+  }
+
+  auto note_finish = [&result](int node, cycles_t t) {
+    auto& f = result.nodes[static_cast<std::size_t>(node)].finish;
+    f = std::max(f, t);
+  };
+
+  // Kick off each node's send chain. Each send event claims the node CPU;
+  // the NIC hand-off, wire flight, receive NIC, and receive CPU are chained
+  // events. Resource::serve() calls always happen inside engine events, so
+  // request times are nondecreasing and the FIFO analytic bookkeeping is
+  // causally valid.
+  const bool control = spec.control;
+  for (const Transfer& t : sends) {
+    const auto s = static_cast<std::size_t>(t.src);
+    engine.schedule(spec.start[s], [&, t, control] {
+      const auto src = static_cast<std::size_t>(t.src);
+      const auto dst = static_cast<std::size_t>(t.dst);
+      const auto send_grant = cpu[src].serve(
+          engine.now(),
+          control ? cost.control_cpu() : cost.send_cpu(t.bytes));
+      note_finish(t.src, send_grant.end);
+      result.messages++;
+      result.wire_bytes += t.bytes + sw.msg_header_bytes;
+      // Capture `control` by value at every level: each lambda object dies
+      // once its event fires, so a by-reference capture of an enclosing
+      // lambda's copy would dangle.
+      // Distance-dependent latency: hops * l (1 hop when fully connected).
+      const cycles_t flight =
+          hw.latency * hops(hw.topology, t.src, t.dst, p);
+      engine.schedule(send_grant.end, [&, t, src, dst, control, flight] {
+        const auto tx_grant =
+            tx[src].serve(engine.now(), cost.wire_time(t.bytes));
+        note_finish(t.src, tx_grant.end);
+        // With congestion modeling on, the message also streams through
+        // the shared fabric before crossing the wire. The fabric serve
+        // happens in its own event so resource requests stay in time order.
+        cycles_t arrival = tx_grant.end + flight;
+        if (hw.fabric_links > 0) {
+          engine.schedule(tx_grant.end, [&, t, dst, control, flight] {
+            const auto fab =
+                fabric.serve(engine.now(), cost.fabric_time(t.bytes));
+            engine.schedule(fab.end + flight, [&, t, dst, control] {
+              const auto rx_grant =
+                  rx[dst].serve(engine.now(), cost.wire_time(t.bytes));
+              engine.schedule(rx_grant.end, [&, t, dst, control] {
+                const auto recv_grant = cpu[dst].serve(
+                    engine.now(),
+                    control ? cost.control_cpu() : cost.recv_cpu(t.bytes));
+                note_finish(t.dst, recv_grant.end);
+              });
+            });
+          });
+          return;
+        }
+        engine.schedule(arrival, [&, t, dst, control] {
+          const auto rx_grant =
+              rx[dst].serve(engine.now(), cost.wire_time(t.bytes));
+          engine.schedule(rx_grant.end, [&, t, dst, control] {
+            const auto recv_grant = cpu[dst].serve(
+                engine.now(),
+                control ? cost.control_cpu() : cost.recv_cpu(t.bytes));
+            note_finish(t.dst, recv_grant.end);
+          });
+        });
+      });
+    });
+  }
+
+  engine.run();
+
+  for (int i = 0; i < p; ++i) {
+    const auto u = static_cast<std::size_t>(i);
+    result.nodes[u].cpu_busy = cpu[u].busy_cycles();
+    result.nodes[u].tx_busy = tx[u].busy_cycles();
+    result.nodes[u].rx_busy = rx[u].busy_cycles();
+    result.finish = std::max(result.finish, result.nodes[u].finish);
+  }
+  return result;
+}
+
+ExchangeResult simulate_alltoallv(
+    const NetworkParams& hw, const SoftwareParams& sw,
+    const std::vector<cycles_t>& start,
+    const std::vector<std::vector<std::int64_t>>& bytes) {
+  const int p = static_cast<int>(start.size());
+  ExchangeSpec spec;
+  spec.p = p;
+  spec.start = start;
+  QSM_REQUIRE(bytes.size() == start.size(), "bytes matrix must be p x p");
+  for (int i = 0; i < p; ++i) {
+    const auto& row = bytes[static_cast<std::size_t>(i)];
+    QSM_REQUIRE(row.size() == start.size(), "bytes matrix must be p x p");
+    for (int j = 0; j < p; ++j) {
+      const std::int64_t b = row[static_cast<std::size_t>(j)];
+      if (i != j && b > 0) {
+        spec.transfers.push_back(Transfer{i, j, b});
+      }
+    }
+  }
+  return simulate_exchange(hw, sw, spec);
+}
+
+}  // namespace qsm::net

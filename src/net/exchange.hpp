@@ -1,0 +1,73 @@
+// Event-driven simulation of a bulk exchange.
+//
+// This is the timing heart of the QSM runtime's sync(): a set of messages
+// between nodes is pushed through a three-stage pipeline per message —
+// sender CPU -> sender NIC -> wire latency -> receiver NIC -> receiver CPU —
+// where each node's CPU and each NIC direction is a FIFO resource. Sends are
+// scheduled in the staggered round-robin partner order (round r: node i
+// sends to (i + r) mod p) that the paper's library uses "to reduce
+// contention and avoid deadlock".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/params.hpp"
+#include "support/cycles.hpp"
+
+namespace qsm::net {
+
+/// One message of the exchange. `bytes` is wire payload excluding the
+/// per-message header (records, data words, plan entries...).
+struct Transfer {
+  int src{0};
+  int dst{0};
+  std::int64_t bytes{0};
+};
+
+struct ExchangeSpec {
+  int p{0};
+  /// Per-node time at which the node may begin sending (its arrival at the
+  /// sync point). Size p; all >= 0.
+  std::vector<cycles_t> start;
+  /// Messages to deliver. src==dst transfers are a contract violation
+  /// (local work is not network traffic).
+  std::vector<Transfer> transfers;
+  /// Control-plane exchange (plan counts): messages take the library's
+  /// fast path, paying only the hardware per-message overhead on the CPU.
+  bool control{false};
+  /// Send order. Staggered is the library's default ("an order designed to
+  /// reduce contention"): node i's round-r message goes to (i + r) mod p.
+  /// FixedTarget is the naive order — every node walks destinations
+  /// 0, 1, 2, ... — which convoys the receivers (ablation only).
+  enum class SendOrder { Staggered, FixedTarget };
+  SendOrder order{SendOrder::Staggered};
+};
+
+struct NodeTimings {
+  cycles_t cpu_busy{0};   ///< cycles the node CPU spent on send/recv work
+  cycles_t tx_busy{0};    ///< cycles the outgoing NIC was serializing
+  cycles_t rx_busy{0};    ///< cycles the incoming NIC was serializing
+  cycles_t finish{0};     ///< when this node completed all its work
+};
+
+struct ExchangeResult {
+  cycles_t finish{0};  ///< global completion time
+  std::vector<NodeTimings> nodes;
+  std::uint64_t messages{0};
+  std::int64_t wire_bytes{0};  ///< payload + headers actually serialized
+};
+
+/// Simulates the exchange; deterministic for a given spec.
+[[nodiscard]] ExchangeResult simulate_exchange(const NetworkParams& hw,
+                                               const SoftwareParams& sw,
+                                               const ExchangeSpec& spec);
+
+/// Convenience: an all-to-all personalized exchange where node i sends
+/// `bytes[i][j]` payload bytes to node j (zero entries produce no message).
+[[nodiscard]] ExchangeResult simulate_alltoallv(
+    const NetworkParams& hw, const SoftwareParams& sw,
+    const std::vector<cycles_t>& start,
+    const std::vector<std::vector<std::int64_t>>& bytes);
+
+}  // namespace qsm::net

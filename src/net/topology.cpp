@@ -1,0 +1,63 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qsm::net {
+
+int torus_cols(int p) {
+  QSM_REQUIRE(p >= 1, "need at least one node");
+  int best = 1;
+  for (int c = 1; c * c <= p; ++c) {
+    if (p % c == 0) best = c;
+  }
+  return best;
+}
+
+namespace {
+int ring_distance(int a, int b, int n) {
+  const int d = std::abs(a - b);
+  return std::min(d, n - d);
+}
+}  // namespace
+
+int hops(Topology topo, int src, int dst, int p) {
+  QSM_REQUIRE(p >= 1, "need at least one node");
+  QSM_REQUIRE(src >= 0 && src < p && dst >= 0 && dst < p,
+              "node out of range");
+  if (src == dst) return 0;
+  switch (topo) {
+    case Topology::FullyConnected:
+      return 1;
+    case Topology::Ring:
+      return ring_distance(src, dst, p);
+    case Topology::Torus2D: {
+      const int cols = torus_cols(p);
+      const int rows = p / cols;
+      const int r1 = src / cols;
+      const int c1 = src % cols;
+      const int r2 = dst / cols;
+      const int c2 = dst % cols;
+      return ring_distance(r1, r2, rows) + ring_distance(c1, c2, cols);
+    }
+  }
+  return 1;
+}
+
+int diameter(Topology topo, int p) {
+  QSM_REQUIRE(p >= 1, "need at least one node");
+  switch (topo) {
+    case Topology::FullyConnected:
+      return p > 1 ? 1 : 0;
+    case Topology::Ring:
+      return p / 2;
+    case Topology::Torus2D: {
+      const int cols = torus_cols(p);
+      const int rows = p / cols;
+      return rows / 2 + cols / 2;
+    }
+  }
+  return 1;
+}
+
+}  // namespace qsm::net

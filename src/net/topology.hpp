@@ -1,0 +1,41 @@
+// Interconnect topologies.
+//
+// The paper's simulator models a uniform-latency network (any pair, one
+// `l`). Real machines differ: the Cray T3E is a 3-D torus, clusters are
+// often switched trees. We support distance-dependent latency — a message
+// from src to dst pays hops(src, dst) * l — with three shapes:
+//   FullyConnected — every pair one hop (the paper's model; default),
+//   Ring           — nodes on a cycle, shortest-way distance,
+//   Torus2D        — near-square 2-D torus, wrap-around Manhattan distance.
+#pragma once
+
+#include "support/contract.hpp"
+
+namespace qsm::net {
+
+enum class Topology { FullyConnected, Ring, Torus2D };
+
+[[nodiscard]] constexpr const char* to_string(Topology t) {
+  switch (t) {
+    case Topology::FullyConnected:
+      return "fully-connected";
+    case Topology::Ring:
+      return "ring";
+    case Topology::Torus2D:
+      return "torus-2d";
+  }
+  return "?";
+}
+
+/// Columns of the near-square grid used for Torus2D: the largest divisor
+/// of p that is <= sqrt(p), so the grid is p/cols x cols.
+[[nodiscard]] int torus_cols(int p);
+
+/// Hop distance between two nodes. 1 for any distinct pair when fully
+/// connected; 0 for src == dst on every topology.
+[[nodiscard]] int hops(Topology topo, int src, int dst, int p);
+
+/// Maximum hop distance over all pairs.
+[[nodiscard]] int diameter(Topology topo, int p);
+
+}  // namespace qsm::net

@@ -1,0 +1,85 @@
+// Discrete-event simulation engine.
+//
+// A minimal, deterministic DES core: events are (time, sequence, action)
+// triples executed in nondecreasing time order, with insertion order breaking
+// ties so runs are reproducible regardless of container internals. The
+// network exchange simulator (net/), the tree-barrier validator, and the
+// memory-bank microbenchmark (membench/) all run on this engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "support/contract.hpp"
+#include "support/cycles.hpp"
+
+namespace qsm::sim {
+
+using support::cycles_t;
+
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` to run at absolute simulated time `at`.
+  /// Scheduling in the past (before the event currently executing) is a
+  /// contract violation.
+  void schedule(cycles_t at, Action action) {
+    QSM_REQUIRE(at >= now_, "cannot schedule an event in the past");
+    queue_.push(Event{at, next_seq_++, std::move(action)});
+  }
+
+  /// Schedules `action` `delay` cycles from now.
+  void schedule_in(cycles_t delay, Action action) {
+    QSM_REQUIRE(delay >= 0, "negative delay");
+    schedule(now_ + delay, std::move(action));
+  }
+
+  /// Runs until the event queue drains. Returns the time of the last event.
+  cycles_t run() {
+    while (!queue_.empty()) {
+      step();
+    }
+    return now_;
+  }
+
+  /// Executes exactly one event; returns false if the queue was empty.
+  bool step() {
+    if (queue_.empty()) return false;
+    // std::priority_queue::top() is const&; we need to move the action out,
+    // so store events in a small struct with a mutable action.
+    Event ev = queue_.top();
+    queue_.pop();
+    QSM_ASSERT(ev.at >= now_, "event queue went backwards");
+    now_ = ev.at;
+    executed_++;
+    ev.action();
+    return true;
+  }
+
+  [[nodiscard]] cycles_t now() const { return now_; }
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+ private:
+  struct Event {
+    cycles_t at;
+    std::uint64_t seq;
+    Action action;
+
+    // Min-heap by (time, seq): earlier times first, FIFO among equal times.
+    bool operator<(const Event& other) const {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event> queue_;
+  cycles_t now_{0};
+  std::uint64_t next_seq_{0};
+  std::uint64_t executed_{0};
+};
+
+}  // namespace qsm::sim

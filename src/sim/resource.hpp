@@ -1,0 +1,75 @@
+// FIFO resources for the DES.
+//
+// A Resource models a single server (a CPU, a NIC direction, a memory bank)
+// that serves requests one at a time in the order serve() is called. Callers
+// must invoke serve() in nondecreasing request-time order — which the Engine
+// guarantees when serve() is called from event handlers — so the analytic
+// next-free bookkeeping is causally correct.
+#pragma once
+
+#include <string>
+
+#include "support/contract.hpp"
+#include "support/cycles.hpp"
+
+namespace qsm::sim {
+
+using support::cycles_t;
+
+class Resource {
+ public:
+  Resource() = default;
+  explicit Resource(std::string name) : name_(std::move(name)) {}
+
+  struct Grant {
+    cycles_t start;  ///< when service began (>= request time)
+    cycles_t end;    ///< when service completed
+    cycles_t wait;   ///< start - request time
+  };
+
+  /// Requests `duration` cycles of service starting no earlier than `at`.
+  /// Returns the grant; the resource is busy [start, end).
+  Grant serve(cycles_t at, cycles_t duration) {
+    QSM_REQUIRE(duration >= 0, "negative service duration");
+    QSM_REQUIRE(at >= last_request_, "resource " + name_ +
+                                         ": serve() calls must be in "
+                                         "nondecreasing request-time order");
+    last_request_ = at;
+    const cycles_t start = at > next_free_ ? at : next_free_;
+    next_free_ = start + duration;
+    busy_ += duration;
+    served_++;
+    total_wait_ += start - at;
+    return Grant{start, next_free_, start - at};
+  }
+
+  [[nodiscard]] cycles_t next_free() const { return next_free_; }
+  [[nodiscard]] cycles_t busy_cycles() const { return busy_; }
+  [[nodiscard]] cycles_t total_wait_cycles() const { return total_wait_; }
+  [[nodiscard]] std::uint64_t served() const { return served_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Utilization over [0, horizon].
+  [[nodiscard]] double utilization(cycles_t horizon) const {
+    if (horizon <= 0) return 0.0;
+    return static_cast<double>(busy_) / static_cast<double>(horizon);
+  }
+
+  void reset() {
+    next_free_ = 0;
+    last_request_ = 0;
+    busy_ = 0;
+    total_wait_ = 0;
+    served_ = 0;
+  }
+
+ private:
+  std::string name_;
+  cycles_t next_free_{0};
+  cycles_t last_request_{0};
+  cycles_t busy_{0};
+  cycles_t total_wait_{0};
+  std::uint64_t served_{0};
+};
+
+}  // namespace qsm::sim

@@ -1,0 +1,165 @@
+#include "support/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/contract.hpp"
+
+namespace qsm::support {
+
+namespace {
+constexpr char kMarkers[] = {'*', '+', 'x', 'o', '#', '@', '%'};
+
+std::string compact_number(double v) {
+  char buf[32];
+  const double a = std::abs(v);
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.1fG", v / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.1fM", v / 1e6);
+  } else if (a >= 1e4) {
+    std::snprintf(buf, sizeof buf, "%.0fk", v / 1e3);
+  } else if (a >= 10 || v == std::floor(v)) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f", v);
+  }
+  return buf;
+}
+}  // namespace
+
+AsciiChart::AsciiChart(Options opts) : opts_(opts) {
+  QSM_REQUIRE(opts_.width >= 16 && opts_.height >= 4,
+              "chart canvas too small");
+}
+
+void AsciiChart::add_series(const std::string& name, std::vector<double> xs,
+                            std::vector<double> ys) {
+  QSM_REQUIRE(xs.size() == ys.size(), "series x/y length mismatch");
+  QSM_REQUIRE(!xs.empty(), "empty series");
+  QSM_REQUIRE(series_.size() < sizeof(kMarkers), "too many series");
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (opts_.log_x) QSM_REQUIRE(xs[i] > 0, "log-x needs positive x");
+    if (opts_.log_y) QSM_REQUIRE(ys[i] > 0, "log-y needs positive y");
+    if (!has_data_) {
+      min_x_ = max_x_ = xs[i];
+      min_y_ = max_y_ = ys[i];
+      has_data_ = true;
+    } else {
+      min_x_ = std::min(min_x_, xs[i]);
+      max_x_ = std::max(max_x_, xs[i]);
+      min_y_ = std::min(min_y_, ys[i]);
+      max_y_ = std::max(max_y_, ys[i]);
+    }
+  }
+  series_.push_back(
+      Series{name, kMarkers[series_.size()], std::move(xs), std::move(ys)});
+}
+
+double AsciiChart::tx(double x) const {
+  double lo = min_x_;
+  double hi = max_x_;
+  double v = x;
+  if (opts_.log_x) {
+    lo = std::log(lo);
+    hi = std::log(hi);
+    v = std::log(v);
+  }
+  if (hi <= lo) return 0.5;
+  return (v - lo) / (hi - lo);
+}
+
+double AsciiChart::ty(double y) const {
+  double lo = min_y_;
+  double hi = max_y_;
+  double v = y;
+  if (opts_.log_y) {
+    lo = std::log(lo);
+    hi = std::log(hi);
+    v = std::log(v);
+  }
+  if (hi <= lo) return 0.5;
+  return (v - lo) / (hi - lo);
+}
+
+std::string AsciiChart::render() const {
+  QSM_REQUIRE(has_data_, "nothing to render");
+  const int w = opts_.width;
+  const int h = opts_.height;
+  std::vector<std::string> canvas(static_cast<std::size_t>(h),
+                                  std::string(static_cast<std::size_t>(w), ' '));
+
+  // Draw each series: points plus linear interpolation between them in
+  // transformed space so crossings are visible.
+  for (const Series& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      const auto cx = static_cast<int>(std::lround(tx(s.xs[i]) * (w - 1)));
+      const auto cy = static_cast<int>(std::lround(ty(s.ys[i]) * (h - 1)));
+      canvas[static_cast<std::size_t>(h - 1 - cy)]
+            [static_cast<std::size_t>(cx)] = s.marker;
+      if (i + 1 < s.xs.size()) {
+        const double x0 = tx(s.xs[i]);
+        const double y0 = ty(s.ys[i]);
+        const double x1 = tx(s.xs[i + 1]);
+        const double y1 = ty(s.ys[i + 1]);
+        const int steps = w;
+        for (int k = 1; k < steps; ++k) {
+          const double t = static_cast<double>(k) / steps;
+          const auto px =
+              static_cast<int>(std::lround((x0 + (x1 - x0) * t) * (w - 1)));
+          const auto py =
+              static_cast<int>(std::lround((y0 + (y1 - y0) * t) * (h - 1)));
+          auto& cell = canvas[static_cast<std::size_t>(h - 1 - py)]
+                             [static_cast<std::size_t>(px)];
+          if (cell == ' ') cell = '.';
+        }
+      }
+    }
+  }
+
+  std::ostringstream os;
+  // Legend.
+  os << "  ";
+  for (const Series& s : series_) {
+    os << '[' << s.marker << "] " << s.name << "   ";
+  }
+  os << '\n';
+  // Y axis with three tick labels (top, middle, bottom).
+  auto y_at = [&](double frac) {
+    if (opts_.log_y) {
+      return std::exp(std::log(min_y_) +
+                      frac * (std::log(max_y_) - std::log(min_y_)));
+    }
+    return min_y_ + frac * (max_y_ - min_y_);
+  };
+  for (int row = 0; row < h; ++row) {
+    std::string label(10, ' ');
+    if (row == 0 || row == h / 2 || row == h - 1) {
+      const double frac = static_cast<double>(h - 1 - row) / (h - 1);
+      std::string num = compact_number(y_at(frac));
+      label = std::string(10 - std::min<std::size_t>(10, num.size() + 1),
+                          ' ') +
+              num + " ";
+      label.resize(10, ' ');
+    }
+    os << label << '|' << canvas[static_cast<std::size_t>(row)] << '\n';
+  }
+  os << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+     << '\n';
+  os << std::string(11, ' ') << compact_number(min_x_);
+  const std::string right = compact_number(max_x_);
+  const std::string xlab =
+      opts_.x_label + (opts_.log_x ? " (log)" : "");
+  const int pad = w - static_cast<int>(compact_number(min_x_).size()) -
+                  static_cast<int>(right.size()) -
+                  static_cast<int>(xlab.size()) - 2;
+  os << std::string(static_cast<std::size_t>(std::max(1, pad / 2)), ' ')
+     << xlab
+     << std::string(static_cast<std::size_t>(std::max(1, pad - pad / 2)), ' ')
+     << right << '\n';
+  return os.str();
+}
+
+}  // namespace qsm::support

@@ -1,0 +1,55 @@
+// ASCII line charts for the figure regenerators.
+//
+// The paper's evaluation is figures; the bench binaries print the same
+// series as both a table (exact values, CSV-able) and a terminal chart so
+// the crossing/convergence shapes are visible at a glance without a
+// plotting stack. Multiple series share one canvas; x and y can be
+// log-scaled (problem-size sweeps are geometric).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qsm::support {
+
+class AsciiChart {
+ public:
+  struct Options {
+    int width{72};    ///< plot area columns
+    int height{20};   ///< plot area rows
+    bool log_x{true};
+    bool log_y{false};
+    std::string x_label{"n"};
+    std::string y_label{"cycles"};
+  };
+
+  AsciiChart() : AsciiChart(Options{}) {}
+  explicit AsciiChart(Options opts);
+
+  /// Adds a named series; each series is drawn with its own marker
+  /// (assigned in add order: * + x o # @ %).
+  void add_series(const std::string& name, std::vector<double> xs,
+                  std::vector<double> ys);
+
+  /// Renders the canvas with axes, tick labels, and a legend.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Series {
+    std::string name;
+    char marker;
+    std::vector<double> xs;
+    std::vector<double> ys;
+  };
+
+  [[nodiscard]] double tx(double x) const;  ///< x -> [0,1] after scaling
+  [[nodiscard]] double ty(double y) const;
+
+  Options opts_;
+  std::vector<Series> series_;
+  double min_x_{0}, max_x_{0}, min_y_{0}, max_y_{0};
+  bool has_data_{false};
+};
+
+}  // namespace qsm::support

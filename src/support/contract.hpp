@@ -1,0 +1,50 @@
+// Lightweight contract checking for qsmkit.
+//
+// QSM_REQUIRE is for preconditions on public APIs (always on), QSM_ASSERT is
+// for internal invariants (compiled out in NDEBUG builds). Both throw
+// qsm::support::ContractViolation so tests can assert on misuse.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace qsm::support {
+
+/// Thrown when a precondition or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const std::string& what_arg, std::source_location loc)
+      : std::logic_error(format(what_arg, loc)) {}
+
+ private:
+  static std::string format(const std::string& what_arg,
+                            std::source_location loc) {
+    return std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+           ": contract violation: " + what_arg;
+  }
+};
+
+[[noreturn]] inline void contract_fail(
+    const char* expr, const std::string& msg,
+    std::source_location loc = std::source_location::current()) {
+  throw ContractViolation(std::string(expr) + (msg.empty() ? "" : " — " + msg),
+                          loc);
+}
+
+}  // namespace qsm::support
+
+#define QSM_REQUIRE(expr, msg)                        \
+  do {                                                \
+    if (!(expr)) {                                    \
+      ::qsm::support::contract_fail(#expr, (msg));    \
+    }                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define QSM_ASSERT(expr, msg) \
+  do {                        \
+  } while (false)
+#else
+#define QSM_ASSERT(expr, msg) QSM_REQUIRE(expr, msg)
+#endif

@@ -1,0 +1,42 @@
+// Simulated-time units.
+//
+// All simulator time is kept in integer processor clock cycles (cycles_t).
+// Conversions to wall-clock units are parameterized by the node clock
+// frequency so results can be reported the way the paper does (cycles for the
+// network parameters, microseconds for Table 3 / Figure 7).
+#pragma once
+
+#include <cstdint>
+
+namespace qsm::support {
+
+/// Simulated time in CPU clock cycles. Signed so durations subtract safely.
+using cycles_t = std::int64_t;
+
+/// Node clock frequency in Hz; Table 2 uses 400 MHz.
+struct ClockRate {
+  double hz{400e6};
+
+  [[nodiscard]] double cycles_to_us(cycles_t c) const {
+    return static_cast<double>(c) / hz * 1e6;
+  }
+  [[nodiscard]] double cycles_to_seconds(cycles_t c) const {
+    return static_cast<double>(c) / hz;
+  }
+  [[nodiscard]] cycles_t us_to_cycles(double us) const {
+    return static_cast<cycles_t>(us * 1e-6 * hz);
+  }
+  /// Bytes-per-second throughput implied by a gap in cycles/byte.
+  [[nodiscard]] double gap_to_bytes_per_second(double cycles_per_byte) const {
+    return hz / cycles_per_byte;
+  }
+};
+
+/// Rounds a fractional cycle count up to whole cycles (costs never round to
+/// zero unless they are exactly zero).
+[[nodiscard]] constexpr cycles_t ceil_cycles(double c) {
+  const auto floor = static_cast<cycles_t>(c);
+  return (static_cast<double>(floor) == c) ? floor : floor + 1;
+}
+
+}  // namespace qsm::support

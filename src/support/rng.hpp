@@ -1,0 +1,121 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible across runs and platforms, so we do
+// not use std::mt19937 / std::uniform_int_distribution (whose outputs are
+// implementation-defined for some distributions). We implement SplitMix64
+// (seeding / stream splitting) and xoshiro256** (bulk generation), plus
+// Lemire's unbiased bounded-integer method.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "support/contract.hpp"
+
+namespace qsm::support {
+
+/// SplitMix64: tiny, high-quality 64-bit generator used to seed other
+/// generators and to derive independent streams from (seed, stream-id).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: fast all-purpose generator with 256-bit state.
+/// Satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words from SplitMix64(seed) as recommended by the
+  /// xoshiro authors; a distinct `stream` yields an independent sequence.
+  explicit Xoshiro256(std::uint64_t seed, std::uint64_t stream = 0) {
+    SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1)));
+    for (auto& w : s_) w = sm.next();
+    // All-zero state is the one invalid state; SplitMix64 cannot emit four
+    // zero words in a row for any seed, but guard anyway.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection
+  /// method; unbiased and deterministic across platforms.
+  std::uint64_t below(std::uint64_t bound) {
+    QSM_REQUIRE(bound > 0, "below() needs a positive bound");
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    QSM_REQUIRE(lo <= hi, "range() needs lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// A single fair random bit (the flips in the list-ranking algorithm).
+  bool bit() { return ((*this)() >> 63) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+/// Fisher–Yates shuffle using Xoshiro256 (std::shuffle's access pattern is
+/// unspecified; this one is reproducible).
+template <typename It>
+void deterministic_shuffle(It first, It last, Xoshiro256& rng) {
+  const auto n = static_cast<std::uint64_t>(last - first);
+  for (std::uint64_t i = n; i > 1; --i) {
+    const std::uint64_t j = rng.below(i);
+    using std::swap;
+    swap(first[static_cast<std::ptrdiff_t>(i - 1)],
+         first[static_cast<std::ptrdiff_t>(j)]);
+  }
+}
+
+}  // namespace qsm::support

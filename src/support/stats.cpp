@@ -1,0 +1,130 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contract.hpp"
+
+namespace qsm::support {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return mean_; }
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return min_; }
+
+double RunningStats::max() const { return max_; }
+
+double RunningStats::cv() const {
+  if (n_ == 0 || mean_ == 0.0) return 0.0;
+  return stddev() / std::abs(mean_);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  s.count = rs.count();
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = rs.min();
+  s.max = rs.max();
+  s.median = percentile(xs, 0.5);
+  s.p90 = percentile(xs, 0.9);
+  return s;
+}
+
+double percentile(std::span<const double> xs, double q) {
+  QSM_REQUIRE(!xs.empty(), "percentile of empty sample");
+  QSM_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q must be in [0,1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+LinearFit fit_line(std::span<const double> xs, std::span<const double> ys) {
+  QSM_REQUIRE(xs.size() == ys.size(), "fit_line needs equal-length vectors");
+  QSM_REQUIRE(xs.size() >= 2, "fit_line needs at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  LinearFit f;
+  QSM_REQUIRE(sxx > 0.0, "fit_line needs non-degenerate x values");
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  if (syy == 0.0) {
+    f.r2 = 1.0;  // perfectly flat data is perfectly fit by a flat line
+  } else {
+    f.r2 = (sxy * sxy) / (sxx * syy);
+  }
+  return f;
+}
+
+double interp_linear(std::span<const double> xs, std::span<const double> ys,
+                     double x) {
+  QSM_REQUIRE(xs.size() == ys.size() && xs.size() >= 1,
+              "interp_linear needs matched non-empty vectors");
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    QSM_REQUIRE(xs[i] > xs[i - 1], "interp_linear x values must increase");
+  }
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  std::size_t hi = 1;
+  while (xs[hi] < x) ++hi;
+  const double t = (x - xs[hi - 1]) / (xs[hi] - xs[hi - 1]);
+  return ys[hi - 1] * (1.0 - t) + ys[hi] * t;
+}
+
+double first_crossing_below(std::span<const double> xs,
+                            std::span<const double> ys, double level) {
+  QSM_REQUIRE(xs.size() == ys.size() && !xs.empty(),
+              "first_crossing_below needs matched non-empty vectors");
+  if (ys.front() <= level) return xs.front();
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (ys[i] <= level) {
+      // Interpolate where the segment (i-1, i) meets the level.
+      const double t = (ys[i - 1] - level) / (ys[i - 1] - ys[i]);
+      return xs[i - 1] + t * (xs[i] - xs[i - 1]);
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace qsm::support

@@ -1,0 +1,73 @@
+// Streaming and batch statistics used by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace qsm::support {
+
+/// Welford's online algorithm: numerically stable running mean / variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Coefficient of variation, stddev/mean (the paper reports "std dev is
+  /// less than 11% of the average").
+  [[nodiscard]] double cv() const;
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t count{0};
+  double mean{0};
+  double stddev{0};
+  double min{0};
+  double max{0};
+  double median{0};
+  double p90{0};
+};
+
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+/// Linear interpolation percentile (q in [0,1]) of a sample.
+[[nodiscard]] double percentile(std::span<const double> xs, double q);
+
+/// Ordinary least-squares fit y = slope*x + intercept.
+struct LinearFit {
+  double slope{0};
+  double intercept{0};
+  /// Coefficient of determination.
+  double r2{0};
+};
+
+[[nodiscard]] LinearFit fit_line(std::span<const double> xs,
+                                 std::span<const double> ys);
+
+/// Piecewise-linear interpolation through (xs, ys); xs must be strictly
+/// increasing. Clamps outside the domain. Used to find figure crossovers.
+[[nodiscard]] double interp_linear(std::span<const double> xs,
+                                   std::span<const double> ys, double x);
+
+/// First x >= xs.front() at which the piecewise-linear curve (xs, ys)
+/// crosses below `level`, or a negative value if it never does. ys is
+/// expected to be decreasing-ish; we return the earliest crossing.
+[[nodiscard]] double first_crossing_below(std::span<const double> xs,
+                                          std::span<const double> ys,
+                                          double level);
+
+}  // namespace qsm::support

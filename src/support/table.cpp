@@ -1,0 +1,135 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/contract.hpp"
+
+namespace qsm::support {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), precision_(headers_.size(), 3) {
+  QSM_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void TextTable::set_precision(std::size_t col, int digits) {
+  QSM_REQUIRE(col < headers_.size(), "precision column out of range");
+  QSM_REQUIRE(digits >= 0 && digits <= 15, "precision out of range");
+  precision_[col] = digits;
+}
+
+void TextTable::add_row(std::vector<Cell> cells) {
+  QSM_REQUIRE(cells.size() == headers_.size(),
+              "row width does not match header count");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render_cell(const Cell& c, std::size_t col) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  const double d = std::get<double>(c);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_[col]) << d;
+  return os.str();
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      r.push_back(render_cell(row[c], c));
+      width[c] = std::max(width[c], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+
+  std::ostringstream os;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << '+' << std::string(width[c] + 2, '-');
+    }
+    os << "+\n";
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(width[c])) << cells[c] << ' ';
+    }
+    os << "|\n";
+  };
+  rule();
+  line(headers_);
+  rule();
+  for (const auto& r : rendered) line(r);
+  rule();
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(render_cell(row[c], c));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void TextTable::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open for writing: " + path);
+  f << to_csv();
+  if (!f) throw std::runtime_error("write failed: " + path);
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.to_string();
+}
+
+std::string with_commas(long long v) {
+  const bool neg = v < 0;
+  std::string digits = std::to_string(neg ? -v : v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out += ',';
+    out += *it;
+    ++count;
+  }
+  if (neg) out += '-';
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace qsm::support

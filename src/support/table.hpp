@@ -1,0 +1,54 @@
+// Console table and CSV output used by the figure/table regenerators.
+//
+// Every bench binary prints a human-readable aligned table (the paper's
+// "rows") and can optionally mirror the same rows to a CSV file for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace qsm::support {
+
+/// A table cell: string, integer, or double (doubles printed with a
+/// per-column precision).
+using Cell = std::variant<std::string, long long, double>;
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Sets the number of digits after the decimal point for double cells in
+  /// column `col` (default 3).
+  void set_precision(std::size_t col, int digits);
+
+  void add_row(std::vector<Cell> cells);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t cols() const { return headers_.size(); }
+
+  /// Renders an aligned ASCII table.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders RFC-4180-ish CSV (fields quoted when needed).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes the CSV rendering to `path`; throws std::runtime_error on I/O
+  /// failure.
+  void write_csv(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::string render_cell(const Cell& c, std::size_t col) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  std::vector<int> precision_;
+};
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+/// Formats a cycle count with thousands separators ("25,500").
+[[nodiscard]] std::string with_commas(long long v);
+
+}  // namespace qsm::support

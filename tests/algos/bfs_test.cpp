@@ -1,0 +1,138 @@
+#include "algos/bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machine/presets.hpp"
+
+namespace qsm::algos {
+namespace {
+
+TEST(GraphGen, ValidCsrAndSymmetric) {
+  const auto g = make_random_graph(200, 6.0, 3);
+  EXPECT_EQ(g.n, 200u);
+  EXPECT_GT(g.edges(), 200u);
+  // Symmetric: every edge has its reverse.
+  for (std::uint64_t v = 0; v < g.n; ++v) {
+    for (std::uint64_t e = g.offsets[v]; e < g.offsets[v + 1]; ++e) {
+      const std::uint64_t u = g.targets[e];
+      bool found = false;
+      for (std::uint64_t f = g.offsets[u]; f < g.offsets[u + 1]; ++f) {
+        if (g.targets[f] == v) found = true;
+      }
+      EXPECT_TRUE(found) << v << "->" << u;
+    }
+  }
+}
+
+TEST(GraphGen, DeterministicPerSeed) {
+  const auto a = make_random_graph(100, 4.0, 7);
+  const auto b = make_random_graph(100, 4.0, 7);
+  EXPECT_EQ(a.targets, b.targets);
+  const auto c = make_random_graph(100, 4.0, 8);
+  EXPECT_NE(a.targets, c.targets);
+}
+
+TEST(SequentialBfs, LineGraph) {
+  Graph g;
+  g.n = 5;
+  g.offsets = {0, 1, 3, 5, 7, 8};
+  g.targets = {1, 0, 2, 1, 3, 2, 4, 3};
+  g.validate();
+  EXPECT_EQ(sequential_bfs(g, 0),
+            (std::vector<std::int64_t>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(sequential_bfs(g, 2),
+            (std::vector<std::int64_t>{2, 1, 0, 1, 2}));
+}
+
+TEST(SequentialBfs, DisconnectedStaysMinusOne) {
+  Graph g;
+  g.n = 4;
+  g.offsets = {0, 1, 2, 2, 2};
+  g.targets = {1, 0};
+  g.validate();
+  const auto d = sequential_bfs(g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], -1);
+  EXPECT_EQ(d[3], -1);
+}
+
+TEST(ParallelBfs, MatchesSequentialOnRandomGraph) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const auto g = make_random_graph(2000, 5.0, 11);
+  auto dist = runtime.alloc<std::int64_t>(g.n);
+  const auto out = parallel_bfs(runtime, g, 0, dist);
+  EXPECT_EQ(runtime.host_read(dist), sequential_bfs(g, 0));
+  EXPECT_GT(out.levels, 1);
+}
+
+TEST(ParallelBfs, HandlesDisconnectedGraphs) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const auto g = make_random_graph(500, 0.8, 5);  // sparse: many components
+  auto dist = runtime.alloc<std::int64_t>(g.n);
+  parallel_bfs(runtime, g, 3, dist);
+  EXPECT_EQ(runtime.host_read(dist), sequential_bfs(g, 3));
+}
+
+TEST(ParallelBfs, LevelsMatchEccentricity) {
+  rt::Runtime runtime(machine::default_sim(2));
+  // A 9-vertex path graph: eccentricity of vertex 0 is 8.
+  Graph g;
+  g.n = 9;
+  g.offsets.assign(10, 0);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+  for (std::uint64_t v = 0; v + 1 < g.n; ++v) {
+    edges.emplace_back(v, v + 1);
+    edges.emplace_back(v + 1, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  for (const auto& [a, b] : edges) g.offsets[a + 1]++;
+  for (std::uint64_t v = 0; v < g.n; ++v) g.offsets[v + 1] += g.offsets[v];
+  for (const auto& [a, b] : edges) g.targets.push_back(b);
+  auto dist = runtime.alloc<std::int64_t>(g.n);
+  const auto out = parallel_bfs(runtime, g, 0, dist);
+  EXPECT_EQ(out.levels, 9);
+  EXPECT_EQ(runtime.host_read(dist)[8], 8);
+}
+
+TEST(ParallelBfs, WorksWithRuleCheckingAndKappa) {
+  rt::Runtime runtime(machine::default_sim(4),
+                      rt::Options{.check_rules = true, .track_kappa = true});
+  const auto g = make_random_graph(800, 6.0, 2);
+  auto dist = runtime.alloc<std::int64_t>(g.n);
+  EXPECT_NO_THROW(parallel_bfs(runtime, g, 5, dist));
+  EXPECT_EQ(runtime.host_read(dist), sequential_bfs(g, 5));
+}
+
+TEST(ParallelBfs, SingleVertexGraph) {
+  rt::Runtime runtime(machine::default_sim(2));
+  Graph g;
+  g.n = 1;
+  g.offsets = {0, 0};
+  auto dist = runtime.alloc<std::int64_t>(1);
+  const auto out = parallel_bfs(runtime, g, 0, dist);
+  EXPECT_EQ(out.levels, 1);
+  EXPECT_EQ(runtime.host_read(dist)[0], 0);
+}
+
+class BfsSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, int>> {};
+
+TEST_P(BfsSweep, CorrectAcrossShapes) {
+  const auto [p, n, seed] = GetParam();
+  rt::Runtime runtime(machine::default_sim(p));
+  const auto g =
+      make_random_graph(n, 4.0, static_cast<std::uint64_t>(seed) * 13);
+  const std::uint64_t src = n / 3;
+  auto dist = runtime.alloc<std::int64_t>(g.n);
+  parallel_bfs(runtime, g, src, dist);
+  EXPECT_EQ(runtime.host_read(dist), sequential_bfs(g, src));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BfsSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values<std::uint64_t>(64, 500, 3000),
+                       ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace qsm::algos

@@ -1,0 +1,126 @@
+#include "algos/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "machine/presets.hpp"
+
+namespace qsm::algos {
+namespace {
+
+TEST(SequentialComponents, LabelsAreComponentMinima) {
+  // Two triangles and an isolated vertex.
+  Graph g;
+  g.n = 7;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+  for (auto [a, b] : {std::pair<std::uint64_t, std::uint64_t>{0, 1},
+                      {1, 2},
+                      {2, 0},
+                      {3, 4},
+                      {4, 5},
+                      {5, 3}}) {
+    edges.emplace_back(a, b);
+    edges.emplace_back(b, a);
+  }
+  std::sort(edges.begin(), edges.end());
+  g.offsets.assign(g.n + 1, 0);
+  for (const auto& [a, b] : edges) g.offsets[a + 1]++;
+  for (std::uint64_t v = 0; v < g.n; ++v) g.offsets[v + 1] += g.offsets[v];
+  for (const auto& [a, b] : edges) g.targets.push_back(b);
+  const auto labels = sequential_components(g);
+  EXPECT_EQ(labels, (std::vector<std::int64_t>{0, 0, 0, 3, 3, 3, 6}));
+}
+
+TEST(ParallelComponents, MatchesSequentialOnSparseGraph) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const auto g = make_random_graph(2000, 1.5, 7);  // many components
+  auto labels = runtime.alloc<std::int64_t>(g.n);
+  const auto out = connected_components(runtime, g, labels);
+  const auto expected = sequential_components(g);
+  EXPECT_EQ(runtime.host_read(labels), expected);
+  std::unordered_set<std::int64_t> distinct(expected.begin(), expected.end());
+  EXPECT_EQ(out.components, distinct.size());
+  EXPECT_GT(out.components, 1u);
+}
+
+TEST(ParallelComponents, DenseGraphHasFewComponents) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const auto g = make_random_graph(600, 8.0, 9);
+  auto labels = runtime.alloc<std::int64_t>(g.n);
+  const auto out = connected_components(runtime, g, labels);
+  const auto expected = sequential_components(g);
+  EXPECT_EQ(runtime.host_read(labels), expected);
+  std::unordered_set<std::int64_t> distinct(expected.begin(), expected.end());
+  EXPECT_EQ(out.components, distinct.size());
+  // Dense random graph: a giant component plus at most a couple of
+  // stragglers.
+  EXPECT_LE(out.components, 3u);
+}
+
+TEST(ParallelComponents, EdgelessGraphIsAllSingletons) {
+  rt::Runtime runtime(machine::default_sim(2));
+  Graph g;
+  g.n = 32;
+  g.offsets.assign(33, 0);
+  auto labels = runtime.alloc<std::int64_t>(g.n);
+  const auto out = connected_components(runtime, g, labels);
+  EXPECT_EQ(out.components, 32u);
+  EXPECT_EQ(out.rounds, 1);
+}
+
+TEST(ParallelComponents, PathGraphNeedsDiameterRounds) {
+  // A path 0-1-2-...-k: the min label crawls one hop per round.
+  rt::Runtime runtime(machine::default_sim(2));
+  Graph g;
+  g.n = 17;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+  for (std::uint64_t v = 0; v + 1 < g.n; ++v) {
+    edges.emplace_back(v, v + 1);
+    edges.emplace_back(v + 1, v);
+  }
+  std::sort(edges.begin(), edges.end());
+  g.offsets.assign(g.n + 1, 0);
+  for (const auto& [a, b] : edges) g.offsets[a + 1]++;
+  for (std::uint64_t v = 0; v < g.n; ++v) g.offsets[v + 1] += g.offsets[v];
+  for (const auto& [a, b] : edges) g.targets.push_back(b);
+
+  auto labels = runtime.alloc<std::int64_t>(g.n);
+  const auto out = connected_components(runtime, g, labels);
+  EXPECT_EQ(runtime.host_read(labels),
+            std::vector<std::int64_t>(g.n, 0));
+  EXPECT_GE(out.rounds, 16);
+  EXPECT_EQ(out.components, 1u);
+}
+
+TEST(ParallelComponents, WorksWithRuleCheckingOn) {
+  rt::Runtime runtime(machine::default_sim(4),
+                      rt::Options{.check_rules = true});
+  const auto g = make_random_graph(800, 2.0, 4);
+  auto labels = runtime.alloc<std::int64_t>(g.n);
+  EXPECT_NO_THROW(connected_components(runtime, g, labels));
+  EXPECT_EQ(runtime.host_read(labels), sequential_components(g));
+}
+
+class ComponentsSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, double>> {
+};
+
+TEST_P(ComponentsSweep, CorrectAcrossShapes) {
+  const auto [p, n, degree] = GetParam();
+  rt::Runtime runtime(machine::default_sim(p));
+  const auto g = make_random_graph(n, degree, n + static_cast<std::uint64_t>(p));
+  auto labels = runtime.alloc<std::int64_t>(g.n);
+  connected_components(runtime, g, labels);
+  EXPECT_EQ(runtime.host_read(labels), sequential_components(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ComponentsSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values<std::uint64_t>(128, 1000, 4000),
+                       ::testing::Values(0.5, 2.0, 6.0)));
+
+}  // namespace
+}  // namespace qsm::algos

@@ -1,0 +1,140 @@
+#include "algos/listrank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "machine/presets.hpp"
+
+namespace qsm::algos {
+namespace {
+
+TEST(MakeRandomList, IsASingleChain) {
+  const auto list = make_random_list(100, 3);
+  EXPECT_EQ(list.succ.size(), 100u);
+  EXPECT_EQ(list.pred[list.head], list.head);
+  EXPECT_EQ(list.succ[list.tail], list.tail);
+  // Walk the chain; must visit each element exactly once.
+  std::vector<bool> seen(100, false);
+  std::uint64_t cur = list.head;
+  std::uint64_t count = 0;
+  while (true) {
+    EXPECT_FALSE(seen[cur]);
+    seen[cur] = true;
+    ++count;
+    if (cur == list.tail) break;
+    const auto next = list.succ[cur];
+    EXPECT_EQ(list.pred[next], cur);
+    cur = next;
+  }
+  EXPECT_EQ(count, 100u);
+}
+
+TEST(MakeRandomList, DeterministicPerSeed) {
+  const auto a = make_random_list(64, 9);
+  const auto b = make_random_list(64, 9);
+  EXPECT_EQ(a.succ, b.succ);
+  const auto c = make_random_list(64, 10);
+  EXPECT_NE(a.succ, c.succ);
+}
+
+TEST(SequentialListRank, RanksAreDistancesToTail) {
+  const auto list = make_random_list(50, 4);
+  const auto rank = sequential_list_rank(list);
+  EXPECT_EQ(rank[list.tail], 0);
+  EXPECT_EQ(rank[list.head], 49);
+  // Ranks decrease by one along the chain.
+  std::uint64_t cur = list.head;
+  while (cur != list.tail) {
+    EXPECT_EQ(rank[cur], rank[list.succ[cur]] + 1);
+    cur = list.succ[cur];
+  }
+}
+
+TEST(ListRank, MatchesSequentialSmall) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const std::uint64_t n = 2000;
+  const auto list = make_random_list(n, 12);
+  auto ranks = runtime.alloc<std::int64_t>(n);
+  list_rank(runtime, list, ranks);
+  EXPECT_EQ(runtime.host_read(ranks), sequential_list_rank(list));
+}
+
+TEST(ListRank, ReportsIterationsAndShrinkingActiveSets) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const std::uint64_t n = 20000;
+  const auto list = make_random_list(n, 8);
+  auto ranks = runtime.alloc<std::int64_t>(n);
+  const auto out = list_rank(runtime, list, ranks);
+  EXPECT_EQ(out.iterations, 8);  // 4 * log2(4)
+  ASSERT_EQ(out.x.size(), 8u);
+  EXPECT_EQ(out.x[0], n / 4);
+  // Active sets shrink roughly geometrically (allow slack for randomness).
+  EXPECT_LT(out.x.back(), out.x.front() / 3);
+  // z is the surviving total; with 8 iterations expectation is n*(3/4)^8.
+  EXPECT_GT(out.z, 0u);
+  EXPECT_LT(out.z, n / 2);
+}
+
+TEST(ListRank, PhaseCountMatchesSchedule) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const std::uint64_t n = 4000;
+  const auto list = make_random_list(n, 15);
+  auto ranks = runtime.alloc<std::int64_t>(n);
+  const auto out = list_rank(runtime, list, ranks);
+  // 3 phases per forward iteration, 4 in the middle, 2 per reverse
+  // iteration: 5*iters + 4.
+  EXPECT_EQ(out.timing.phases,
+            5u * static_cast<std::uint64_t>(out.iterations) + 4u);
+}
+
+TEST(ListRank, WorksWithRuleCheckingOn) {
+  // The elimination schedule must never read and write one location in the
+  // same phase; run with the checker enabled to prove it.
+  rt::Runtime runtime(machine::default_sim(4),
+                      rt::Options{.check_rules = true});
+  const std::uint64_t n = 3000;
+  const auto list = make_random_list(n, 22);
+  auto ranks = runtime.alloc<std::int64_t>(n);
+  EXPECT_NO_THROW(list_rank(runtime, list, ranks));
+  EXPECT_EQ(runtime.host_read(ranks), sequential_list_rank(list));
+}
+
+class ListRankSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, int>> {};
+
+TEST_P(ListRankSweep, CorrectAcrossShapesAndSeeds) {
+  const auto [p, n, seed] = GetParam();
+  rt::Runtime runtime(machine::default_sim(p),
+                      rt::Options{.seed = static_cast<std::uint64_t>(seed)});
+  const auto list = make_random_list(n, static_cast<std::uint64_t>(seed) * 7);
+  auto ranks = runtime.alloc<std::int64_t>(n);
+  list_rank(runtime, list, ranks);
+  EXPECT_EQ(runtime.host_read(ranks), sequential_list_rank(list));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ListRankSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values<std::uint64_t>(64, 1000, 5000),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(ListRank, TinyListsAreRejected) {
+  rt::Runtime runtime(machine::default_sim(8));
+  const auto list = make_random_list(8, 1);  // below 4*p
+  auto ranks = runtime.alloc<std::int64_t>(8);
+  EXPECT_THROW(list_rank(runtime, list, ranks), support::ContractViolation);
+}
+
+TEST(ListRank, IterationFactorControlsIterations) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const std::uint64_t n = 4000;
+  const auto list = make_random_list(n, 2);
+  auto ranks = runtime.alloc<std::int64_t>(n);
+  const auto out = list_rank(runtime, list, ranks, /*iteration_c=*/2);
+  EXPECT_EQ(out.iterations, 4);  // 2 * log2(4)
+  EXPECT_EQ(runtime.host_read(ranks), sequential_list_rank(list));
+}
+
+}  // namespace
+}  // namespace qsm::algos

@@ -1,0 +1,113 @@
+#include "algos/prefix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "machine/presets.hpp"
+#include "support/rng.hpp"
+
+namespace qsm::algos {
+namespace {
+
+std::vector<std::int64_t> random_values(std::uint64_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = rng.range(-1000, 1000);
+  return v;
+}
+
+TEST(SequentialPrefix, SmallCases) {
+  EXPECT_EQ(sequential_prefix({}), (std::vector<std::int64_t>{}));
+  EXPECT_EQ(sequential_prefix({5}), (std::vector<std::int64_t>{5}));
+  EXPECT_EQ(sequential_prefix({1, 2, 3, 4}),
+            (std::vector<std::int64_t>{1, 3, 6, 10}));
+  EXPECT_EQ(sequential_prefix({-1, 1, -1}),
+            (std::vector<std::int64_t>{-1, 0, -1}));
+}
+
+TEST(ParallelPrefix, MatchesSequential) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const auto input = random_values(1000, 42);
+  auto data = runtime.alloc<std::int64_t>(1000);
+  runtime.host_fill(data, input);
+  parallel_prefix(runtime, data);
+  EXPECT_EQ(runtime.host_read(data), sequential_prefix(input));
+}
+
+TEST(ParallelPrefix, SingleSynchronization) {
+  rt::Runtime runtime(machine::default_sim(8));
+  auto data = runtime.alloc<std::int64_t>(4096);
+  runtime.host_fill(data, random_values(4096, 7));
+  const auto out = parallel_prefix(runtime, data);
+  EXPECT_EQ(out.timing.phases, 1u);
+}
+
+TEST(ParallelPrefix, CommunicationIsExactlyPMinusOnePutsPerNode) {
+  const int p = 8;
+  rt::Runtime runtime(machine::default_sim(p));
+  auto data = runtime.alloc<std::int64_t>(4096);
+  runtime.host_fill(data, random_values(4096, 9));
+  const auto out = parallel_prefix(runtime, data);
+  ASSERT_EQ(out.timing.trace.size(), 1u);
+  EXPECT_EQ(out.timing.trace[0].m_rw_max, static_cast<std::uint64_t>(p - 1));
+  EXPECT_EQ(out.timing.rw_total, static_cast<std::uint64_t>(p * (p - 1)));
+}
+
+TEST(ParallelPrefix, CommunicationFlatInN) {
+  // The paper's Figure 1 point: prefix-sum communication does not grow
+  // with problem size.
+  support::cycles_t small_comm = 0;
+  support::cycles_t large_comm = 0;
+  for (auto [n, out] :
+       {std::pair<std::uint64_t, support::cycles_t*>{4096, &small_comm},
+        {65536, &large_comm}}) {
+    rt::Runtime runtime(machine::default_sim(8));
+    auto data = runtime.alloc<std::int64_t>(n);
+    runtime.host_fill(data, random_values(n, 3));
+    *out = parallel_prefix(runtime, data).timing.comm_cycles;
+  }
+  EXPECT_EQ(small_comm, large_comm);
+}
+
+TEST(ParallelPrefix, ComputeGrowsWithN) {
+  support::cycles_t small_c = 0;
+  support::cycles_t large_c = 0;
+  for (auto [n, out] :
+       {std::pair<std::uint64_t, support::cycles_t*>{4096, &small_c},
+        {65536, &large_c}}) {
+    rt::Runtime runtime(machine::default_sim(8));
+    auto data = runtime.alloc<std::int64_t>(n);
+    runtime.host_fill(data, random_values(n, 3));
+    *out = parallel_prefix(runtime, data).timing.compute_cycles;
+  }
+  EXPECT_GT(large_c, 8 * small_c);
+}
+
+class PrefixSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, int>> {};
+
+TEST_P(PrefixSweep, CorrectAcrossShapes) {
+  const auto [p, n, seed] = GetParam();
+  rt::Runtime runtime(machine::default_sim(p));
+  const auto input = random_values(n, static_cast<std::uint64_t>(seed));
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  parallel_prefix(runtime, data);
+  EXPECT_EQ(runtime.host_read(data), sequential_prefix(input));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PrefixSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values<std::uint64_t>(256, 1000, 4096),
+                       ::testing::Values(1, 2)));
+
+TEST(ParallelPrefix, RejectsTooManyProcessors) {
+  rt::Runtime runtime(machine::default_sim(16));
+  auto data = runtime.alloc<std::int64_t>(64);  // p*p = 256 > 64
+  EXPECT_THROW(parallel_prefix(runtime, data), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace qsm::algos

@@ -1,0 +1,130 @@
+#include "algos/radixsort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "machine/presets.hpp"
+#include "support/rng.hpp"
+
+namespace qsm::algos {
+namespace {
+
+std::vector<std::int64_t> random_keys(std::uint64_t n, std::uint64_t seed,
+                                      std::uint64_t bound) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng.below(bound));
+  return v;
+}
+
+TEST(RadixSort, SortsRandomKeys) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const std::uint64_t n = 10000;
+  auto input = random_keys(n, 5, 1ULL << 40);
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  const auto out = radix_sort(runtime, data);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(runtime.host_read(data), expected);
+  EXPECT_EQ(out.passes, 5);  // ceil(40 / 8) digits
+}
+
+TEST(RadixSort, PassCountAdaptsToKeyRange) {
+  for (auto [bound, expected_passes] :
+       {std::pair<std::uint64_t, int>{256, 1},
+        {1ULL << 16, 2},
+        {1ULL << 17, 3},
+        {1ULL << 62, 8}}) {
+    rt::Runtime runtime(machine::default_sim(2));
+    auto data = runtime.alloc<std::int64_t>(1024);
+    runtime.host_fill(data, random_keys(1024, 9, bound));
+    const auto out = radix_sort(runtime, data);
+    EXPECT_EQ(out.passes, expected_passes) << "bound " << bound;
+    const auto got = runtime.host_read(data);
+    EXPECT_TRUE(std::is_sorted(got.begin(), got.end())) << "bound " << bound;
+  }
+}
+
+TEST(RadixSort, AllZeroKeys) {
+  rt::Runtime runtime(machine::default_sim(4));
+  auto data = runtime.alloc<std::int64_t>(256);
+  runtime.host_fill(data, std::vector<std::int64_t>(256, 0));
+  const auto out = radix_sort(runtime, data);
+  EXPECT_EQ(out.passes, 1);
+  EXPECT_EQ(runtime.host_read(data), std::vector<std::int64_t>(256, 0));
+}
+
+TEST(RadixSort, RejectsNegativeKeys) {
+  rt::Runtime runtime(machine::default_sim(2));
+  auto data = runtime.alloc<std::int64_t>(64);
+  std::vector<std::int64_t> v(64, 1);
+  v[10] = -5;
+  runtime.host_fill(data, v);
+  EXPECT_THROW(radix_sort(runtime, data), support::ContractViolation);
+}
+
+TEST(RadixSort, DigitWidthIsConfigurable) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const std::uint64_t n = 4096;
+  auto input = random_keys(n, 13, 1ULL << 24);
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  const auto out = radix_sort(runtime, data, /*digit_bits=*/12);
+  EXPECT_EQ(out.passes, 2);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(runtime.host_read(data), expected);
+  EXPECT_THROW(radix_sort(runtime, data, 0), support::ContractViolation);
+  EXPECT_THROW(radix_sort(runtime, data, 17), support::ContractViolation);
+}
+
+TEST(RadixSort, WorksWithRuleCheckingOn) {
+  rt::Runtime runtime(machine::default_sim(4),
+                      rt::Options{.check_rules = true});
+  const std::uint64_t n = 2048;
+  auto input = random_keys(n, 21, 1ULL << 30);
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  EXPECT_NO_THROW(radix_sort(runtime, data));
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(runtime.host_read(data), expected);
+}
+
+TEST(RadixSort, MovesMorePerPassTrafficThanSampleSortOverall) {
+  // The design trade under QSM: radix scatters all keys every pass.
+  rt::Runtime runtime(machine::default_sim(8));
+  const std::uint64_t n = 1 << 14;
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, random_keys(n, 31, 1ULL << 62));
+  const auto out = radix_sort(runtime, data);
+  // 8 passes, each moving ~ (p-1)/p of n words, plus histograms.
+  EXPECT_GT(out.timing.rw_total, 6 * n);
+}
+
+class RadixSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, int>> {};
+
+TEST_P(RadixSweep, SortsAcrossShapes) {
+  const auto [p, n, seed] = GetParam();
+  rt::Runtime runtime(machine::default_sim(p));
+  auto input =
+      random_keys(n, static_cast<std::uint64_t>(seed) * 7, 1ULL << 34);
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  radix_sort(runtime, data);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(runtime.host_read(data), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RadixSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values<std::uint64_t>(512, 5000, 20000),
+                       ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace qsm::algos

@@ -1,0 +1,135 @@
+#include "algos/samplesort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "machine/presets.hpp"
+#include "support/rng.hpp"
+
+namespace qsm::algos {
+namespace {
+
+std::vector<std::int64_t> random_values(std::uint64_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) {
+    x = static_cast<std::int64_t>(rng() >> 1);  // non-negative 63-bit
+  }
+  return v;
+}
+
+TEST(SampleSort, SortsRandomInput) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const std::uint64_t n = 20000;
+  auto input = random_values(n, 5);
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  sample_sort(runtime, data);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(runtime.host_read(data), expected);
+}
+
+TEST(SampleSort, FivePhases) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const std::uint64_t n = 20000;
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, random_values(n, 6));
+  const auto out = sample_sort(runtime, data);
+  EXPECT_EQ(out.timing.phases, 5u);
+}
+
+TEST(SampleSort, HandlesDuplicateKeys) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const std::uint64_t n = 8192;
+  support::Xoshiro256 rng(77);
+  std::vector<std::int64_t> input(n);
+  for (auto& x : input) x = static_cast<std::int64_t>(rng.below(8));
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  sample_sort(runtime, data);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(runtime.host_read(data), expected);
+}
+
+TEST(SampleSort, HandlesAlreadySortedAndReversed) {
+  for (bool reversed : {false, true}) {
+    rt::Runtime runtime(machine::default_sim(4));
+    const std::uint64_t n = 10000;
+    std::vector<std::int64_t> input(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      input[i] = static_cast<std::int64_t>(reversed ? n - i : i);
+    }
+    auto data = runtime.alloc<std::int64_t>(n);
+    runtime.host_fill(data, input);
+    sample_sort(runtime, data);
+    auto expected = input;
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(runtime.host_read(data), expected) << "reversed=" << reversed;
+  }
+}
+
+TEST(SampleSort, SkewInstrumentationIsPlausible) {
+  const int p = 8;
+  rt::Runtime runtime(machine::default_sim(p));
+  const std::uint64_t n = 80000;
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, random_values(n, 21));
+  const auto out = sample_sort(runtime, data);
+  // B is at least the mean bucket size and below a gross blowup.
+  EXPECT_GE(out.largest_bucket, n / p);
+  EXPECT_LT(out.largest_bucket, 3 * n / p);
+  // r close to (p-1)/p under a random input distribution.
+  EXPECT_GT(out.remote_fraction, 0.5);
+  EXPECT_LE(out.remote_fraction, 1.0);
+  EXPECT_EQ(out.samples_per_node,
+            4ULL * 17ULL);  // c=4, ceil(log2 80000) = 17
+}
+
+TEST(SampleSort, OversampleFactorControlsSampleTraffic) {
+  const std::uint64_t n = 40000;
+  std::uint64_t words_c2 = 0;
+  std::uint64_t words_c8 = 0;
+  for (auto [c, out] : {std::pair<int, std::uint64_t*>{2, &words_c2},
+                        {8, &words_c8}}) {
+    rt::Runtime runtime(machine::default_sim(4));
+    auto data = runtime.alloc<std::int64_t>(n);
+    runtime.host_fill(data, random_values(n, 31));
+    const auto o = sample_sort(runtime, data, c);
+    // Phase 2 of the trace is the sample broadcast.
+    *out = o.timing.trace[1].m_rw_max;
+  }
+  EXPECT_EQ(words_c8, 4 * words_c2);
+}
+
+class SortSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t, int>> {};
+
+TEST_P(SortSweep, SortsAcrossShapesAndSeeds) {
+  const auto [p, n, seed] = GetParam();
+  rt::Runtime runtime(machine::default_sim(p));
+  auto input = random_values(n, static_cast<std::uint64_t>(seed) * 101);
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  sample_sort(runtime, data);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(runtime.host_read(data), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SortSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values<std::uint64_t>(4096, 20000, 50000),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(SampleSort, RejectsSillyShapes) {
+  rt::Runtime runtime(machine::default_sim(16));
+  auto tiny = runtime.alloc<std::int64_t>(128);  // far below p*p
+  EXPECT_THROW(sample_sort(runtime, tiny), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace qsm::algos

@@ -1,0 +1,75 @@
+#include "algos/wyllie.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machine/presets.hpp"
+
+namespace qsm::algos {
+namespace {
+
+TEST(Wyllie, MatchesSequential) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const std::uint64_t n = 1000;
+  const auto list = make_random_list(n, 3);
+  auto ranks = runtime.alloc<std::int64_t>(n);
+  wyllie_list_rank(runtime, list, ranks);
+  EXPECT_EQ(runtime.host_read(ranks), sequential_list_rank(list));
+}
+
+TEST(Wyllie, TwoPhasesPerRound) {
+  rt::Runtime runtime(machine::default_sim(4));
+  const std::uint64_t n = 1024;
+  const auto list = make_random_list(n, 5);
+  auto ranks = runtime.alloc<std::int64_t>(n);
+  const auto out = wyllie_list_rank(runtime, list, ranks);
+  EXPECT_EQ(out.rounds, 10);  // log2(1024)
+  EXPECT_EQ(out.timing.phases, 20u);
+}
+
+TEST(Wyllie, WorksWithRuleCheckingOn) {
+  rt::Runtime runtime(machine::default_sim(4),
+                      rt::Options{.check_rules = true});
+  const std::uint64_t n = 512;
+  const auto list = make_random_list(n, 8);
+  auto ranks = runtime.alloc<std::int64_t>(n);
+  EXPECT_NO_THROW(wyllie_list_rank(runtime, list, ranks));
+  EXPECT_EQ(runtime.host_read(ranks), sequential_list_rank(list));
+}
+
+TEST(Wyllie, MovesMoreDataThanElimination) {
+  // The point of the baseline: Theta(n log n) vs Theta(n) remote words.
+  const std::uint64_t n = 1 << 13;
+  const auto list = make_random_list(n, 9);
+
+  rt::Runtime rt_a(machine::default_sim(4));
+  auto ranks_a = rt_a.alloc<std::int64_t>(n);
+  const auto elim = list_rank(rt_a, list, ranks_a);
+
+  rt::Runtime rt_b(machine::default_sim(4));
+  auto ranks_b = rt_b.alloc<std::int64_t>(n);
+  const auto wy = wyllie_list_rank(rt_b, list, ranks_b);
+
+  EXPECT_EQ(rt_a.host_read(ranks_a), rt_b.host_read(ranks_b));
+  EXPECT_GT(wy.timing.rw_total, 3 * elim.timing.rw_total);
+  EXPECT_GT(wy.timing.comm_cycles, elim.timing.comm_cycles);
+}
+
+class WyllieSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(WyllieSweep, CorrectAcrossShapes) {
+  const auto [p, n] = GetParam();
+  rt::Runtime runtime(machine::default_sim(p));
+  const auto list = make_random_list(n, n + static_cast<std::uint64_t>(p));
+  auto ranks = runtime.alloc<std::int64_t>(n);
+  wyllie_list_rank(runtime, list, ranks);
+  EXPECT_EQ(runtime.host_read(ranks), sequential_list_rank(list));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WyllieSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values<std::uint64_t>(3, 64, 777, 4096)));
+
+}  // namespace
+}  // namespace qsm::algos

@@ -1,0 +1,104 @@
+#include "core/layout.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace qsm::rt {
+namespace {
+
+TEST(Layout, BlockOwnerIsContiguous) {
+  const std::uint64_t n = 100;
+  const int p = 4;
+  int prev = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const int o = owner_of(Layout::Block, i, n, p, 0);
+    EXPECT_GE(o, prev);
+    EXPECT_LT(o, p);
+    prev = o;
+  }
+  EXPECT_EQ(owner_of(Layout::Block, 0, n, p, 0), 0);
+  EXPECT_EQ(owner_of(Layout::Block, 99, n, p, 0), 3);
+}
+
+TEST(Layout, BlockRangePartitionsExactly) {
+  for (std::uint64_t n : {1ULL, 7ULL, 64ULL, 100ULL, 1000ULL}) {
+    for (int p : {1, 2, 3, 8, 16}) {
+      std::uint64_t covered = 0;
+      for (int r = 0; r < p; ++r) {
+        const auto range = block_range(n, p, r);
+        for (std::uint64_t i = range.begin; i < range.end; ++i) {
+          EXPECT_EQ(owner_of(Layout::Block, i, n, p, 0), r)
+              << "n=" << n << " p=" << p << " i=" << i;
+        }
+        covered += range.size();
+      }
+      EXPECT_EQ(covered, n) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(Layout, CyclicOwnerRotates) {
+  const int p = 5;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(owner_of(Layout::Cyclic, i, 50, p, 0),
+              static_cast<int>(i % static_cast<std::uint64_t>(p)));
+  }
+}
+
+TEST(Layout, HashedIsDeterministicPerSalt) {
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(owner_of(Layout::Hashed, i, 200, 8, 42),
+              owner_of(Layout::Hashed, i, 200, 8, 42));
+  }
+}
+
+TEST(Layout, HashedSaltChangesPlacement) {
+  int moved = 0;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    if (owner_of(Layout::Hashed, i, 256, 8, 1) !=
+        owner_of(Layout::Hashed, i, 256, 8, 2)) {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 256 / 2);  // expectation is 7/8 of elements move
+}
+
+TEST(Layout, HashedIsRoughlyBalanced) {
+  const int p = 8;
+  const std::uint64_t n = 64000;
+  std::map<int, int> counts;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    counts[owner_of(Layout::Hashed, i, n, p, 7)]++;
+  }
+  const double expected = static_cast<double>(n) / p;
+  for (const auto& [node, c] : counts) {
+    EXPECT_NEAR(c, expected, 0.07 * expected) << "node " << node;
+  }
+}
+
+TEST(Layout, BlockChunkCeils) {
+  EXPECT_EQ(block_chunk(100, 4), 25u);
+  EXPECT_EQ(block_chunk(101, 4), 26u);
+  EXPECT_EQ(block_chunk(1, 16), 1u);
+  EXPECT_EQ(block_chunk(16, 16), 1u);
+}
+
+TEST(Layout, BlockRangeEmptyForTrailingNodes) {
+  // n=5, p=4: chunk=2, node 3 owns nothing (indices 0..4 live on 0..2).
+  const auto r3 = block_range(5, 4, 3);
+  EXPECT_TRUE(r3.empty());
+  const auto r2 = block_range(5, 4, 2);
+  EXPECT_EQ(r2.begin, 4u);
+  EXPECT_EQ(r2.end, 5u);
+}
+
+TEST(Layout, ToStringNames) {
+  EXPECT_STREQ(to_string(Layout::Block), "block");
+  EXPECT_STREQ(to_string(Layout::Cyclic), "cyclic");
+  EXPECT_STREQ(to_string(Layout::Hashed), "hashed");
+}
+
+}  // namespace
+}  // namespace qsm::rt

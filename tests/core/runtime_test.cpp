@@ -1,0 +1,318 @@
+#include "core/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "machine/presets.hpp"
+
+namespace qsm::rt {
+namespace {
+
+Runtime make_runtime(int p = 4, Options opts = {}) {
+  return Runtime(machine::default_sim(p), opts);
+}
+
+TEST(Runtime, HostFillAndReadRoundTrip) {
+  auto rt = make_runtime();
+  auto a = rt.alloc<std::int64_t>(10);
+  std::vector<std::int64_t> v(10);
+  std::iota(v.begin(), v.end(), -3);
+  rt.host_fill(a, v);
+  EXPECT_EQ(rt.host_read(a), v);
+}
+
+TEST(Runtime, DoubleValuesSurviveWordPacking) {
+  auto rt = make_runtime();
+  auto a = rt.alloc<double>(3);
+  rt.host_fill(a, {3.14159, -0.0, 1e300});
+  const auto back = rt.host_read(a);
+  EXPECT_DOUBLE_EQ(back[0], 3.14159);
+  EXPECT_DOUBLE_EQ(back[2], 1e300);
+}
+
+TEST(Runtime, SmallTypesSurviveWordPacking) {
+  auto rt = make_runtime();
+  auto a = rt.alloc<std::uint8_t>(4);
+  rt.host_fill(a, {0xff, 0x00, 0x7f, 0x01});
+  const auto back = rt.host_read(a);
+  EXPECT_EQ(back[0], 0xff);
+  EXPECT_EQ(back[3], 0x01);
+}
+
+TEST(Runtime, PutThenGetAcrossPhases) {
+  auto rt = make_runtime(4);
+  auto a = rt.alloc<std::int64_t>(16, Layout::Block);
+  const auto result = rt.run([&](Context& ctx) {
+    // Every node writes rank into slot rank*4 (owned by that rank under
+    // block layout of 16 over 4 -> each owns 4).
+    const auto r = static_cast<std::uint64_t>(ctx.rank());
+    ctx.put(a, (r + 1) % 4 * 4, static_cast<std::int64_t>(ctx.rank()));
+    ctx.sync();
+    std::int64_t seen = -1;
+    ctx.get(a, r * 4, &seen);
+    ctx.sync();
+    // Slot r*4 was written by rank (r+3)%4.
+    EXPECT_EQ(seen, (ctx.rank() + 3) % 4);
+  });
+  EXPECT_EQ(result.phases, 2u);
+  EXPECT_GT(result.total_cycles, 0);
+  EXPECT_GT(result.comm_cycles, 0);
+}
+
+TEST(Runtime, GetsSeePrePhaseValues) {
+  auto rt = make_runtime(2);
+  auto a = rt.alloc<std::int64_t>(2, Layout::Block);
+  rt.host_fill(a, {100, 200});
+  rt.run([&](Context& ctx) {
+    std::int64_t v = 0;
+    if (ctx.rank() == 0) {
+      ctx.get(a, 1, &v);  // read node 1's element
+    } else {
+      ctx.put(a, 0, std::int64_t{999});  // write node 0's element
+    }
+    ctx.sync();
+    if (ctx.rank() == 0) {
+      EXPECT_EQ(v, 200);  // pre-phase value, not affected by the put
+    }
+  });
+  // After the phase the put is visible.
+  EXPECT_EQ(rt.host_read(a)[0], 999);
+}
+
+TEST(Runtime, RangeTransfersMoveBlocks) {
+  const int p = 4;
+  auto rt = make_runtime(p);
+  const std::uint64_t n = 64;
+  auto a = rt.alloc<std::int64_t>(n, Layout::Block);
+  std::vector<std::int64_t> v(n);
+  std::iota(v.begin(), v.end(), 0);
+  rt.host_fill(a, v);
+  rt.run([&](Context& ctx) {
+    // Each node fetches the whole array and checks it.
+    std::vector<std::int64_t> local(n, -1);
+    ctx.get_range(a, 0, n, local.data());
+    ctx.sync();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(local[i], static_cast<std::int64_t>(i));
+    }
+    // Each node rewrites its own quarter shifted by +1000 via put_range.
+    const auto range = block_range(n, p, ctx.rank());
+    std::vector<std::int64_t> up;
+    for (std::uint64_t i = range.begin; i < range.end; ++i) {
+      up.push_back(local[i] + 1000);
+    }
+    ctx.put_range(a, range.begin, up.size(), up.data());
+    ctx.sync();
+  });
+  const auto out = rt.host_read(a);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], static_cast<std::int64_t>(i) + 1000);
+  }
+}
+
+TEST(Runtime, LocalReadWriteRequiresOwnership) {
+  auto rt = make_runtime(2);
+  auto a = rt.alloc<std::int64_t>(4, Layout::Block);
+  EXPECT_THROW(rt.run([&](Context& ctx) {
+                 if (ctx.rank() == 0) {
+                   // Element 3 belongs to node 1.
+                   (void)ctx.read_local(a, 3);
+                 }
+                 ctx.sync();
+               }),
+               support::ContractViolation);
+}
+
+TEST(Runtime, LocalWritesAreImmediate) {
+  auto rt = make_runtime(2);
+  auto a = rt.alloc<std::int64_t>(4, Layout::Block);
+  rt.run([&](Context& ctx) {
+    const auto range = block_range(4, 2, ctx.rank());
+    for (std::uint64_t i = range.begin; i < range.end; ++i) {
+      ctx.write_local(a, i, static_cast<std::int64_t>(10 * i));
+      EXPECT_EQ(ctx.read_local(a, i), static_cast<std::int64_t>(10 * i));
+    }
+    ctx.sync();
+  });
+  EXPECT_EQ(rt.host_read(a), (std::vector<std::int64_t>{0, 10, 20, 30}));
+}
+
+TEST(Runtime, ConcurrentPutsResolveDeterministically) {
+  auto rt = make_runtime(4, Options{.seed = 1, .track_kappa = true});
+  auto a = rt.alloc<std::int64_t>(1, Layout::Block);
+  const auto result = rt.run([&](Context& ctx) {
+    ctx.put(a, 0, static_cast<std::int64_t>(ctx.rank()));
+    ctx.sync();
+  });
+  // Queue semantics: all writes delivered; final value is the highest rank
+  // (apply order is rank-major, last writer wins).
+  EXPECT_EQ(rt.host_read(a)[0], 3);
+  // Kappa saw 4 accesses to one location... minus the owner's local one.
+  EXPECT_EQ(result.kappa_max, 4u);
+}
+
+TEST(Runtime, ChargesAdvanceLocalClock) {
+  auto rt = make_runtime(2);
+  rt.run([&](Context& ctx) {
+    const auto t0 = ctx.now();
+    ctx.charge_ops(1000);
+    EXPECT_EQ(ctx.now(), t0 + 1000);
+    ctx.charge_cycles(5);
+    EXPECT_EQ(ctx.now(), t0 + 1005);
+    ctx.charge_mem(10, 1 << 20);  // 10 memory-latency accesses
+    EXPECT_EQ(ctx.now(), t0 + 1005 + 100);
+  });
+}
+
+TEST(Runtime, ImbalanceShowsInArrivalSpread) {
+  auto rt = make_runtime(2);
+  const auto result = rt.run([&](Context& ctx) {
+    if (ctx.rank() == 0) ctx.charge_ops(100000);
+    ctx.sync();
+  });
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].arrival_spread, 100000);
+}
+
+TEST(Runtime, PhaseClocksAlignAfterSync) {
+  auto rt = make_runtime(4);
+  rt.run([&](Context& ctx) {
+    ctx.charge_ops(1000 * (ctx.rank() + 1));
+    ctx.sync();
+    static std::atomic<support::cycles_t> first{-1};
+    support::cycles_t expected = -1;
+    if (!first.compare_exchange_strong(expected, ctx.now())) {
+      EXPECT_EQ(ctx.now(), first.load());
+    }
+  });
+}
+
+TEST(Runtime, RngStreamsDifferAcrossRanks) {
+  auto rt = make_runtime(4);
+  std::vector<std::uint64_t> draws(4);
+  rt.run([&](Context& ctx) {
+    draws[static_cast<std::size_t>(ctx.rank())] = ctx.rng()();
+  });
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) {
+      EXPECT_NE(draws[static_cast<std::size_t>(i)],
+                draws[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+TEST(Runtime, OutOfBoundsAccessThrows) {
+  auto rt = make_runtime(2);
+  auto a = rt.alloc<std::int64_t>(4);
+  EXPECT_THROW(rt.run([&](Context& ctx) {
+                 std::int64_t v;
+                 ctx.get(a, 4, &v);
+                 ctx.sync();
+               }),
+               support::ContractViolation);
+  // get_range overflowing the end
+  EXPECT_THROW(rt.run([&](Context& ctx) {
+                 std::vector<std::int64_t> buf(3);
+                 ctx.get_range(a, 2, 3, buf.data());
+                 ctx.sync();
+               }),
+               support::ContractViolation);
+}
+
+TEST(Runtime, UnsynchronizedRequestsAtExitThrow) {
+  auto rt = make_runtime(2);
+  auto a = rt.alloc<std::int64_t>(4);
+  EXPECT_THROW(rt.run([&](Context& ctx) {
+                 ctx.put(a, 0, std::int64_t{1});
+                 // no sync before the program ends
+               }),
+               support::ContractViolation);
+}
+
+TEST(Runtime, MismatchedSyncCountsThrow) {
+  auto rt = make_runtime(2);
+  EXPECT_THROW(rt.run([&](Context& ctx) {
+                 if (ctx.rank() == 0) ctx.sync();
+               }),
+               support::ContractViolation);
+}
+
+TEST(Runtime, SingleProcessorMachineWorks) {
+  auto rt = make_runtime(1);
+  auto a = rt.alloc<std::int64_t>(8);
+  const auto result = rt.run([&](Context& ctx) {
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      ctx.write_local(a, i, static_cast<std::int64_t>(i * i));
+    }
+    ctx.sync();
+  });
+  EXPECT_EQ(result.phases, 1u);
+  EXPECT_EQ(rt.host_read(a)[7], 49);
+}
+
+TEST(Runtime, EmptyProgramRuns) {
+  auto rt = make_runtime(4);
+  const auto result = rt.run([](Context&) {});
+  EXPECT_EQ(result.phases, 0u);
+  EXPECT_EQ(result.total_cycles, 0);
+}
+
+TEST(Runtime, ZeroCountRangeIsNoop) {
+  auto rt = make_runtime(2);
+  auto a = rt.alloc<std::int64_t>(4);
+  const auto result = rt.run([&](Context& ctx) {
+    ctx.get_range(a, 0, 0, static_cast<std::int64_t*>(nullptr));
+    ctx.put_range(a, 0, 0, static_cast<const std::int64_t*>(nullptr));
+    ctx.sync();
+  });
+  EXPECT_EQ(result.rw_total, 0u);
+}
+
+TEST(Runtime, FreeReleasesAnArray) {
+  auto rt = make_runtime(2);
+  auto a = rt.alloc<std::int64_t>(8);
+  rt.host_fill(a, std::vector<std::int64_t>(8, 3));
+  rt.free(a);
+  // Any further use of the handle is a contract violation.
+  EXPECT_THROW((void)rt.host_read(a), support::ContractViolation);
+  EXPECT_THROW(rt.free(a), support::ContractViolation);  // double free
+  EXPECT_THROW(rt.run([&](Context& ctx) {
+                 std::int64_t v;
+                 ctx.get(a, 0, &v);
+                 ctx.sync();
+               }),
+               support::ContractViolation);
+  // Fresh allocations keep working after a free.
+  auto b = rt.alloc<std::int64_t>(4);
+  rt.host_fill(b, {1, 2, 3, 4});
+  EXPECT_EQ(rt.host_read(b)[2], 3);
+}
+
+TEST(Runtime, FreedScratchDoesNotDisturbOtherArrays) {
+  auto rt = make_runtime(2);
+  auto keep = rt.alloc<std::int64_t>(4);
+  auto scratch = rt.alloc<std::int64_t>(1 << 12);
+  rt.host_fill(keep, {9, 8, 7, 6});
+  rt.free(scratch);
+  EXPECT_EQ(rt.host_read(keep), (std::vector<std::int64_t>{9, 8, 7, 6}));
+  rt.run([&](Context& ctx) {
+    if (ctx.rank() == 0) ctx.put(keep, 3, std::int64_t{42});
+    ctx.sync();
+  });
+  EXPECT_EQ(rt.host_read(keep)[3], 42);
+}
+
+TEST(Runtime, UserExceptionPropagatesWithoutDeadlock) {
+  auto rt = make_runtime(4);
+  EXPECT_THROW(rt.run([&](Context& ctx) {
+                 if (ctx.rank() == 2) throw std::runtime_error("boom");
+                 ctx.sync();
+               }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qsm::rt

@@ -1,0 +1,219 @@
+// Tests for the QSM bulk-synchrony semantics: phase rules, queue
+// contention accounting, layout effects on traffic, and phase statistics.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/runtime.hpp"
+#include "machine/presets.hpp"
+
+namespace qsm::rt {
+namespace {
+
+TEST(Semantics, ReadAndWriteSameLocationSamePhaseThrows) {
+  Runtime rt(machine::default_sim(2), Options{.check_rules = true});
+  auto a = rt.alloc<std::int64_t>(8, Layout::Block);
+  EXPECT_THROW(rt.run([&](Context& ctx) {
+                 std::int64_t v;
+                 if (ctx.rank() == 0) ctx.get(a, 5, &v);
+                 if (ctx.rank() == 1) ctx.put(a, 5, std::int64_t{1});
+                 ctx.sync();
+               }),
+               support::ContractViolation);
+}
+
+TEST(Semantics, ReadAndWriteDifferentLocationsIsFine) {
+  Runtime rt(machine::default_sim(2), Options{.check_rules = true});
+  auto a = rt.alloc<std::int64_t>(8, Layout::Block);
+  EXPECT_NO_THROW(rt.run([&](Context& ctx) {
+    std::int64_t v;
+    if (ctx.rank() == 0) ctx.get(a, 4, &v);
+    if (ctx.rank() == 1) ctx.put(a, 5, std::int64_t{1});
+    ctx.sync();
+  }));
+}
+
+TEST(Semantics, ConcurrentReadsAreAllowedAndCountKappa) {
+  Runtime rt(machine::default_sim(4),
+             Options{.check_rules = true, .track_kappa = true});
+  auto a = rt.alloc<std::int64_t>(8, Layout::Block);
+  const auto result = rt.run([&](Context& ctx) {
+    std::int64_t v;
+    ctx.get(a, 7, &v);  // everyone reads the same hot location
+    ctx.sync();
+  });
+  EXPECT_EQ(result.kappa_max, 4u);
+}
+
+TEST(Semantics, RuleCheckAcrossArraysIsIndependent) {
+  Runtime rt(machine::default_sim(2), Options{.check_rules = true});
+  auto a = rt.alloc<std::int64_t>(4, Layout::Block, "a");
+  auto b = rt.alloc<std::int64_t>(4, Layout::Block, "b");
+  // Same index, different arrays: legal.
+  EXPECT_NO_THROW(rt.run([&](Context& ctx) {
+    std::int64_t v;
+    if (ctx.rank() == 0) ctx.get(a, 2, &v);
+    if (ctx.rank() == 1) ctx.put(b, 2, std::int64_t{9});
+    ctx.sync();
+  }));
+}
+
+TEST(Semantics, RuleResetBetweenPhases) {
+  Runtime rt(machine::default_sim(2), Options{.check_rules = true});
+  auto a = rt.alloc<std::int64_t>(4, Layout::Block);
+  // Write in phase 1, read in phase 2: the canonical legal pattern.
+  EXPECT_NO_THROW(rt.run([&](Context& ctx) {
+    if (ctx.rank() == 1) ctx.put(a, 0, std::int64_t{5});
+    ctx.sync();
+    std::int64_t v;
+    if (ctx.rank() == 0) ctx.get(a, 0, &v);
+    ctx.sync();
+  }));
+}
+
+TEST(Semantics, BlockLayoutLocalAccessGeneratesNoTraffic) {
+  Runtime rt(machine::default_sim(4));
+  const std::uint64_t n = 64;
+  auto a = rt.alloc<std::int64_t>(n, Layout::Block);
+  const auto result = rt.run([&](Context& ctx) {
+    const auto range = block_range(n, 4, ctx.rank());
+    std::vector<std::int64_t> buf(range.size());
+    ctx.get_range(a, range.begin, range.size(), buf.data());
+    ctx.sync();
+  });
+  EXPECT_EQ(result.rw_total, 0u);
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].local_words, n);
+}
+
+TEST(Semantics, HashedLayoutSpreadsTraffic) {
+  const int p = 4;
+  Runtime rt(machine::default_sim(p));
+  const std::uint64_t n = 4096;
+  auto a = rt.alloc<std::int64_t>(n, Layout::Hashed);
+  const auto result = rt.run([&](Context& ctx) {
+    // Node 0 reads everything; under a hashed layout roughly (p-1)/p of
+    // that is remote.
+    std::vector<std::int64_t> buf(n);
+    if (ctx.rank() == 0) {
+      ctx.get_range(a, 0, n, buf.data());
+    }
+    ctx.sync();
+  });
+  const double remote_fraction =
+      static_cast<double>(result.rw_total) / static_cast<double>(n);
+  EXPECT_NEAR(remote_fraction, 3.0 / 4.0, 0.05);
+}
+
+TEST(Semantics, CyclicLayoutExactRemoteFraction) {
+  const int p = 4;
+  Runtime rt(machine::default_sim(p));
+  const std::uint64_t n = 400;
+  auto a = rt.alloc<std::int64_t>(n, Layout::Cyclic);
+  const auto result = rt.run([&](Context& ctx) {
+    std::vector<std::int64_t> buf(n);
+    if (ctx.rank() == 0) {
+      ctx.get_range(a, 0, n, buf.data());
+    }
+    ctx.sync();
+  });
+  // Exactly 3/4 of a cyclic array is remote to node 0.
+  EXPECT_EQ(result.rw_total, 300u);
+}
+
+TEST(Semantics, MrwMaxTracksBusiestNode) {
+  Runtime rt(machine::default_sim(2));
+  auto a = rt.alloc<std::int64_t>(16, Layout::Block);
+  const auto result = rt.run([&](Context& ctx) {
+    // Node 0 writes 5 remote words; node 1 writes none.
+    if (ctx.rank() == 0) {
+      for (std::uint64_t i = 8; i < 13; ++i) {
+        ctx.put(a, i, std::int64_t{1});
+      }
+    }
+    ctx.sync();
+  });
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].m_rw_max, 5u);
+  EXPECT_EQ(result.rw_total, 5u);
+}
+
+TEST(Semantics, BarrierCyclesChargedEveryPhase) {
+  Runtime rt(machine::default_sim(4));
+  const auto result = rt.run([&](Context& ctx) {
+    ctx.sync();
+    ctx.sync();
+    ctx.sync();
+  });
+  EXPECT_EQ(result.phases, 3u);
+  EXPECT_GT(result.barrier_cycles, 0);
+  for (const auto& ps : result.trace) {
+    EXPECT_GT(ps.barrier_cycles, 0);
+  }
+}
+
+TEST(Semantics, CommCyclesGrowWithTrafficVolume) {
+  const int p = 4;
+  const std::uint64_t small = 256;
+  const std::uint64_t large = 16 * small;
+  support::cycles_t small_comm = 0;
+  support::cycles_t large_comm = 0;
+  for (auto [n, out] : {std::pair{small, &small_comm}, {large, &large_comm}}) {
+    Runtime rt(machine::default_sim(p));
+    auto a = rt.alloc<std::int64_t>(n, Layout::Cyclic);
+    const auto result = rt.run([&](Context& ctx) {
+      std::vector<std::int64_t> buf(n);
+      if (ctx.rank() == 0) ctx.get_range(a, 0, n, buf.data());
+      ctx.sync();
+    });
+    *out = result.comm_cycles;
+  }
+  EXPECT_GT(large_comm, 2 * small_comm);
+}
+
+TEST(Semantics, GetsCostMoreThanPuts) {
+  // A get is a round trip (request out, reply back); a put is one way. The
+  // observed per-word cost through the library must reflect that (paper
+  // Table 3: 35 cpb put vs 287 cpb get).
+  const int p = 4;
+  const std::uint64_t n = 4096;
+  support::cycles_t put_comm = 0;
+  support::cycles_t get_comm = 0;
+  {
+    Runtime rt(machine::default_sim(p));
+    auto a = rt.alloc<std::int64_t>(n, Layout::Cyclic);
+    std::vector<std::int64_t> buf(n, 7);
+    put_comm = rt.run([&](Context& ctx) {
+                   if (ctx.rank() == 0) ctx.put_range(a, 0, n, buf.data());
+                   ctx.sync();
+                 }).comm_cycles;
+  }
+  {
+    Runtime rt(machine::default_sim(p));
+    auto a = rt.alloc<std::int64_t>(n, Layout::Cyclic);
+    std::vector<std::int64_t> buf(n);
+    get_comm = rt.run([&](Context& ctx) {
+                   if (ctx.rank() == 0) ctx.get_range(a, 0, n, buf.data());
+                   ctx.sync();
+                 }).comm_cycles;
+  }
+  // A get pays two network crossings to a put's one. Reply senders work in
+  // parallel, so the ratio is well below the paper's 8x, but it must be
+  // clearly above 1.
+  EXPECT_GT(get_comm, put_comm + put_comm / 4);  // at least 1.25x
+}
+
+TEST(Semantics, WireBytesAccountedPerPhase) {
+  Runtime rt(machine::default_sim(2));
+  auto a = rt.alloc<std::int64_t>(16, Layout::Block);
+  const auto result = rt.run([&](Context& ctx) {
+    if (ctx.rank() == 0) ctx.put(a, 15, std::int64_t{3});
+    ctx.sync();
+  });
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_GT(result.trace[0].wire_bytes, 0);
+  EXPECT_GT(result.trace[0].messages, 0u);
+}
+
+}  // namespace
+}  // namespace qsm::rt

@@ -1,0 +1,77 @@
+#include "core/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/runtime.hpp"
+#include "machine/presets.hpp"
+
+namespace qsm::rt {
+namespace {
+
+RunResult small_run() {
+  Runtime rt(machine::default_sim(4), Options{.track_kappa = true});
+  auto a = rt.alloc<std::int64_t>(16);
+  return rt.run([&](Context& ctx) {
+    ctx.charge_ops(100 * (ctx.rank() + 1));
+    ctx.put(a, 15, static_cast<std::int64_t>(ctx.rank()));
+    ctx.sync();
+    std::int64_t v;
+    ctx.get(a, 0, &v);
+    ctx.sync();
+  });
+}
+
+TEST(TraceIo, TableHasOneRowPerPhase) {
+  const auto run = small_run();
+  const auto t = trace_table(run);
+  EXPECT_EQ(t.rows(), run.trace.size());
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 12u);
+}
+
+TEST(TraceIo, CsvRoundTripsKeyFields) {
+  const auto run = small_run();
+  const std::string path = ::testing::TempDir() + "/qsm_trace.csv";
+  write_trace_csv(run, path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string header;
+  std::getline(f, header);
+  EXPECT_NE(header.find("m_op_max"), std::string::npos);
+  EXPECT_NE(header.find("kappa"), std::string::npos);
+  std::string row0;
+  std::getline(f, row0);
+  // First phase: arrival spread is rank-dependent compute = 300 cycles
+  // between fastest (100) and slowest (400).
+  EXPECT_NE(row0.find("300"), std::string::npos);
+  int rows = 1;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MopRecordedPerPhase) {
+  const auto run = small_run();
+  ASSERT_EQ(run.trace.size(), 2u);
+  // Phase 1 had the staggered charges (max 400 plus the put's enqueue
+  // cost); phase 2 only the get's enqueue cost.
+  EXPECT_GE(run.trace[0].m_op_max, 400);
+  EXPECT_LT(run.trace[1].m_op_max, run.trace[0].m_op_max);
+}
+
+TEST(TraceIo, EmptyRunGivesHeaderOnlyTable) {
+  RunResult run;
+  const auto t = trace_table(run);
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_NE(t.to_csv().find("phase"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qsm::rt

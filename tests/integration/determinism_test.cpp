@@ -1,0 +1,120 @@
+// The whole stack must be bit-deterministic: identical seeds produce
+// identical results AND identical simulated cycle counts, regardless of
+// host thread scheduling.
+#include <gtest/gtest.h>
+
+#include "algos/listrank.hpp"
+#include "algos/prefix.hpp"
+#include "algos/samplesort.hpp"
+#include "machine/presets.hpp"
+#include "support/rng.hpp"
+
+namespace qsm {
+namespace {
+
+std::vector<std::int64_t> random_values(std::uint64_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng() >> 1);
+  return v;
+}
+
+TEST(Determinism, SampleSortIdenticalCyclesAcrossRuns) {
+  const std::uint64_t n = 50000;
+  const auto input = random_values(n, 7);
+  rt::RunResult first;
+  for (int trial = 0; trial < 3; ++trial) {
+    rt::Runtime runtime(machine::default_sim(8), rt::Options{.seed = 99});
+    auto data = runtime.alloc<std::int64_t>(n);
+    runtime.host_fill(data, input);
+    const auto out = algos::sample_sort(runtime, data);
+    if (trial == 0) {
+      first = out.timing;
+    } else {
+      EXPECT_EQ(out.timing.total_cycles, first.total_cycles);
+      EXPECT_EQ(out.timing.comm_cycles, first.comm_cycles);
+      EXPECT_EQ(out.timing.rw_total, first.rw_total);
+      ASSERT_EQ(out.timing.trace.size(), first.trace.size());
+      for (std::size_t i = 0; i < first.trace.size(); ++i) {
+        EXPECT_EQ(out.timing.trace[i].exchange_cycles,
+                  first.trace[i].exchange_cycles)
+            << "phase " << i;
+      }
+    }
+  }
+}
+
+TEST(Determinism, ListRankIdenticalCyclesAcrossRuns) {
+  const std::uint64_t n = 20000;
+  const auto list = algos::make_random_list(n, 5);
+  support::cycles_t total = -1;
+  std::uint64_t z = 0;
+  for (int trial = 0; trial < 3; ++trial) {
+    rt::Runtime runtime(machine::default_sim(8), rt::Options{.seed = 11});
+    auto ranks = runtime.alloc<std::int64_t>(n);
+    const auto out = algos::list_rank(runtime, list, ranks);
+    if (trial == 0) {
+      total = out.timing.total_cycles;
+      z = out.z;
+    } else {
+      EXPECT_EQ(out.timing.total_cycles, total);
+      EXPECT_EQ(out.z, z);
+    }
+  }
+}
+
+TEST(Determinism, DifferentRuntimeSeedsChangeRandomizedTiming) {
+  const std::uint64_t n = 20000;
+  const auto list = algos::make_random_list(n, 5);
+  support::cycles_t a = 0;
+  support::cycles_t b = 0;
+  for (auto [seed, out] : {std::pair<std::uint64_t, support::cycles_t*>{1, &a},
+                           {2, &b}}) {
+    rt::Runtime runtime(machine::default_sim(8), rt::Options{.seed = seed});
+    auto ranks = runtime.alloc<std::int64_t>(n);
+    const auto o = algos::list_rank(runtime, list, ranks);
+    EXPECT_EQ(runtime.host_read(ranks), algos::sequential_list_rank(list));
+    *out = o.timing.total_cycles;
+  }
+  // Different coin flips -> different elimination schedule -> different
+  // cycle counts (results stay correct either way).
+  EXPECT_NE(a, b);
+}
+
+TEST(Determinism, PrefixIsSeedIndependent) {
+  // Prefix sums use no randomness; any seed gives identical timing.
+  const std::uint64_t n = 40000;
+  const auto input = random_values(n, 3);
+  support::cycles_t a = 0;
+  support::cycles_t b = 0;
+  for (auto [seed, out] : {std::pair<std::uint64_t, support::cycles_t*>{1, &a},
+                           {42, &b}}) {
+    rt::Runtime runtime(machine::default_sim(8), rt::Options{.seed = seed});
+    auto data = runtime.alloc<std::int64_t>(n);
+    runtime.host_fill(data, input);
+    *out = algos::parallel_prefix(runtime, data).timing.total_cycles;
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(Determinism, RepeatedRunsOnOneRuntimeUseFreshStreams) {
+  // Two sample sorts on the same runtime draw different samples (the run
+  // counter advances the RNG streams) but both must sort correctly.
+  rt::Runtime runtime(machine::default_sim(4));
+  const std::uint64_t n = 20000;
+  const auto input = random_values(n, 13);
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  const auto first = algos::sample_sort(runtime, data);
+  runtime.host_fill(data, input);
+  const auto second = algos::sample_sort(runtime, data);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(runtime.host_read(data), expected);
+  // Not a hard guarantee, but with fresh streams the sampled pivots (and
+  // so the timings) should differ.
+  EXPECT_NE(first.timing.total_cycles, second.timing.total_cycles);
+}
+
+}  // namespace
+}  // namespace qsm

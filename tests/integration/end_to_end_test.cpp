@@ -1,0 +1,103 @@
+// End-to-end runs of the three paper workloads on the default 16-node
+// machine, checking both answers and the broad timing structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algos/listrank.hpp"
+#include "algos/prefix.hpp"
+#include "algos/samplesort.hpp"
+#include "machine/presets.hpp"
+#include "support/rng.hpp"
+
+namespace qsm {
+namespace {
+
+std::vector<std::int64_t> random_values(std::uint64_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng() >> 1);
+  return v;
+}
+
+TEST(EndToEnd, PrefixOnPaperMachine) {
+  rt::Runtime runtime(machine::default_sim());
+  const std::uint64_t n = 1 << 17;
+  const auto input = random_values(n, 1);
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  const auto out = algos::parallel_prefix(runtime, data);
+  EXPECT_EQ(runtime.host_read(data), algos::sequential_prefix(input));
+  // Communication is a tiny fraction of total time at this size.
+  EXPECT_LT(out.timing.comm_cycles, out.timing.total_cycles / 2);
+  EXPECT_GT(out.timing.compute_cycles, 0);
+}
+
+TEST(EndToEnd, SampleSortOnPaperMachine) {
+  rt::Runtime runtime(machine::default_sim());
+  const std::uint64_t n = 1 << 17;
+  const auto input = random_values(n, 2);
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  const auto out = algos::sample_sort(runtime, data);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(runtime.host_read(data), expected);
+  EXPECT_EQ(out.timing.phases, 5u);
+  // Computation (two local sorts) is a significant portion of the total,
+  // as in Figure 2a where total time is several times communication time.
+  EXPECT_GT(out.timing.compute_cycles, out.timing.comm_cycles / 2);
+}
+
+TEST(EndToEnd, ListRankOnPaperMachine) {
+  rt::Runtime runtime(machine::default_sim());
+  const std::uint64_t n = 1 << 16;
+  const auto list = algos::make_random_list(n, 3);
+  auto ranks = runtime.alloc<std::int64_t>(n);
+  const auto out = algos::list_rank(runtime, list, ranks);
+  EXPECT_EQ(runtime.host_read(ranks), algos::sequential_list_rank(list));
+  EXPECT_EQ(out.iterations, 16);  // 4 log2 16
+  // Irregular all-remote traffic: communication dominates compute here.
+  EXPECT_GT(out.timing.comm_cycles, out.timing.compute_cycles);
+}
+
+TEST(EndToEnd, WorkloadsScaleAcrossMachines) {
+  // The same program runs unmodified on every Table 4 machine; a slower
+  // network (TCP) must produce a slower run than a faster one (T3E) for
+  // the communication-bound list-ranking workload.
+  const std::uint64_t n = 1 << 14;
+  support::cycles_t t3e_time = 0;
+  support::cycles_t tcp_time = 0;
+  for (auto [preset, out] :
+       {std::pair<const char*, support::cycles_t*>{"t3e", &t3e_time},
+        {"tcp", &tcp_time}}) {
+    auto cfg = machine::preset_by_name(preset);
+    cfg.p = 8;  // keep the host-thread count modest
+    rt::Runtime runtime(cfg);
+    const auto list = algos::make_random_list(n, 4);
+    auto ranks = runtime.alloc<std::int64_t>(n);
+    const auto o = algos::list_rank(runtime, list, ranks);
+    EXPECT_EQ(runtime.host_read(ranks), algos::sequential_list_rank(list));
+    *out = o.timing.total_cycles;
+  }
+  EXPECT_GT(tcp_time, 10 * t3e_time);
+}
+
+TEST(EndToEnd, SortThenPrefixComposition) {
+  // Two different algorithms sharing one runtime and one array.
+  rt::Runtime runtime(machine::default_sim(8));
+  const std::uint64_t n = 1 << 14;
+  auto input = random_values(n, 9);
+  for (auto& v : input) v &= 0xffff;  // keep prefix sums small
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  algos::sample_sort(runtime, data);
+  algos::parallel_prefix(runtime, data);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  expected = algos::sequential_prefix(expected);
+  EXPECT_EQ(runtime.host_read(data), expected);
+}
+
+}  // namespace
+}  // namespace qsm

@@ -1,0 +1,150 @@
+// Cross-cutting feature tests: topology and congestion propagating through
+// the full runtime, trace self-consistency, and misuse handling.
+#include <gtest/gtest.h>
+
+#include "algos/samplesort.hpp"
+#include "core/collectives.hpp"
+#include "core/runtime.hpp"
+#include "machine/presets.hpp"
+#include "models/qsm_cost.hpp"
+#include "support/rng.hpp"
+
+namespace qsm {
+namespace {
+
+std::vector<std::int64_t> random_values(std::uint64_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng() >> 1);
+  return v;
+}
+
+support::cycles_t sort_total(machine::MachineConfig cfg, std::uint64_t n) {
+  rt::Runtime runtime(cfg);
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, random_values(n, 77));
+  return algos::sample_sort(runtime, data).timing.total_cycles;
+}
+
+TEST(Features, RingTopologySlowsARealWorkload) {
+  auto full = machine::default_sim(8);
+  auto ring = full;
+  ring.net.topology = net::Topology::Ring;
+  const std::uint64_t n = 1 << 14;
+  EXPECT_GT(sort_total(ring, n), sort_total(full, n));
+}
+
+TEST(Features, TorusSitsBetweenFullAndRing) {
+  auto full = machine::default_sim(16);
+  auto torus = full;
+  torus.net.topology = net::Topology::Torus2D;
+  auto ring = full;
+  ring.net.topology = net::Topology::Ring;
+  const std::uint64_t n = 1 << 14;
+  const auto t_full = sort_total(full, n);
+  const auto t_torus = sort_total(torus, n);
+  const auto t_ring = sort_total(ring, n);
+  EXPECT_LE(t_full, t_torus);
+  EXPECT_LE(t_torus, t_ring);
+}
+
+TEST(Features, CongestionSlowsARealWorkloadButKeepsItCorrect) {
+  auto tight = machine::default_sim(8);
+  tight.net.fabric_links = 1;
+  const std::uint64_t n = 1 << 14;
+  const auto input = random_values(n, 3);
+
+  rt::Runtime runtime(tight);
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  const auto out = algos::sample_sort(runtime, data);
+  auto expected = input;
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(runtime.host_read(data), expected);
+  EXPECT_GT(out.timing.total_cycles, sort_total(machine::default_sim(8), n));
+}
+
+TEST(Features, TraceInternallyConsistent) {
+  rt::Runtime runtime(machine::default_sim(8),
+                      rt::Options{.track_kappa = true});
+  const std::uint64_t n = 1 << 14;
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, random_values(n, 5));
+  const auto out = algos::sample_sort(runtime, data);
+
+  support::cycles_t comm_sum = 0;
+  support::cycles_t barrier_sum = 0;
+  std::uint64_t rw_sum = 0;
+  for (const auto& ps : out.timing.trace) {
+    comm_sum += ps.comm_cycles();
+    barrier_sum += ps.barrier_cycles;
+    rw_sum += ps.rw_total;
+    EXPECT_LE(ps.max_put_words + ps.max_get_words, ps.rw_total + 1);
+    EXPECT_GE(ps.m_rw_max, std::max(ps.max_put_words, ps.max_get_words));
+  }
+  EXPECT_EQ(comm_sum, out.timing.comm_cycles);
+  EXPECT_EQ(barrier_sum, out.timing.barrier_cycles);
+  EXPECT_EQ(rw_sum, out.timing.rw_total);
+  EXPECT_EQ(out.timing.trace.size(), out.timing.phases);
+  // Total time is at least compute of the busiest node and at least the
+  // summed communication.
+  EXPECT_GE(out.timing.total_cycles, out.timing.comm_cycles);
+  EXPECT_GE(out.timing.total_cycles, out.timing.compute_cycles);
+}
+
+TEST(Features, QsmChargeBoundsSimulatedPhaseLooselyFromBelow) {
+  // The model's g*m_rw term with the calibrated put cost should land
+  // within a small factor of the simulated exchange for a put-heavy phase.
+  rt::Runtime runtime(machine::default_sim(8));
+  const std::uint64_t words = 1 << 12;
+  auto data = runtime.alloc<std::int64_t>(8 * words);
+  const auto res = runtime.run([&](rt::Context& ctx) {
+    const auto next = static_cast<std::uint64_t>((ctx.rank() + 1) % 8);
+    std::vector<std::int64_t> buf(words, 1);
+    ctx.put_range(data, next * words, words, buf.data());
+    ctx.sync();
+  });
+  ASSERT_EQ(res.trace.size(), 1u);
+  const models::QsmChargeParams params{.g_word = 130.0, .L = 0.0};
+  const double charge = models::qsm_phase_cost(params, res.trace[0]);
+  const auto simulated = static_cast<double>(res.trace[0].comm_cycles());
+  EXPECT_GT(charge, simulated * 0.3);
+  EXPECT_LT(charge, simulated * 3.0);
+}
+
+TEST(Features, InvalidArrayHandleRejected) {
+  rt::Runtime runtime(machine::default_sim(2));
+  rt::GlobalArray<std::int64_t> bogus;  // never allocated
+  EXPECT_THROW((void)runtime.host_read(bogus), support::ContractViolation);
+  EXPECT_THROW(runtime.run([&](rt::Context& ctx) {
+                 std::int64_t v;
+                 ctx.get(bogus, 0, &v);
+                 ctx.sync();
+               }),
+               support::ContractViolation);
+}
+
+TEST(Features, CollectivesComposeWithAlgorithms) {
+  // Sort, then use a collective to verify global sortedness boundaries
+  // inside the simulated program itself.
+  const std::uint64_t n = 1 << 13;
+  rt::Runtime runtime(machine::default_sim(4));
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, random_values(n, 9));
+  algos::sample_sort(runtime, data);
+  rt::Collectives coll(runtime);
+  runtime.run([&](rt::Context& ctx) {
+    const auto range = rt::block_range(n, ctx.nprocs(), ctx.rank());
+    // My block's max must not exceed my right neighbour's min; check via
+    // allgather of block minima.
+    std::int64_t my_min = ctx.read_local(data, range.begin);
+    std::int64_t my_max = ctx.read_local(data, range.end - 1);
+    const auto minima = coll.allgather(ctx, my_min);
+    if (ctx.rank() + 1 < ctx.nprocs()) {
+      EXPECT_LE(my_max, minima[static_cast<std::size_t>(ctx.rank() + 1)]);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace qsm

@@ -1,0 +1,169 @@
+// The paper's central claims, as tests: measured communication time falls
+// between the Best-case and WHP closed forms for reasonable n, the
+// QSM-estimate-from-measured-skew converges on the measurement as n grows,
+// and bulk-synchronous programs are insensitive to latency once n is large.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algos/listrank.hpp"
+#include "algos/prefix.hpp"
+#include "algos/samplesort.hpp"
+#include "machine/presets.hpp"
+#include "models/calibration.hpp"
+#include "models/predictors.hpp"
+#include "support/rng.hpp"
+
+namespace qsm {
+namespace {
+
+std::vector<std::int64_t> random_values(std::uint64_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng() >> 1);
+  return v;
+}
+
+class ModelVsSim : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    cal_ = new models::Calibration(
+        models::calibrate(machine::default_sim(8)));
+  }
+  static void TearDownTestSuite() {
+    delete cal_;
+    cal_ = nullptr;
+  }
+  static models::Calibration* cal_;
+};
+
+models::Calibration* ModelVsSim::cal_ = nullptr;
+
+TEST_F(ModelVsSim, PrefixModelsUnderestimateMeasurement) {
+  // Figure 1: both models underestimate because overhead/latency dominate
+  // tiny transfers; QSM (no L) sits below BSP; absolute error is bounded
+  // by a few phase overheads.
+  rt::Runtime runtime(machine::default_sim(8));
+  auto data = runtime.alloc<std::int64_t>(1 << 15);
+  runtime.host_fill(data, random_values(1 << 15, 1));
+  const auto out = algos::parallel_prefix(runtime, data);
+  const auto pred = models::prefix_comm(*cal_);
+  const auto measured = static_cast<double>(out.timing.comm_cycles);
+  EXPECT_LT(pred.qsm, pred.bsp);
+  EXPECT_LT(pred.qsm, measured);
+  EXPECT_LE(pred.bsp, measured * 1.05);
+  EXPECT_GT(pred.bsp, measured * 0.3);  // absolute error stays small
+}
+
+TEST_F(ModelVsSim, SampleSortMeasuredWithinBestAndWhpBand) {
+  // Figure 2b: Best case <= measured <= WHP bound for problems worth
+  // parallelizing.
+  for (std::uint64_t n : {1u << 16, 1u << 18}) {
+    rt::Runtime runtime(machine::default_sim(8));
+    auto data = runtime.alloc<std::int64_t>(n);
+    runtime.host_fill(data, random_values(n, n));
+    const auto out = algos::sample_sort(runtime, data);
+    const double measured = static_cast<double>(out.timing.comm_cycles);
+    const auto best =
+        models::samplesort_comm(*cal_, n, 8, models::samplesort_best_skew(n, 8));
+    const auto whp =
+        models::samplesort_comm(*cal_, n, 8, models::samplesort_whp_skew(n, 8));
+    EXPECT_LT(best.qsm, measured) << "n=" << n;
+    EXPECT_GT(whp.bsp, measured * 0.95) << "n=" << n;
+  }
+}
+
+TEST_F(ModelVsSim, SampleSortQsmEstimateConvergesWithN) {
+  // The QSM estimate (measured skew, gap-only pricing) must land within
+  // ~10-15% of measured communication once n is large, and its relative
+  // error must shrink as n grows (section 3.2).
+  double err_small = 0;
+  double err_large = 0;
+  for (auto [n, err] : {std::pair<std::uint64_t, double*>{1 << 14, &err_small},
+                        {1 << 18, &err_large}}) {
+    rt::Runtime runtime(machine::default_sim(8));
+    auto data = runtime.alloc<std::int64_t>(n);
+    runtime.host_fill(data, random_values(n, 5));
+    const auto out = algos::sample_sort(runtime, data);
+    const double measured = static_cast<double>(out.timing.comm_cycles);
+    const double est = models::qsm_estimate_from_trace(*cal_, out.timing);
+    *err = std::abs(est - measured) / measured;
+  }
+  EXPECT_LT(err_large, 0.15);
+  EXPECT_GT(err_small, err_large);
+}
+
+TEST_F(ModelVsSim, BspEstimateBeatsQsmEstimateAtSmallN) {
+  // At small n the phase overheads matter, so adding L per phase (BSP)
+  // must move the estimate toward the measurement.
+  const std::uint64_t n = 1 << 13;
+  rt::Runtime runtime(machine::default_sim(8));
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, random_values(n, 6));
+  const auto out = algos::sample_sort(runtime, data);
+  const double measured = static_cast<double>(out.timing.comm_cycles);
+  const double qsm = models::qsm_estimate_from_trace(*cal_, out.timing);
+  const double bsp = models::bsp_estimate_from_trace(*cal_, out.timing);
+  EXPECT_LT(std::abs(bsp - measured), std::abs(qsm - measured));
+}
+
+TEST_F(ModelVsSim, ListRankQsmEstimateWithin15PercentAtLargeN) {
+  // Figure 3: QSM prediction within 15% of measured comm for n >= ~60k.
+  const std::uint64_t n = 1 << 17;
+  rt::Runtime runtime(machine::default_sim(8));
+  const auto list = algos::make_random_list(n, 9);
+  auto ranks = runtime.alloc<std::int64_t>(n);
+  const auto out = algos::list_rank(runtime, list, ranks);
+  const double measured = static_cast<double>(out.timing.comm_cycles);
+  const double est = models::qsm_estimate_from_trace(*cal_, out.timing);
+  EXPECT_LT(std::abs(est - measured) / measured, 0.20);
+}
+
+TEST_F(ModelVsSim, LatencyInsensitivityAtLargeN) {
+  // Section 3.3: multiplying l by 16 must barely move communication time
+  // for a large bulk-synchronous sort (messages pipeline), while it must
+  // clearly move it for a tiny one.
+  auto slow_cfg = machine::default_sim(8);
+  slow_cfg.net.latency *= 16;
+
+  auto comm_at = [&](const machine::MachineConfig& cfg, std::uint64_t n) {
+    rt::Runtime runtime(cfg);
+    auto data = runtime.alloc<std::int64_t>(n);
+    runtime.host_fill(data, random_values(n, 4));
+    return static_cast<double>(
+        algos::sample_sort(runtime, data).timing.comm_cycles);
+  };
+
+  const std::uint64_t small_n = 1 << 12;
+  const std::uint64_t large_n = 1 << 18;
+  const double small_ratio =
+      comm_at(slow_cfg, small_n) / comm_at(machine::default_sim(8), small_n);
+  const double large_ratio =
+      comm_at(slow_cfg, large_n) / comm_at(machine::default_sim(8), large_n);
+  EXPECT_GT(small_ratio, 1.5);   // latency visible on tiny problems
+  EXPECT_LT(large_ratio, 1.15);  // hidden by pipelining on large ones
+  EXPECT_GT(large_ratio, 1.0);
+}
+
+TEST_F(ModelVsSim, OverheadInsensitivityAtLargeN) {
+  auto slow_cfg = machine::default_sim(8);
+  slow_cfg.net.overhead *= 16;
+
+  auto comm_at = [&](const machine::MachineConfig& cfg, std::uint64_t n) {
+    rt::Runtime runtime(cfg);
+    auto data = runtime.alloc<std::int64_t>(n);
+    runtime.host_fill(data, random_values(n, 4));
+    return static_cast<double>(
+        algos::sample_sort(runtime, data).timing.comm_cycles);
+  };
+
+  const double small_ratio = comm_at(slow_cfg, 1 << 12) /
+                             comm_at(machine::default_sim(8), 1 << 12);
+  const double large_ratio = comm_at(slow_cfg, 1 << 18) /
+                             comm_at(machine::default_sim(8), 1 << 18);
+  EXPECT_GT(small_ratio, large_ratio);
+  EXPECT_LT(large_ratio, 1.25);
+}
+
+}  // namespace
+}  // namespace qsm

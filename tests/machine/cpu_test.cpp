@@ -1,0 +1,59 @@
+#include "machine/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qsm::machine {
+namespace {
+
+TEST(CpuModel, DefaultsMatchPaperTable2) {
+  const CpuModel cpu;
+  EXPECT_DOUBLE_EQ(cpu.clock.hz, 400e6);
+  EXPECT_EQ(cpu.l1_bytes, 8 * 1024);
+  EXPECT_EQ(cpu.l1_hit, 1);
+  EXPECT_EQ(cpu.l2_bytes, 256 * 1024);
+  EXPECT_EQ(cpu.l2_hit, 3);
+  EXPECT_EQ(cpu.mem_access, 10);  // 3 + 7 cycle L2 miss
+  EXPECT_NO_THROW(cpu.validate());
+}
+
+TEST(CpuModel, OpCostScalesLinearly) {
+  CpuModel cpu;
+  EXPECT_EQ(cpu.op_cost(0), 0);
+  EXPECT_EQ(cpu.op_cost(1000), 1000);
+  cpu.cycles_per_op = 0.5;
+  EXPECT_EQ(cpu.op_cost(1000), 500);
+  EXPECT_EQ(cpu.op_cost(3), 2);  // 1.5 rounds up
+}
+
+TEST(CpuModel, AccessCostFollowsHierarchy) {
+  const CpuModel cpu;
+  EXPECT_EQ(cpu.access_cost(4 * 1024), cpu.l1_hit);
+  EXPECT_EQ(cpu.access_cost(8 * 1024), cpu.l1_hit);
+  EXPECT_EQ(cpu.access_cost(64 * 1024), cpu.l2_hit);
+  EXPECT_EQ(cpu.access_cost(1 << 20), cpu.mem_access);
+}
+
+TEST(CpuModel, BatchAccessCost) {
+  const CpuModel cpu;
+  EXPECT_EQ(cpu.access_cost(100, 1 << 20), 100 * cpu.mem_access);
+  EXPECT_EQ(cpu.access_cost(0, 1 << 20), 0);
+}
+
+TEST(CpuModel, NegativeCountsRejected) {
+  const CpuModel cpu;
+  EXPECT_THROW((void)cpu.op_cost(-1), support::ContractViolation);
+  EXPECT_THROW((void)cpu.access_cost(-1, 10), support::ContractViolation);
+  EXPECT_THROW((void)cpu.access_cost(-1), support::ContractViolation);
+}
+
+TEST(CpuModel, ValidateCatchesDisorderedHierarchy) {
+  CpuModel cpu;
+  cpu.l2_hit = 0;
+  EXPECT_THROW(cpu.validate(), support::ContractViolation);
+  cpu = CpuModel{};
+  cpu.l2_bytes = cpu.l1_bytes - 1;
+  EXPECT_THROW(cpu.validate(), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace qsm::machine

@@ -1,0 +1,99 @@
+#include "machine/custom.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace qsm::machine {
+namespace {
+
+TEST(CustomMachine, ParsesFullDescription) {
+  const auto m = machine_from_string(R"(
+# my cluster
+name = quad-cluster
+p = 4
+clock_mhz = 2000
+gap_cpb = 0.8
+overhead = 900
+latency = 2500
+topology = torus
+fabric_links = 8
+cycles_per_op = 0.5
+)");
+  EXPECT_EQ(m.name, "quad-cluster");
+  EXPECT_EQ(m.p, 4);
+  EXPECT_DOUBLE_EQ(m.cpu.clock.hz, 2e9);
+  EXPECT_DOUBLE_EQ(m.net.gap_cpb, 0.8);
+  EXPECT_EQ(m.net.overhead, 900);
+  EXPECT_EQ(m.net.latency, 2500);
+  EXPECT_EQ(m.net.topology, net::Topology::Torus2D);
+  EXPECT_EQ(m.net.fabric_links, 8);
+  EXPECT_DOUBLE_EQ(m.cpu.cycles_per_op, 0.5);
+}
+
+TEST(CustomMachine, UnspecifiedKeysKeepDefaults) {
+  const auto m = machine_from_string("p = 8\n");
+  EXPECT_EQ(m.p, 8);
+  EXPECT_DOUBLE_EQ(m.net.gap_cpb, 3.0);  // default-sim value
+  EXPECT_EQ(m.net.latency, 1600);
+  EXPECT_EQ(m.name, "custom");
+}
+
+TEST(CustomMachine, CommentsAndBlankLinesIgnored) {
+  const auto m = machine_from_string(
+      "\n   \n# full-line comment\np = 2  # trailing comment\n\n");
+  EXPECT_EQ(m.p, 2);
+}
+
+TEST(CustomMachine, UnknownKeyFailsLoudly) {
+  try {
+    (void)machine_from_string("p = 4\nbandwith = 3\n");
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("bandwith"), std::string::npos);
+  }
+}
+
+TEST(CustomMachine, BadNumberFails) {
+  EXPECT_THROW((void)machine_from_string("p = four\n"), std::runtime_error);
+  EXPECT_THROW((void)machine_from_string("gap_cpb = 3x\n"),
+               std::runtime_error);
+}
+
+TEST(CustomMachine, MissingEqualsFails) {
+  EXPECT_THROW((void)machine_from_string("p 4\n"), std::runtime_error);
+}
+
+TEST(CustomMachine, InconsistentConfigFails) {
+  EXPECT_THROW((void)machine_from_string("p = 0\n"), std::runtime_error);
+  EXPECT_THROW((void)machine_from_string("gap_cpb = -1\n"),
+               std::runtime_error);
+}
+
+TEST(CustomMachine, TopologyNames) {
+  EXPECT_EQ(machine_from_string("topology = full\n").net.topology,
+            net::Topology::FullyConnected);
+  EXPECT_EQ(machine_from_string("topology = ring\n").net.topology,
+            net::Topology::Ring);
+  EXPECT_THROW((void)machine_from_string("topology = hypercube\n"),
+               std::runtime_error);
+}
+
+TEST(CustomMachine, RoundTripsThroughAFile) {
+  const std::string path = ::testing::TempDir() + "/qsm_machine.cfg";
+  {
+    std::ofstream f(path);
+    f << "name = filed\np = 3\nlatency = 777\n";
+  }
+  const auto m = machine_from_file(path);
+  EXPECT_EQ(m.name, "filed");
+  EXPECT_EQ(m.p, 3);
+  EXPECT_EQ(m.net.latency, 777);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)machine_from_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace qsm::machine

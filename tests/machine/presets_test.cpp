@@ -1,0 +1,79 @@
+#include "machine/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qsm::machine {
+namespace {
+
+TEST(Presets, DefaultSimMatchesTable3) {
+  const auto m = default_sim();
+  EXPECT_EQ(m.p, 16);
+  EXPECT_DOUBLE_EQ(m.net.gap_cpb, 3.0);
+  EXPECT_EQ(m.net.overhead, 400);
+  EXPECT_EQ(m.net.latency, 1600);
+  EXPECT_DOUBLE_EQ(m.cpu.clock.hz, 400e6);
+}
+
+TEST(Presets, Table4RowsMatchPaper) {
+  const auto now = berkeley_now();
+  EXPECT_EQ(now.p, 32);
+  EXPECT_EQ(now.net.latency, 830);
+  EXPECT_EQ(now.net.overhead, 481);
+  EXPECT_DOUBLE_EQ(now.net.gap_cpb, 4.3);
+
+  const auto tcp = pentium_tcp();
+  EXPECT_EQ(tcp.p, 32);
+  EXPECT_EQ(tcp.net.latency, 75000);
+  EXPECT_EQ(tcp.net.overhead, 150000);
+  EXPECT_DOUBLE_EQ(tcp.net.gap_cpb, 24.0);
+
+  const auto t3e = cray_t3e();
+  EXPECT_EQ(t3e.p, 64);
+  EXPECT_EQ(t3e.net.latency, 126);
+  EXPECT_EQ(t3e.net.overhead, 50);
+  EXPECT_DOUBLE_EQ(t3e.net.gap_cpb, 1.6);
+
+  const auto paragon = intel_paragon();
+  EXPECT_EQ(paragon.p, 64);
+  EXPECT_EQ(paragon.net.latency, 325);
+  EXPECT_EQ(paragon.net.overhead, 90);
+  EXPECT_DOUBLE_EQ(paragon.net.gap_cpb, 0.35);
+
+  const auto cs2 = meiko_cs2();
+  EXPECT_EQ(cs2.p, 32);
+  EXPECT_EQ(cs2.net.latency, 497);
+  EXPECT_EQ(cs2.net.overhead, 112);
+  EXPECT_DOUBLE_EQ(cs2.net.gap_cpb, 1.4);
+}
+
+TEST(Presets, AllValidate) {
+  for (const auto& m : table4_presets()) {
+    EXPECT_NO_THROW(m.validate()) << m.name;
+  }
+}
+
+TEST(Presets, Table4HasSixRows) {
+  EXPECT_EQ(table4_presets().size(), 6u);
+}
+
+TEST(Presets, LookupByNameAndAlias) {
+  EXPECT_EQ(preset_by_name("default").name, "default-sim");
+  EXPECT_EQ(preset_by_name("t3e").name, "cray-t3e");
+  EXPECT_EQ(preset_by_name("cray-t3e").name, "cray-t3e");
+  EXPECT_EQ(preset_by_name("now").name, "berkeley-now");
+  EXPECT_THROW(preset_by_name("quantum"), std::runtime_error);
+}
+
+TEST(Presets, EveryAdvertisedNameResolves) {
+  for (const auto& n : preset_names()) {
+    EXPECT_NO_THROW(preset_by_name(n)) << n;
+  }
+}
+
+TEST(Presets, DefaultSimProcessorCountIsConfigurable) {
+  EXPECT_EQ(default_sim(4).p, 4);
+  EXPECT_EQ(default_sim(64).p, 64);
+}
+
+}  // namespace
+}  // namespace qsm::machine

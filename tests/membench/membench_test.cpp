@@ -1,0 +1,133 @@
+#include "membench/membench.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contract.hpp"
+
+namespace qsm::membench {
+namespace {
+
+TEST(MemBench, BlockingNoConflictMatchesClosedForm) {
+  BankMachineConfig cfg;
+  cfg.name = "toy";
+  cfg.procs = 4;
+  cfg.banks = 4;
+  cfg.sw_overhead = 10;
+  cfg.interconnect_latency = 20;
+  cfg.bank_occupancy = 30;
+  cfg.outstanding = 1;
+  const auto r = run_membench(cfg, Pattern::NoConflict, 100);
+  // Each access: 10 cpu + 20 + 30 bank + 20 = 80 cycles, no queueing.
+  EXPECT_DOUBLE_EQ(r.avg_access_cycles, 80.0);
+  EXPECT_EQ(r.accesses, 400u);
+  EXPECT_EQ(r.makespan, 100 * 80);
+}
+
+TEST(MemBench, ConflictSerializesOnBankZero) {
+  BankMachineConfig cfg;
+  cfg.procs = 4;
+  cfg.banks = 4;
+  cfg.sw_overhead = 10;
+  cfg.interconnect_latency = 20;
+  cfg.bank_occupancy = 30;
+  const auto nc = run_membench(cfg, Pattern::NoConflict, 200);
+  const auto c = run_membench(cfg, Pattern::Conflict, 200);
+  EXPECT_GT(c.avg_access_cycles, nc.avg_access_cycles);
+  // Bank 0 must be nearly saturated under conflict.
+  EXPECT_GT(c.hottest_bank_utilization, 0.9);
+  EXPECT_LT(nc.hottest_bank_utilization, 0.5);
+}
+
+TEST(MemBench, RandomBetweenNoConflictAndConflict) {
+  for (const auto& cfg : fig7_presets()) {
+    const auto nc = run_membench(cfg, Pattern::NoConflict, 300);
+    const auto rd = run_membench(cfg, Pattern::Random, 300);
+    const auto cf = run_membench(cfg, Pattern::Conflict, 300);
+    EXPECT_LE(nc.avg_access_cycles, rd.avg_access_cycles * 1.0001)
+        << cfg.name;
+    EXPECT_LE(rd.avg_access_cycles, cf.avg_access_cycles) << cfg.name;
+  }
+}
+
+TEST(MemBench, Figure7RandomWithin68PercentOfNoConflict) {
+  // Paper section 4: "speedups of 0% to 68%" for NoConflict over Random.
+  for (const auto& cfg : fig7_presets()) {
+    const auto nc = run_membench(cfg, Pattern::NoConflict, 500);
+    const auto rd = run_membench(cfg, Pattern::Random, 500);
+    const double ratio = rd.avg_access_cycles / nc.avg_access_cycles;
+    EXPECT_GE(ratio, 1.0) << cfg.name;
+    EXPECT_LE(ratio, 1.75) << cfg.name;
+  }
+}
+
+TEST(MemBench, Figure7ConflictRoughlyTwoToFourTimesWorse) {
+  // "...the Conflict cases when performance is generally a factor of two
+  // to four worse than the ideal NoConflict layout." Our simulated NOW
+  // and T3E have more processors hammering one bank, so allow the upper
+  // end to stretch.
+  for (const auto& cfg : fig7_presets()) {
+    const auto nc = run_membench(cfg, Pattern::NoConflict, 500);
+    const auto cf = run_membench(cfg, Pattern::Conflict, 500);
+    const double ratio = cf.avg_access_cycles / nc.avg_access_cycles;
+    EXPECT_GE(ratio, 1.7) << cfg.name;
+    EXPECT_LE(ratio, 8.0) << cfg.name;
+  }
+}
+
+TEST(MemBench, DeterministicPerSeed) {
+  const auto cfg = smp_native();
+  const auto a = run_membench(cfg, Pattern::Random, 200, 5);
+  const auto b = run_membench(cfg, Pattern::Random, 200, 5);
+  EXPECT_DOUBLE_EQ(a.avg_access_cycles, b.avg_access_cycles);
+  EXPECT_EQ(a.makespan, b.makespan);
+  const auto c = run_membench(cfg, Pattern::Random, 200, 6);
+  EXPECT_NE(a.makespan, c.makespan);
+}
+
+TEST(MemBench, PresetsValidateAndOrderSensibly) {
+  const auto presets = fig7_presets();
+  EXPECT_EQ(presets.size(), 5u);
+  for (const auto& m : presets) EXPECT_NO_THROW(m.validate());
+  // The library stacks are strictly slower than native on the same SMP.
+  const auto native = run_membench(smp_native(), Pattern::Random, 300);
+  const auto l2 = run_membench(smp_bsplib_l2(), Pattern::Random, 300);
+  const auto l1 = run_membench(smp_bsplib_l1(), Pattern::Random, 300);
+  EXPECT_LT(native.avg_access_us, l2.avg_access_us);
+  EXPECT_LT(l2.avg_access_us, l1.avg_access_us);
+  // The Ethernet NOW is orders of magnitude slower than everything else.
+  const auto now = run_membench(now_bsplib(), Pattern::Random, 300);
+  EXPECT_GT(now.avg_access_us, 25 * l1.avg_access_us);
+}
+
+TEST(MemBench, T3ERemoteAccessIsMicroseconds) {
+  const auto r = run_membench(cray_t3e_shmem(), Pattern::NoConflict, 300);
+  EXPECT_GT(r.avg_access_us, 0.5);
+  EXPECT_LT(r.avg_access_us, 5.0);
+}
+
+TEST(MemBench, PipelinedWindowRaisesThroughputNotLatency) {
+  BankMachineConfig cfg = smp_native();
+  cfg.outstanding = 4;
+  const auto piped = run_membench(cfg, Pattern::NoConflict, 300);
+  const auto blocking = run_membench(smp_native(), Pattern::NoConflict, 300);
+  EXPECT_LT(piped.makespan, blocking.makespan);
+}
+
+TEST(MemBench, RejectsBadConfig) {
+  BankMachineConfig cfg = smp_native();
+  cfg.banks = 0;
+  EXPECT_THROW((void)run_membench(cfg, Pattern::Random, 10),
+               support::ContractViolation);
+  cfg = smp_native();
+  EXPECT_THROW((void)run_membench(cfg, Pattern::Random, 0),
+               support::ContractViolation);
+}
+
+TEST(MemBench, PatternNames) {
+  EXPECT_STREQ(to_string(Pattern::Random), "Random");
+  EXPECT_STREQ(to_string(Pattern::Conflict), "Conflict");
+  EXPECT_STREQ(to_string(Pattern::NoConflict), "NoConflict");
+}
+
+}  // namespace
+}  // namespace qsm::membench

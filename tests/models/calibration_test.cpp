@@ -1,0 +1,106 @@
+#include "models/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "machine/presets.hpp"
+
+namespace qsm::models {
+namespace {
+
+TEST(Calibration, DefaultMachineObservedCostsExceedHardwareGap) {
+  // Paper Table 3: 3 cpb hardware becomes 35 cpb (put) / 287 cpb (get)
+  // through the library. Our software stack must show the same inflation
+  // (we accept a broad band; the exact constants depend on software
+  // details the paper does not give).
+  const auto cal = calibrate(machine::default_sim(), 1 << 14);
+  EXPECT_GT(cal.put_cpb(), 3.0 * 3);    // well above the raw gap
+  EXPECT_LT(cal.put_cpb(), 3.0 * 40);
+  EXPECT_GT(cal.get_cpb(), cal.put_cpb() * 1.2);  // gets cost more
+}
+
+TEST(Calibration, BarrierNearPaperValue) {
+  const auto cal = calibrate(machine::default_sim());
+  // Table 3: 25,500 cycles for the 16-node barrier; accept 0.5x-2x.
+  EXPECT_GT(cal.barrier, 12000);
+  EXPECT_LT(cal.barrier, 51000);
+  // The full phase overhead includes the plan exchange too.
+  EXPECT_GT(cal.phase_overhead, cal.barrier);
+}
+
+TEST(Calibration, IsDeterministic) {
+  const auto a = calibrate(machine::default_sim(), 4096);
+  const auto b = calibrate(machine::default_sim(), 4096);
+  EXPECT_DOUBLE_EQ(a.put_cpw, b.put_cpw);
+  EXPECT_DOUBLE_EQ(a.get_cpw, b.get_cpw);
+  EXPECT_EQ(a.phase_overhead, b.phase_overhead);
+}
+
+TEST(Calibration, LargerTransfersAmortizePerMessageCosts) {
+  const auto small = calibrate(machine::default_sim(), 256);
+  const auto large = calibrate(machine::default_sim(), 1 << 15);
+  EXPECT_GE(small.put_cpw, large.put_cpw);
+  EXPECT_GE(small.get_cpw, large.get_cpw);
+}
+
+TEST(Calibration, SlowerNetworkRaisesObservedGap) {
+  auto slow_cfg = machine::default_sim();
+  slow_cfg.net.gap_cpb = 30.0;
+  const auto fast = calibrate(machine::default_sim(), 4096);
+  const auto slow = calibrate(slow_cfg, 4096);
+  EXPECT_GT(slow.put_cpw, fast.put_cpw);
+  EXPECT_GT(slow.get_cpw, fast.get_cpw);
+}
+
+TEST(Calibration, LatencyDoesNotChangeMarginalWordCostMuch) {
+  // Latency is paid per message, not per word, so bulk per-word costs
+  // should barely move when latency grows 10x. This is the core QSM claim.
+  auto lat_cfg = machine::default_sim();
+  lat_cfg.net.latency *= 10;
+  const auto base = calibrate(machine::default_sim(), 1 << 15);
+  const auto lat = calibrate(lat_cfg, 1 << 15);
+  EXPECT_LT(lat.put_cpw, base.put_cpw * 1.25);
+  // But the fixed phase overhead does grow with latency.
+  EXPECT_GT(lat.phase_overhead, base.phase_overhead);
+}
+
+TEST(Calibration, SingleNodeDegradesGracefully) {
+  const auto cal = calibrate(machine::default_sim(1));
+  EXPECT_EQ(cal.p, 1);
+  EXPECT_GT(cal.put_cpw, 0);
+  EXPECT_EQ(cal.barrier, 0);
+}
+
+class CalibrationPresetSweep : public ::testing::TestWithParam<const char*> {
+};
+
+TEST_P(CalibrationPresetSweep, InvariantsHoldOnEveryArchitecture) {
+  auto cfg = machine::preset_by_name(GetParam());
+  cfg.p = std::min(cfg.p, 8);  // keep host-thread counts modest
+  const auto cal = calibrate(cfg, 4096);
+  // Gets always cost more than puts (round trip), both above the raw
+  // hardware rate, and the phase overhead always exceeds the bare barrier.
+  EXPECT_GT(cal.get_cpw, cal.put_cpw) << cfg.name;
+  EXPECT_GT(cal.put_cpb(), cfg.net.gap_cpb) << cfg.name;
+  EXPECT_GT(cal.phase_overhead, cal.barrier) << cfg.name;
+  EXPECT_GT(cal.barrier, 0) << cfg.name;
+  // Determinism across repeated calibrations.
+  const auto again = calibrate(cfg, 4096);
+  EXPECT_DOUBLE_EQ(cal.put_cpw, again.put_cpw) << cfg.name;
+  EXPECT_EQ(cal.phase_overhead, again.phase_overhead) << cfg.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, CalibrationPresetSweep,
+                         ::testing::Values("default", "now", "tcp", "t3e",
+                                           "paragon", "cs2"));
+
+TEST(Calibration, T3EPresetIsFasterThanTcpPreset) {
+  const auto t3e = calibrate(machine::cray_t3e(), 4096);
+  const auto tcp = calibrate(machine::pentium_tcp(), 4096);
+  EXPECT_LT(t3e.put_cpw, tcp.put_cpw);
+  EXPECT_LT(t3e.phase_overhead, tcp.phase_overhead);
+}
+
+}  // namespace
+}  // namespace qsm::models

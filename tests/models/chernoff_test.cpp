@@ -1,0 +1,135 @@
+#include "models/chernoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "support/contract.hpp"
+#include "support/rng.hpp"
+
+namespace qsm::models {
+namespace {
+
+TEST(BernoulliKl, ZeroAtEqualDistributions) {
+  EXPECT_DOUBLE_EQ(bernoulli_kl(0.3, 0.3), 0.0);
+  EXPECT_DOUBLE_EQ(bernoulli_kl(0.5, 0.5), 0.0);
+}
+
+TEST(BernoulliKl, PositiveAwayFromCenter) {
+  EXPECT_GT(bernoulli_kl(0.6, 0.5), 0.0);
+  EXPECT_GT(bernoulli_kl(0.4, 0.5), 0.0);
+  EXPECT_GT(bernoulli_kl(0.9, 0.5), bernoulli_kl(0.6, 0.5));
+}
+
+TEST(BernoulliKl, HandlesBoundaryA) {
+  // a = 0 and a = 1 are fine (0 log 0 = 0).
+  EXPECT_NEAR(bernoulli_kl(0.0, 0.5), std::log(2.0), 1e-12);
+  EXPECT_NEAR(bernoulli_kl(1.0, 0.5), std::log(2.0), 1e-12);
+}
+
+TEST(BernoulliKl, RejectsDegenerateQ) {
+  EXPECT_THROW((void)bernoulli_kl(0.5, 0.0), support::ContractViolation);
+  EXPECT_THROW((void)bernoulli_kl(0.5, 1.0), support::ContractViolation);
+}
+
+TEST(BinomUpperTail, OneBelowMean) {
+  EXPECT_DOUBLE_EQ(binom_upper_tail_bound(100, 0.5, 40), 1.0);
+  EXPECT_DOUBLE_EQ(binom_upper_tail_bound(100, 0.5, 50), 1.0);
+}
+
+TEST(BinomUpperTail, DecreasesAboveMean) {
+  double prev = 1.0;
+  for (std::uint64_t m : {55u, 60u, 70u, 80u, 90u, 100u}) {
+    const double b = binom_upper_tail_bound(100, 0.5, m);
+    EXPECT_LT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(BinomUpperTail, ZeroBeyondN) {
+  EXPECT_DOUBLE_EQ(binom_upper_tail_bound(100, 0.5, 101), 0.0);
+}
+
+TEST(BinomUpperQuantile, BracketsTheTail) {
+  const std::uint64_t n = 10000;
+  const double q = 0.25;
+  const double delta = 0.1;
+  const std::uint64_t m = binom_upper_quantile(n, q, delta);
+  EXPECT_GT(m, static_cast<std::uint64_t>(n * q));
+  EXPECT_LE(binom_upper_tail_bound(n, q, m), delta);
+  EXPECT_GT(binom_upper_tail_bound(n, q, m - 1), delta);
+}
+
+TEST(BinomUpperQuantile, TightensWithN) {
+  // Relative deviation shrinks as n grows.
+  const double d1 =
+      static_cast<double>(binom_upper_quantile(1000, 0.5, 0.1)) / 1000 - 0.5;
+  const double d2 =
+      static_cast<double>(binom_upper_quantile(100000, 0.5, 0.1)) / 100000 -
+      0.5;
+  EXPECT_GT(d1, d2);
+  EXPECT_GT(d2, 0);
+}
+
+TEST(BinomUpperQuantile, LoosensWithSmallerDelta) {
+  EXPECT_GE(binom_upper_quantile(10000, 0.5, 0.001),
+            binom_upper_quantile(10000, 0.5, 0.1));
+}
+
+TEST(BinomLowerQuantile, BelowMeanAndValid) {
+  const std::uint64_t n = 10000;
+  const std::uint64_t m = binom_lower_quantile(n, 0.5, 0.1);
+  EXPECT_LT(m, 5000u);
+  EXPECT_LE(binom_lower_tail_bound(n, 0.5, m), 0.1);
+}
+
+TEST(BinomQuantiles, CoverEmpiricalSamples) {
+  // Property check: the 10% Chernoff quantile should cover well over 90%
+  // of simulated binomial draws.
+  support::Xoshiro256 rng(7);
+  const std::uint64_t n = 2000;
+  const double q = 0.25;
+  const std::uint64_t hi = binom_upper_quantile(n, q, 0.1);
+  const std::uint64_t lo = binom_lower_quantile(n, q, 0.1);
+  int outside = 0;
+  constexpr int kTrials = 300;
+  for (int t = 0; t < kTrials; ++t) {
+    std::uint64_t x = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (rng.uniform() < q) ++x;
+    }
+    if (x >= hi || x <= lo) ++outside;
+  }
+  EXPECT_LT(outside, kTrials / 10);
+}
+
+TEST(MaxBucketBound, SingleBucketIsN) {
+  EXPECT_EQ(max_bucket_bound(1000, 1, 0.1), 1000u);
+}
+
+TEST(MaxBucketBound, AboveMeanBelowN) {
+  const std::uint64_t b = max_bucket_bound(160000, 16, 0.1);
+  EXPECT_GT(b, 10000u);
+  EXPECT_LT(b, 12000u);  // within ~20% of the mean at this size
+}
+
+TEST(MaxBucketBound, CoversEmpiricalMaxBucket) {
+  support::Xoshiro256 rng(11);
+  const std::uint64_t n = 16000;
+  const std::uint64_t buckets = 16;
+  const std::uint64_t bound = max_bucket_bound(n, buckets, 0.1);
+  int violations = 0;
+  constexpr int kTrials = 50;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<std::uint64_t> c(buckets, 0);
+    for (std::uint64_t i = 0; i < n; ++i) c[rng.below(buckets)]++;
+    const std::uint64_t mx = *std::max_element(c.begin(), c.end());
+    if (mx > bound) ++violations;
+  }
+  EXPECT_LE(violations, kTrials / 10);
+}
+
+}  // namespace
+}  // namespace qsm::models

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "models/emulation.hpp"
+#include "models/logp.hpp"
+#include "support/contract.hpp"
+
+namespace qsm::models {
+namespace {
+
+// ---- LogP ------------------------------------------------------------------
+
+TEST(LogP, CapacityIsCeilLOverG) {
+  LogPParams p;
+  p.latency = 1600;
+  p.gap_msg = 400;
+  EXPECT_EQ(logp_capacity(p), 4);
+  p.gap_msg = 300;
+  EXPECT_EQ(logp_capacity(p), 6);  // ceil(1600/300)
+}
+
+TEST(LogP, SendTimePipelinesAtMaxOfGapAndOverhead) {
+  LogPParams p;
+  p.overhead = 100;
+  p.gap_msg = 400;
+  EXPECT_DOUBLE_EQ(logp_send_time(p, 1), 100);
+  EXPECT_DOUBLE_EQ(logp_send_time(p, 5), 100 + 4 * 400);
+  p.gap_msg = 50;  // overhead-bound now
+  EXPECT_DOUBLE_EQ(logp_send_time(p, 5), 100 + 4 * 100);
+  EXPECT_DOUBLE_EQ(logp_send_time(p, 0), 0);
+}
+
+TEST(LogP, ExchangeScalesWithMessageCount) {
+  LogPParams p;
+  const double one = logp_exchange_time(p, 1);
+  const double many = logp_exchange_time(p, 100);
+  EXPECT_GT(many, 50 * one / 2);
+  EXPECT_DOUBLE_EQ(logp_exchange_time(p, 0), 0.0);
+}
+
+TEST(LogP, BatchingCollapsesTheCost) {
+  // The QSM contract in one identity: the same word volume costs ~B times
+  // less under LogP when batched B words to a message.
+  LogPParams p;
+  const std::int64_t words = 1 << 16;
+  const double eager = logp_word_exchange_time(p, words, 1);
+  const double batched = logp_word_exchange_time(p, words, 1024);
+  EXPECT_GT(eager, 100 * batched);
+}
+
+TEST(LogP, OverheadSensitivityIsPerMessage) {
+  // Martin et al.'s observation (paper section 5): fine-grained traffic is
+  // hypersensitive to o; batched traffic is not.
+  LogPParams base;
+  LogPParams slow = base;
+  slow.overhead *= 16;
+  const std::int64_t words = 1 << 14;
+  const double eager_ratio = logp_word_exchange_time(slow, words, 1) /
+                             logp_word_exchange_time(base, words, 1);
+  const double batched_ratio =
+      logp_word_exchange_time(slow, words, words) /
+      logp_word_exchange_time(base, words, words);
+  EXPECT_GT(eager_ratio, 10.0);
+  EXPECT_GT(eager_ratio, batched_ratio);
+  // And in absolute terms, batching erases the o blow-up entirely.
+  EXPECT_LT(logp_word_exchange_time(slow, words, words),
+            logp_word_exchange_time(slow, words, 1) / 100);
+}
+
+TEST(LogP, BarrierLogarithmicInP) {
+  LogPParams p;
+  p.processors = 16;
+  const double b16 = logp_barrier_time(p);
+  p.processors = 64;
+  const double b64 = logp_barrier_time(p);
+  EXPECT_DOUBLE_EQ(b64 / b16, 6.0 / 4.0);
+}
+
+TEST(LogP, ValidatesInput) {
+  LogPParams p;
+  p.gap_msg = -1;
+  EXPECT_THROW(p.validate(), support::ContractViolation);
+  p = LogPParams{};
+  EXPECT_THROW((void)logp_send_time(p, -1), support::ContractViolation);
+  EXPECT_THROW((void)logp_word_exchange_time(p, 10, 0),
+               support::ContractViolation);
+}
+
+TEST(LogGP, ReducesToLogPWithoutByteGap) {
+  LogPParams p;
+  EXPECT_DOUBLE_EQ(loggp_word_exchange_time(p, 4096, 256),
+                   logp_word_exchange_time(p, 4096, 256));
+}
+
+TEST(LogGP, ByteGapChargesVolume) {
+  LogPParams p;
+  p.gap_byte = 3.0;
+  const double t = loggp_word_exchange_time(p, 1024, 1024, 8);
+  EXPECT_GE(t, 3.0 * 1024 * 8);
+  // Doubling the volume roughly doubles the byte term.
+  const double t2 = loggp_word_exchange_time(p, 2048, 2048, 8);
+  EXPECT_GT(t2 - t, 3.0 * 1024 * 8 * 0.99);
+}
+
+TEST(LogGP, LongMessagesMakeBatchedCostGrowWithN) {
+  // The fix for plain LogP's flat batched line.
+  LogPParams p;
+  p.gap_byte = 3.0;
+  const double small = loggp_word_exchange_time(p, 1 << 10, 1 << 10);
+  const double large = loggp_word_exchange_time(p, 1 << 16, 1 << 16);
+  EXPECT_GT(large, 20 * small);
+}
+
+// ---- emulation --------------------------------------------------------------
+
+TEST(Emulation, HRelationDominatesBalancedLoad) {
+  for (std::uint64_t m : {16ULL, 256ULL, 4096ULL, 1ULL << 16}) {
+    EXPECT_GE(hashed_h_relation(m, 16), m) << m;
+  }
+  // Degenerate cases.
+  EXPECT_EQ(hashed_h_relation(100, 1), 100u);
+  EXPECT_EQ(hashed_h_relation(0, 8), 0u);
+}
+
+TEST(Emulation, SlackShrinksTowardOneWithLoad) {
+  const double s_small = emulation_slack(32, 16);
+  const double s_mid = emulation_slack(4096, 16);
+  const double s_large = emulation_slack(1 << 20, 16);
+  EXPECT_GT(s_small, s_mid);
+  EXPECT_GT(s_mid, s_large);
+  EXPECT_GT(s_large, 1.0);
+  EXPECT_LT(s_large, 1.05);  // work-preserving once n/p is large
+}
+
+TEST(Emulation, SlackGrowsWithProcessorCount) {
+  EXPECT_LT(emulation_slack(1024, 4), emulation_slack(1024, 64));
+}
+
+TEST(Emulation, PhaseCostAtLeastQsmTerms) {
+  BspParams bsp;
+  bsp.gap_word = 2.0;
+  bsp.L = 500;
+  bsp.processors = 16;
+  rt::PhaseStats ps;
+  ps.m_op_max = 1000;
+  ps.m_rw_max = 4096;
+  ps.kappa = 10;
+  const double cost = bsp_cost_of_qsm_phase(bsp, ps);
+  EXPECT_GE(cost, 1000 + 2.0 * 4096 + 500);  // at least the balanced cost
+  EXPECT_LE(cost, 1000 + 2.0 * 4096 * 1.2 + 500);  // modest hashing slack
+}
+
+TEST(Emulation, HotSpotPhaseSerializesOnKappa) {
+  BspParams bsp;
+  bsp.gap_word = 3.0;
+  bsp.processors = 16;
+  rt::PhaseStats ps;
+  ps.m_op_max = 10;
+  ps.m_rw_max = 1;
+  ps.kappa = 100000;  // everyone hits one cell
+  EXPECT_GE(bsp_cost_of_qsm_phase(bsp, ps), 3.0 * 100000);
+}
+
+TEST(Emulation, RunCostSumsPhases) {
+  BspParams bsp;
+  rt::RunResult run;
+  rt::PhaseStats ps;
+  ps.m_op_max = 100;
+  run.add_phase(ps);
+  run.add_phase(ps);
+  const double one = bsp_cost_of_qsm_phase(bsp, ps, 0.05);
+  EXPECT_DOUBLE_EQ(bsp_cost_of_qsm_run(bsp, run, 0.1), 2 * one);
+}
+
+}  // namespace
+}  // namespace qsm::models

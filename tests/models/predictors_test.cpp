@@ -1,0 +1,188 @@
+#include "models/predictors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "machine/presets.hpp"
+#include "models/nmin.hpp"
+
+namespace qsm::models {
+namespace {
+
+Calibration test_cal() {
+  Calibration cal;
+  cal.p = 16;
+  cal.put_cpw = 280;   // ~35 cpb, as in Table 3
+  cal.get_cpw = 800;
+  cal.phase_overhead = 30000;
+  cal.barrier = 25000;
+  return cal;
+}
+
+TEST(PrefixModel, MatchesClosedForm) {
+  const auto cal = test_cal();
+  const auto pred = prefix_comm(cal);
+  EXPECT_DOUBLE_EQ(pred.qsm, 280.0 * 15);
+  EXPECT_DOUBLE_EQ(pred.bsp, 280.0 * 15 + 30000);
+}
+
+TEST(PrefixModel, IndependentOfProblemSize) {
+  // There is no n anywhere in the interface: the paper's point that
+  // prefix-sum communication does not grow with n.
+  const auto cal = test_cal();
+  EXPECT_DOUBLE_EQ(prefix_comm(cal).qsm, prefix_comm(cal).qsm);
+}
+
+TEST(SortSkew, BestCaseIsUniform) {
+  const auto s = samplesort_best_skew(160000, 16);
+  EXPECT_DOUBLE_EQ(s.largest_bucket, 10000.0);
+  EXPECT_DOUBLE_EQ(s.remote_fraction, 15.0 / 16.0);
+}
+
+TEST(SortSkew, WhpDominatesBestCase) {
+  for (std::uint64_t n : {10000ULL, 100000ULL, 1000000ULL}) {
+    const auto best = samplesort_best_skew(n, 16);
+    const auto whp = samplesort_whp_skew(n, 16);
+    EXPECT_GT(whp.largest_bucket, best.largest_bucket) << n;
+    EXPECT_GE(whp.remote_fraction, best.remote_fraction * 0.99) << n;
+    EXPECT_LE(whp.remote_fraction, 1.0) << n;
+  }
+}
+
+TEST(SortSkew, WhpRelativeSlackShrinksWithN) {
+  const auto small = samplesort_whp_skew(20000, 16);
+  const auto large = samplesort_whp_skew(2000000, 16);
+  const double slack_small = small.largest_bucket / (20000.0 / 16) - 1.0;
+  const double slack_large = large.largest_bucket / (2000000.0 / 16) - 1.0;
+  EXPECT_GT(slack_small, slack_large);
+}
+
+TEST(SampleSortModel, WhpBoundsAboveBestCase) {
+  const auto cal = test_cal();
+  const std::uint64_t n = 500000;
+  const auto best = samplesort_comm(cal, n, 16, samplesort_best_skew(n, 16));
+  const auto whp = samplesort_comm(cal, n, 16, samplesort_whp_skew(n, 16));
+  EXPECT_GT(whp.qsm, best.qsm);
+  EXPECT_GT(whp.bsp, best.bsp);
+  EXPECT_DOUBLE_EQ(whp.bsp - whp.qsm, 5.0 * 30000);
+}
+
+TEST(SampleSortModel, GrowsLinearlyInN) {
+  const auto cal = test_cal();
+  const auto a =
+      samplesort_comm(cal, 100000, 16, samplesort_best_skew(100000, 16));
+  const auto b =
+      samplesort_comm(cal, 200000, 16, samplesort_best_skew(200000, 16));
+  // Doubling n roughly doubles the B-dependent part.
+  EXPECT_GT(b.qsm, a.qsm * 1.8);
+  EXPECT_LT(b.qsm, a.qsm * 2.2);
+}
+
+TEST(ListRankSkew, BestCaseGeometricDecay) {
+  const auto s = listrank_best_skew(160000, 16, 4);
+  ASSERT_EQ(s.active.size(), 16u);  // 4 * log2(16)
+  EXPECT_DOUBLE_EQ(s.active[0], 10000.0);
+  EXPECT_DOUBLE_EQ(s.active[1], 7500.0);
+  EXPECT_DOUBLE_EQ(s.flips[0], 5000.0);
+  EXPECT_DOUBLE_EQ(s.elims[0], 2500.0);
+  // z = n * (3/4)^16
+  EXPECT_NEAR(s.z, 160000.0 * std::pow(0.75, 16), 1.0);
+}
+
+TEST(ListRankSkew, WhpDominatesBestCase) {
+  const auto best = listrank_best_skew(160000, 16, 4);
+  const auto whp = listrank_whp_skew(160000, 16, 4);
+  ASSERT_EQ(best.active.size(), whp.active.size());
+  for (std::size_t i = 0; i < best.active.size(); ++i) {
+    EXPECT_GE(whp.active[i], best.active[i] * 0.999) << i;
+    EXPECT_GE(whp.flips[i], best.flips[i]) << i;
+    EXPECT_GE(whp.elims[i], best.elims[i]) << i;
+  }
+  EXPECT_GE(whp.z, best.z);
+}
+
+TEST(ListRankModel, WhpAboveBest) {
+  const auto cal = test_cal();
+  const std::uint64_t n = 160000;
+  const auto best = listrank_comm(cal, n, 16, listrank_best_skew(n, 16));
+  const auto whp = listrank_comm(cal, n, 16, listrank_whp_skew(n, 16));
+  EXPECT_GT(whp.qsm, best.qsm);
+  EXPECT_GT(best.qsm, 0);
+  EXPECT_GT(best.bsp, best.qsm);
+}
+
+TEST(TraceEstimates, PriceRecordedWords) {
+  const auto cal = test_cal();
+  rt::RunResult run;
+  rt::PhaseStats ps;
+  ps.max_put_words = 100;
+  ps.max_get_words = 10;
+  run.add_phase(ps);
+  ps.max_put_words = 0;
+  ps.max_get_words = 50;
+  run.add_phase(ps);
+  const double qsm = qsm_estimate_from_trace(cal, run);
+  EXPECT_DOUBLE_EQ(qsm, 100 * 280.0 + 60 * 800.0);
+  EXPECT_DOUBLE_EQ(bsp_estimate_from_trace(cal, run), qsm + 2 * 30000.0);
+}
+
+TEST(TraceEstimates, EmptyRunIsZero) {
+  const auto cal = test_cal();
+  rt::RunResult run;
+  EXPECT_DOUBLE_EQ(qsm_estimate_from_trace(cal, run), 0.0);
+  EXPECT_DOUBLE_EQ(bsp_estimate_from_trace(cal, run), 0.0);
+}
+
+// ---- Table 4 extrapolation ---------------------------------------------------
+
+TEST(Nmin, LinearInLatency) {
+  auto in = nmin_input_from(machine::default_sim());
+  const double base = nmin_per_proc_samplesort(in);
+  in.latency *= 2;
+  const double doubled = nmin_per_proc_samplesort(in);
+  in.latency *= 2;
+  const double quadrupled = nmin_per_proc_samplesort(in);
+  // Differences scale linearly with l.
+  EXPECT_NEAR((quadrupled - doubled) / (doubled - base), 2.0, 1e-9);
+}
+
+TEST(Nmin, LinearInOverhead) {
+  auto in = nmin_input_from(machine::default_sim());
+  const double base = nmin_per_proc_samplesort(in);
+  in.overhead *= 2;
+  const double doubled = nmin_per_proc_samplesort(in);
+  in.overhead *= 2;
+  const double quadrupled = nmin_per_proc_samplesort(in);
+  EXPECT_NEAR((quadrupled - doubled) / (doubled - base), 2.0, 1e-9);
+}
+
+TEST(Nmin, TcpEthernetNeedsTheLargestProblems) {
+  // Paper Table 4: the Pentium-II/TCP row dwarfs all others.
+  double tcp = 0;
+  double others_max = 0;
+  for (const auto& m : machine::table4_presets()) {
+    const double v = nmin_per_proc_samplesort(nmin_input_from(m));
+    if (m.name == "pentium2-tcp") {
+      tcp = v;
+    } else {
+      others_max = std::max(others_max, v);
+    }
+  }
+  EXPECT_GT(tcp, 10 * others_max);
+}
+
+TEST(Nmin, SoftwareFactorScalesResult) {
+  const auto in = nmin_input_from(machine::berkeley_now());
+  EXPECT_NEAR(nmin_per_proc_samplesort(in, 0.10, 2.0),
+              2.0 * nmin_per_proc_samplesort(in, 0.10, 1.0), 1e-9);
+}
+
+TEST(Nmin, TighterToleranceNeedsBiggerProblems) {
+  const auto in = nmin_input_from(machine::default_sim());
+  EXPECT_GT(nmin_per_proc_samplesort(in, 0.05),
+            nmin_per_proc_samplesort(in, 0.10));
+}
+
+}  // namespace
+}  // namespace qsm::models

@@ -1,0 +1,107 @@
+#include "models/qsm_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algos/prefix.hpp"
+#include "core/runtime.hpp"
+#include "machine/presets.hpp"
+#include "support/rng.hpp"
+
+namespace qsm::models {
+namespace {
+
+rt::PhaseStats make_phase(support::cycles_t m_op, std::uint64_t m_rw,
+                          std::uint64_t kappa) {
+  rt::PhaseStats ps;
+  ps.m_op_max = m_op;
+  ps.m_rw_max = m_rw;
+  ps.kappa = kappa;
+  return ps;
+}
+
+TEST(QsmCost, MaxOfThreeTerms) {
+  const QsmChargeParams g2{.g_word = 2.0, .L = 0.0};
+  // Compute-bound phase.
+  EXPECT_DOUBLE_EQ(qsm_phase_cost(g2, make_phase(1000, 10, 5)), 1000.0);
+  // Communication-bound phase.
+  EXPECT_DOUBLE_EQ(qsm_phase_cost(g2, make_phase(10, 600, 5)), 1200.0);
+  // Contention-bound phase (kappa unscaled in plain QSM).
+  EXPECT_DOUBLE_EQ(qsm_phase_cost(g2, make_phase(10, 10, 5000)), 5000.0);
+}
+
+TEST(QsmCost, SqsmScalesKappaByGap) {
+  const QsmChargeParams g4{.g_word = 4.0, .L = 0.0};
+  const auto ps = make_phase(10, 10, 500);
+  EXPECT_DOUBLE_EQ(qsm_phase_cost(g4, ps), 500.0);
+  EXPECT_DOUBLE_EQ(sqsm_phase_cost(g4, ps), 2000.0);
+}
+
+TEST(QsmCost, SqsmNeverBelowQsm) {
+  const QsmChargeParams g{.g_word = 3.0, .L = 0.0};
+  for (std::uint64_t kappa : {0ULL, 1ULL, 7ULL, 100ULL, 100000ULL}) {
+    const auto ps = make_phase(50, 20, kappa);
+    EXPECT_GE(sqsm_phase_cost(g, ps), qsm_phase_cost(g, ps)) << kappa;
+  }
+}
+
+TEST(QsmCost, BspStyleLAddsPerPhase) {
+  const QsmChargeParams no_l{.g_word = 1.0, .L = 0.0};
+  const QsmChargeParams with_l{.g_word = 1.0, .L = 777.0};
+  rt::RunResult run;
+  run.add_phase(make_phase(10, 10, 0));
+  run.add_phase(make_phase(20, 5, 0));
+  run.add_phase(make_phase(1, 1, 0));
+  EXPECT_DOUBLE_EQ(qsm_trace_cost(with_l, run),
+                   qsm_trace_cost(no_l, run) + 3 * 777.0);
+}
+
+TEST(QsmCost, RejectsBadParams) {
+  EXPECT_THROW((void)qsm_phase_cost({.g_word = 0.0, .L = 0.0}, make_phase(1, 1, 1)),
+               support::ContractViolation);
+  EXPECT_THROW((void)qsm_phase_cost({.g_word = 1.0, .L = -1.0}, make_phase(1, 1, 1)),
+               support::ContractViolation);
+}
+
+TEST(QsmCost, PrefixRunIsComputeBound) {
+  // The prefix-sums run charges O(n/p) local work against p-1 remote words
+  // per node; for large n the QSM charge must be the m_op term.
+  rt::Runtime runtime(machine::default_sim(8),
+                      rt::Options{.track_kappa = true});
+  const std::uint64_t n = 1 << 16;
+  support::Xoshiro256 rng(3);
+  std::vector<std::int64_t> input(n);
+  for (auto& x : input) x = rng.range(-5, 5);
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, input);
+  const auto out = algos::parallel_prefix(runtime, data);
+
+  const QsmChargeParams g{.g_word = 127.0, .L = 0.0};
+  const double cost = qsm_trace_cost(g, out.timing);
+  ASSERT_EQ(out.timing.trace.size(), 1u);
+  EXPECT_DOUBLE_EQ(cost,
+                   static_cast<double>(out.timing.trace[0].m_op_max));
+  EXPECT_GT(cost, g.g_word * 7);  // far above the communication term
+}
+
+TEST(QsmCost, HotSpotRunIsKappaBound) {
+  // Everyone hammers one location: kappa = p and the QSM charge for the
+  // phase is the contention term once g*m_rw and m_op are tiny.
+  const int p = 16;
+  rt::Runtime runtime(machine::default_sim(p),
+                      rt::Options{.track_kappa = true});
+  auto a = runtime.alloc<std::int64_t>(4);
+  const auto result = runtime.run([&](rt::Context& ctx) {
+    ctx.put(a, 0, static_cast<std::int64_t>(ctx.rank()));
+    ctx.sync();
+  });
+  ASSERT_EQ(result.trace.size(), 1u);
+  EXPECT_EQ(result.trace[0].kappa, static_cast<std::uint64_t>(p));
+  // Under s-QSM with a large gap the queue term g*kappa dominates the
+  // (small) enqueue m_op and the single remote word.
+  const QsmChargeParams g{.g_word = 1000.0, .L = 0.0};
+  EXPECT_DOUBLE_EQ(sqsm_phase_cost(g, result.trace[0]),
+                   1000.0 * static_cast<double>(p));
+}
+
+}  // namespace
+}  // namespace qsm::models

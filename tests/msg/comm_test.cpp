@@ -1,0 +1,92 @@
+#include "msg/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "machine/presets.hpp"
+
+namespace qsm::msg {
+namespace {
+
+Comm default_comm(int p = 4) { return Comm(machine::default_sim(p)); }
+
+TEST(Comm, BarrierCostMatchesNetModel) {
+  const auto c = default_comm(16);
+  EXPECT_EQ(c.barrier_cost(),
+            net::tree_barrier_cost(c.config().net, c.config().sw, 16));
+}
+
+TEST(Comm, BarrierWaitsForStragglers) {
+  const auto c = default_comm(8);
+  std::vector<support::cycles_t> arrive(8, 0);
+  arrive[3] = 500'000;
+  EXPECT_GE(c.barrier(arrive), 500'000);
+}
+
+TEST(Comm, AllgatherSendsPSquaredMessages) {
+  const auto c = default_comm(4);
+  const auto r = c.allgather(std::vector<support::cycles_t>(4, 0), 64);
+  EXPECT_EQ(r.messages, 12u);  // p*(p-1)
+  EXPECT_GT(r.finish, 0);
+}
+
+TEST(Comm, AllgatherZeroBytesStillSendsControlMessages) {
+  const auto c = default_comm(4);
+  const auto r = c.allgather(std::vector<support::cycles_t>(4, 0), 0);
+  EXPECT_EQ(r.messages, 12u);
+}
+
+TEST(Comm, GatherConvergesOnRoot) {
+  const auto c = default_comm(4);
+  const std::vector<std::int64_t> bytes{0, 100, 100, 100};
+  const auto r = c.gather(std::vector<support::cycles_t>(4, 0), 0, bytes);
+  EXPECT_EQ(r.messages, 3u);
+  // Root's receive resources did all the receiving.
+  EXPECT_GT(r.nodes[0].rx_busy, 0);
+  EXPECT_EQ(r.nodes[1].rx_busy, 0);
+}
+
+TEST(Comm, GatherRootSendsNothing) {
+  const auto c = default_comm(3);
+  const std::vector<std::int64_t> bytes{999, 10, 10};
+  const auto r = c.gather(std::vector<support::cycles_t>(3, 0), 0, bytes);
+  EXPECT_EQ(r.messages, 2u);  // root's own contribution is local
+}
+
+TEST(Comm, AlltoallvDiagonalIgnored) {
+  const auto c = default_comm(3);
+  std::vector<std::vector<std::int64_t>> bytes{
+      {50, 10, 10}, {10, 50, 10}, {10, 10, 50}};
+  const auto r = c.alltoallv(std::vector<support::cycles_t>(3, 0), bytes);
+  EXPECT_EQ(r.messages, 6u);
+}
+
+TEST(Comm, PointToPointMatchesIsolatedCost) {
+  const auto c = default_comm(2);
+  const net::MsgCost mc{c.config().net, c.config().sw};
+  EXPECT_EQ(c.point_to_point(4096), mc.isolated(4096));
+}
+
+TEST(Comm, InvalidRootRejected) {
+  const auto c = default_comm(3);
+  EXPECT_THROW(
+      (void)c.gather(std::vector<support::cycles_t>(3, 0), 7, {1, 1, 1}),
+      support::ContractViolation);
+}
+
+TEST(Comm, ControlAllgatherIsCheaperThanDataAllgather) {
+  // The plan distribution takes the library's fast path: same messages,
+  // no marshalling costs.
+  const auto c = default_comm(8);
+  const std::vector<support::cycles_t> start(8, 0);
+  const auto data = c.allgather(start, 256, /*control=*/false);
+  const auto control = c.allgather(start, 256, /*control=*/true);
+  EXPECT_LT(control.finish, data.finish);
+  EXPECT_EQ(control.messages, data.messages);
+}
+
+TEST(Comm, BiggerMachineHasCostlierBarrier) {
+  EXPECT_GT(default_comm(64).barrier_cost(), default_comm(4).barrier_cost());
+}
+
+}  // namespace
+}  // namespace qsm::msg

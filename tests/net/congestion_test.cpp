@@ -1,0 +1,104 @@
+// Tests for the optional congestion (finite-fabric) model.
+#include <gtest/gtest.h>
+
+#include "net/exchange.hpp"
+
+namespace qsm::net {
+namespace {
+
+ExchangeSpec all_to_all(int p, std::int64_t bytes) {
+  ExchangeSpec spec;
+  spec.p = p;
+  spec.start.assign(static_cast<std::size_t>(p), 0);
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < p; ++j) {
+      if (i != j) spec.transfers.push_back({i, j, bytes});
+    }
+  }
+  return spec;
+}
+
+TEST(Congestion, DefaultFabricIsContentionFree) {
+  const NetworkParams hw;
+  EXPECT_EQ(hw.fabric_links, 0);
+  const MsgCost cost{hw, SoftwareParams{}};
+  EXPECT_EQ(cost.fabric_time(1 << 20), 0);
+}
+
+TEST(Congestion, FiniteFabricSlowsTheExchange) {
+  NetworkParams free_hw;
+  NetworkParams tight_hw;
+  tight_hw.fabric_links = 1;
+  const SoftwareParams sw;
+  const auto spec = all_to_all(8, 8192);
+  const auto free_run = simulate_exchange(free_hw, sw, spec);
+  const auto tight_run = simulate_exchange(tight_hw, sw, spec);
+  EXPECT_GT(tight_run.finish, free_run.finish);
+}
+
+TEST(Congestion, MoreLinksMonotonicallyFaster) {
+  const SoftwareParams sw;
+  const auto spec = all_to_all(8, 8192);
+  support::cycles_t prev = 0;
+  for (int links : {1, 2, 4, 8, 16}) {
+    NetworkParams hw;
+    hw.fabric_links = links;
+    const auto run = simulate_exchange(hw, sw, spec);
+    if (links > 1) {
+      EXPECT_LE(run.finish, prev) << links;
+    }
+    prev = run.finish;
+  }
+}
+
+TEST(Congestion, WideFabricApproachesContentionFree) {
+  const SoftwareParams sw;
+  const auto spec = all_to_all(4, 4096);
+  NetworkParams free_hw;
+  NetworkParams wide_hw;
+  wide_hw.fabric_links = 1024;
+  const auto free_run = simulate_exchange(free_hw, sw, spec);
+  const auto wide_run = simulate_exchange(wide_hw, sw, spec);
+  // A very wide fabric adds at most a few cycles per message.
+  EXPECT_LE(wide_run.finish, free_run.finish + 200);
+  EXPECT_GE(wide_run.finish, free_run.finish);
+}
+
+TEST(Congestion, SingleLinkSerializesAllTraffic) {
+  // With one link the fabric alone lower-bounds the exchange at
+  // total_bytes * gap.
+  NetworkParams hw;
+  hw.fabric_links = 1;
+  const SoftwareParams sw;
+  const int p = 4;
+  const std::int64_t bytes = 16384;
+  const auto spec = all_to_all(p, bytes);
+  const auto run = simulate_exchange(hw, sw, spec);
+  const std::int64_t total_wire =
+      static_cast<std::int64_t>(p) * (p - 1) * (bytes + sw.msg_header_bytes);
+  EXPECT_GE(run.finish,
+            support::ceil_cycles(hw.gap_cpb * static_cast<double>(total_wire)));
+}
+
+TEST(Congestion, BulkSynchronousStaggeringHelpsUnderCongestion) {
+  // The Brewer/Kuszmaul point the paper cites: scheduling matters more
+  // when the network can actually congest.
+  NetworkParams hw;
+  hw.fabric_links = 2;
+  const SoftwareParams sw;
+  auto spec = all_to_all(8, 4096);
+  spec.order = ExchangeSpec::SendOrder::Staggered;
+  const auto staggered = simulate_exchange(hw, sw, spec);
+  spec.order = ExchangeSpec::SendOrder::FixedTarget;
+  const auto naive = simulate_exchange(hw, sw, spec);
+  EXPECT_GE(naive.finish, staggered.finish);
+}
+
+TEST(Congestion, NegativeLinksRejected) {
+  NetworkParams hw;
+  hw.fabric_links = -1;
+  EXPECT_THROW(hw.validate(), support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace qsm::net

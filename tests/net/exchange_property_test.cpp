@@ -1,0 +1,143 @@
+// Property tests for the exchange simulator: bounds, invariances, and
+// conservation laws that must hold for any traffic pattern.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <tuple>
+
+#include "net/exchange.hpp"
+#include "support/rng.hpp"
+
+namespace qsm::net {
+namespace {
+
+ExchangeSpec random_spec(int p, std::uint64_t seed, int max_msgs_per_node) {
+  support::Xoshiro256 rng(seed);
+  ExchangeSpec spec;
+  spec.p = p;
+  spec.start.assign(static_cast<std::size_t>(p), 0);
+  for (int i = 0; i < p; ++i) {
+    const auto msgs = rng.below(static_cast<std::uint64_t>(max_msgs_per_node) + 1);
+    for (std::uint64_t m = 0; m < msgs; ++m) {
+      int dst = static_cast<int>(rng.below(static_cast<std::uint64_t>(p)));
+      if (dst == i) dst = (dst + 1) % p;
+      if (dst == i) continue;  // p == 1
+      spec.transfers.push_back(
+          {i, dst, static_cast<std::int64_t>(rng.below(8192))});
+    }
+    spec.start[static_cast<std::size_t>(i)] =
+        static_cast<support::cycles_t>(rng.below(5000));
+  }
+  return spec;
+}
+
+class ExchangeProperties
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ExchangeProperties, FinishBoundedBelowByPerNodeWork) {
+  const auto [p, seed] = GetParam();
+  const auto spec = random_spec(p, static_cast<std::uint64_t>(seed), 12);
+  const NetworkParams hw;
+  const SoftwareParams sw;
+  const MsgCost cost{hw, sw};
+  const auto r = simulate_exchange(hw, sw, spec);
+
+  // Each node must at least work through its own send CPU time from its
+  // start, and the global finish covers the busiest sender.
+  for (int i = 0; i < p; ++i) {
+    support::cycles_t send_cpu = 0;
+    for (const auto& t : spec.transfers) {
+      if (t.src == i) send_cpu += cost.send_cpu(t.bytes);
+    }
+    EXPECT_GE(r.nodes[static_cast<std::size_t>(i)].finish,
+              spec.start[static_cast<std::size_t>(i)] + send_cpu)
+        << "node " << i;
+  }
+  // And any delivered message implies at least one full pipeline.
+  if (!spec.transfers.empty()) {
+    EXPECT_GE(r.finish, hw.latency);
+  }
+}
+
+TEST_P(ExchangeProperties, FinishBoundedAboveBySerializedCost) {
+  const auto [p, seed] = GetParam();
+  const auto spec = random_spec(p, static_cast<std::uint64_t>(seed), 12);
+  const NetworkParams hw;
+  const SoftwareParams sw;
+  const MsgCost cost{hw, sw};
+  const auto r = simulate_exchange(hw, sw, spec);
+
+  support::cycles_t serialized = 0;
+  for (const auto& t : spec.transfers) serialized += cost.isolated(t.bytes);
+  support::cycles_t max_start = 0;
+  for (const auto s : spec.start) max_start = std::max(max_start, s);
+  EXPECT_LE(r.finish, max_start + serialized);
+}
+
+TEST_P(ExchangeProperties, TransferOrderIsIrrelevant) {
+  // Restricted to one message per (src, dst) pair: with several messages
+  // between one pair, their relative order is a real degree of freedom
+  // (the stable sort keeps enqueue order), so only unique-pair specs must
+  // be order-invariant.
+  const auto [p, seed] = GetParam();
+  auto spec = random_spec(p, static_cast<std::uint64_t>(seed), 10);
+  std::sort(spec.transfers.begin(), spec.transfers.end(),
+            [](const Transfer& a, const Transfer& b) {
+              return std::tie(a.src, a.dst, a.bytes) <
+                     std::tie(b.src, b.dst, b.bytes);
+            });
+  spec.transfers.erase(
+      std::unique(spec.transfers.begin(), spec.transfers.end(),
+                  [](const Transfer& a, const Transfer& b) {
+                    return a.src == b.src && a.dst == b.dst;
+                  }),
+      spec.transfers.end());
+  const NetworkParams hw;
+  const SoftwareParams sw;
+  const auto a = simulate_exchange(hw, sw, spec);
+  // Shuffle the transfer list: the staggered schedule re-sorts, so the
+  // timing must be identical for the same multiset of messages.
+  support::Xoshiro256 rng(static_cast<std::uint64_t>(seed) + 99);
+  support::deterministic_shuffle(spec.transfers.begin(),
+                                 spec.transfers.end(), rng);
+  const auto b = simulate_exchange(hw, sw, spec);
+  EXPECT_EQ(a.finish, b.finish);
+  EXPECT_EQ(a.wire_bytes, b.wire_bytes);
+  for (int i = 0; i < p; ++i) {
+    EXPECT_EQ(a.nodes[static_cast<std::size_t>(i)].cpu_busy,
+              b.nodes[static_cast<std::size_t>(i)].cpu_busy);
+  }
+}
+
+TEST_P(ExchangeProperties, WireBytesConserved) {
+  const auto [p, seed] = GetParam();
+  const auto spec = random_spec(p, static_cast<std::uint64_t>(seed), 12);
+  const SoftwareParams sw;
+  const auto r = simulate_exchange(NetworkParams{}, sw, spec);
+  std::int64_t expected = 0;
+  for (const auto& t : spec.transfers) {
+    expected += t.bytes + sw.msg_header_bytes;
+  }
+  EXPECT_EQ(r.wire_bytes, expected);
+  EXPECT_EQ(r.messages, spec.transfers.size());
+}
+
+TEST_P(ExchangeProperties, LaterStartsNeverFinishEarlier) {
+  const auto [p, seed] = GetParam();
+  auto spec = random_spec(p, static_cast<std::uint64_t>(seed), 8);
+  const NetworkParams hw;
+  const SoftwareParams sw;
+  const auto base = simulate_exchange(hw, sw, spec);
+  for (auto& s : spec.start) s += 10000;
+  const auto delayed = simulate_exchange(hw, sw, spec);
+  EXPECT_GE(delayed.finish, base.finish);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExchangeProperties,
+    ::testing::Combine(::testing::Values(2, 3, 8, 16),
+                       ::testing::Values(1, 2, 3, 4)));
+
+}  // namespace
+}  // namespace qsm::net

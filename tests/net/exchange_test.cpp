@@ -1,0 +1,180 @@
+#include "net/exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace qsm::net {
+namespace {
+
+NetworkParams default_hw() { return NetworkParams{}; }
+SoftwareParams default_sw() { return SoftwareParams{}; }
+
+TEST(Exchange, SingleMessageMatchesIsolatedAlgebra) {
+  const auto hw = default_hw();
+  const auto sw = default_sw();
+  ExchangeSpec spec;
+  spec.p = 2;
+  spec.start = {0, 0};
+  spec.transfers = {{0, 1, 1024}};
+  const auto r = simulate_exchange(hw, sw, spec);
+  const MsgCost cost{hw, sw};
+  EXPECT_EQ(r.finish, cost.isolated(1024));
+  EXPECT_EQ(r.messages, 1u);
+  EXPECT_EQ(r.wire_bytes, 1024 + sw.msg_header_bytes);
+  EXPECT_EQ(r.nodes[0].tx_busy, cost.wire_time(1024));
+  EXPECT_EQ(r.nodes[1].rx_busy, cost.wire_time(1024));
+}
+
+TEST(Exchange, EmptyExchangeFinishesAtMaxStart) {
+  ExchangeSpec spec;
+  spec.p = 3;
+  spec.start = {5, 42, 17};
+  const auto r = simulate_exchange(default_hw(), default_sw(), spec);
+  EXPECT_EQ(r.finish, 42);
+  EXPECT_EQ(r.messages, 0u);
+  EXPECT_EQ(r.nodes[0].finish, 5);
+  EXPECT_EQ(r.nodes[1].finish, 42);
+  EXPECT_EQ(r.nodes[2].finish, 17);
+}
+
+TEST(Exchange, StartTimesDelaySends) {
+  const auto hw = default_hw();
+  const auto sw = default_sw();
+  ExchangeSpec spec;
+  spec.p = 2;
+  spec.start = {1000, 0};
+  spec.transfers = {{0, 1, 64}};
+  const auto r = simulate_exchange(hw, sw, spec);
+  EXPECT_EQ(r.finish, 1000 + (MsgCost{hw, sw}.isolated(64)));
+}
+
+TEST(Exchange, TwoSendersSerializeAtReceiver) {
+  const auto hw = default_hw();
+  const auto sw = default_sw();
+  ExchangeSpec spec;
+  spec.p = 3;
+  spec.start = {0, 0, 0};
+  spec.transfers = {{0, 2, 4096}, {1, 2, 4096}};
+  const auto r = simulate_exchange(hw, sw, spec);
+  const MsgCost cost{hw, sw};
+  // Both messages arrive nearly simultaneously; node 2's rx NIC and CPU
+  // must process them back to back, so completion exceeds a single
+  // isolated message by at least one extra receive pipeline stage.
+  EXPECT_GE(r.finish, cost.isolated(4096) + cost.recv_cpu(4096));
+  EXPECT_EQ(r.nodes[2].rx_busy, 2 * cost.wire_time(4096));
+  EXPECT_EQ(r.nodes[2].cpu_busy, 2 * cost.recv_cpu(4096));
+}
+
+TEST(Exchange, SenderCpuSerializesItsOwnSends) {
+  const auto hw = default_hw();
+  const auto sw = default_sw();
+  ExchangeSpec spec;
+  spec.p = 3;
+  spec.start = {0, 0, 0};
+  spec.transfers = {{0, 1, 2048}, {0, 2, 2048}};
+  const auto r = simulate_exchange(hw, sw, spec);
+  const MsgCost cost{hw, sw};
+  EXPECT_EQ(r.nodes[0].cpu_busy, 2 * cost.send_cpu(2048));
+  // The second message cannot finish before two send-CPU slots plus its
+  // pipeline.
+  EXPECT_GE(r.finish, 2 * cost.send_cpu(2048) + cost.wire_time(2048) +
+                          hw.latency + cost.wire_time(2048) +
+                          cost.recv_cpu(2048));
+}
+
+TEST(Exchange, SelfTransferIsRejected) {
+  ExchangeSpec spec;
+  spec.p = 2;
+  spec.start = {0, 0};
+  spec.transfers = {{1, 1, 8}};
+  EXPECT_THROW(simulate_exchange(default_hw(), default_sw(), spec),
+               support::ContractViolation);
+}
+
+TEST(Exchange, BadSpecsAreRejected) {
+  ExchangeSpec spec;
+  spec.p = 2;
+  spec.start = {0};  // wrong size
+  EXPECT_THROW(simulate_exchange(default_hw(), default_sw(), spec),
+               support::ContractViolation);
+  spec.start = {0, -1};
+  EXPECT_THROW(simulate_exchange(default_hw(), default_sw(), spec),
+               support::ContractViolation);
+  spec.start = {0, 0};
+  spec.transfers = {{0, 5, 8}};
+  EXPECT_THROW(simulate_exchange(default_hw(), default_sw(), spec),
+               support::ContractViolation);
+}
+
+TEST(Exchange, DeterministicAcrossRuns) {
+  const auto hw = default_hw();
+  const auto sw = default_sw();
+  ExchangeSpec spec;
+  spec.p = 8;
+  spec.start.assign(8, 0);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      if (i != j) spec.transfers.push_back({i, j, 128 * (i + 1)});
+    }
+  }
+  const auto a = simulate_exchange(hw, sw, spec);
+  const auto b = simulate_exchange(hw, sw, spec);
+  EXPECT_EQ(a.finish, b.finish);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(a.nodes[i].finish, b.nodes[i].finish);
+    EXPECT_EQ(a.nodes[i].cpu_busy, b.nodes[i].cpu_busy);
+  }
+}
+
+TEST(Exchange, MoreBytesNeverFinishEarlier) {
+  const auto hw = default_hw();
+  const auto sw = default_sw();
+  support::cycles_t prev = 0;
+  for (std::int64_t b : {64, 256, 1024, 4096, 16384}) {
+    std::vector<std::vector<std::int64_t>> bytes(
+        4, std::vector<std::int64_t>(4, b));
+    for (int i = 0; i < 4; ++i) bytes[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 0;
+    const auto r = simulate_alltoallv(hw, sw, std::vector<support::cycles_t>(4, 0), bytes);
+    EXPECT_GT(r.finish, prev);
+    prev = r.finish;
+  }
+}
+
+struct SweepParam {
+  double gap;
+  support::cycles_t overhead;
+  support::cycles_t latency;
+};
+
+class ExchangeMonotonicity : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ExchangeMonotonicity, SlowerHardwareNeverFinishesEarlier) {
+  const SweepParam sp = GetParam();
+  NetworkParams base;
+  NetworkParams worse;
+  worse.gap_cpb = base.gap_cpb + sp.gap;
+  worse.overhead = base.overhead + sp.overhead;
+  worse.latency = base.latency + sp.latency;
+  const SoftwareParams sw;
+
+  ExchangeSpec spec;
+  spec.p = 4;
+  spec.start.assign(4, 0);
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      if (i != j) spec.transfers.push_back({i, j, 512});
+
+  const auto fast = simulate_exchange(base, sw, spec);
+  const auto slow = simulate_exchange(worse, sw, spec);
+  EXPECT_GE(slow.finish, fast.finish);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HardwareSweep, ExchangeMonotonicity,
+    ::testing::Values(SweepParam{1.0, 0, 0}, SweepParam{0, 400, 0},
+                      SweepParam{0, 0, 3200}, SweepParam{5.0, 1000, 10000},
+                      SweepParam{0.5, 100, 100}));
+
+}  // namespace
+}  // namespace qsm::net

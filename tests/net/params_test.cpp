@@ -1,0 +1,95 @@
+#include "net/params.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qsm::net {
+namespace {
+
+TEST(NetworkParams, DefaultsMatchPaperTable3) {
+  const NetworkParams hw;
+  EXPECT_DOUBLE_EQ(hw.gap_cpb, 3.0);
+  EXPECT_EQ(hw.overhead, 400);
+  EXPECT_EQ(hw.latency, 1600);
+  EXPECT_NO_THROW(hw.validate());
+}
+
+TEST(NetworkParams, ValidateRejectsNegatives) {
+  NetworkParams hw;
+  hw.gap_cpb = -1;
+  EXPECT_THROW(hw.validate(), support::ContractViolation);
+  hw = NetworkParams{};
+  hw.latency = -5;
+  EXPECT_THROW(hw.validate(), support::ContractViolation);
+}
+
+TEST(SoftwareParams, ValidateRejectsBadRecordSizes) {
+  SoftwareParams sw;
+  sw.word_bytes = 0;
+  EXPECT_THROW(sw.validate(), support::ContractViolation);
+  sw = SoftwareParams{};
+  sw.put_record_bytes = 0;
+  EXPECT_THROW(sw.validate(), support::ContractViolation);
+}
+
+TEST(MsgCost, SendCpuIsOverheadPlusCopy) {
+  const NetworkParams hw;
+  const SoftwareParams sw;
+  const MsgCost c{hw, sw};
+  EXPECT_EQ(c.send_cpu(0), hw.overhead + sw.per_message_cpu);
+  EXPECT_EQ(c.send_cpu(100),
+            hw.overhead + sw.per_message_cpu +
+                support::ceil_cycles(sw.copy_cpb * 100.0));
+}
+
+TEST(MsgCost, WireTimeIncludesHeader) {
+  const NetworkParams hw;
+  const SoftwareParams sw;
+  const MsgCost c{hw, sw};
+  EXPECT_EQ(c.wire_time(0),
+            support::ceil_cycles(hw.gap_cpb *
+                                 static_cast<double>(sw.msg_header_bytes)));
+  EXPECT_EQ(c.wire_time(968),
+            support::ceil_cycles(hw.gap_cpb *
+                                 static_cast<double>(968 + sw.msg_header_bytes)));
+}
+
+TEST(MsgCost, IsolatedMessageAlgebra) {
+  const NetworkParams hw;
+  const SoftwareParams sw;
+  const MsgCost c{hw, sw};
+  const std::int64_t bytes = 256;
+  EXPECT_EQ(c.isolated(bytes), c.send_cpu(bytes) + 2 * c.wire_time(bytes) +
+                                   hw.latency + c.recv_cpu(bytes));
+}
+
+TEST(MsgCost, MonotoneInSize) {
+  const NetworkParams hw;
+  const SoftwareParams sw;
+  const MsgCost c{hw, sw};
+  support::cycles_t prev = -1;
+  for (std::int64_t b : {0, 1, 8, 64, 512, 4096, 1 << 20}) {
+    const auto t = c.isolated(b);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CeilCycles, RoundsUp) {
+  EXPECT_EQ(support::ceil_cycles(0.0), 0);
+  EXPECT_EQ(support::ceil_cycles(0.1), 1);
+  EXPECT_EQ(support::ceil_cycles(1.0), 1);
+  EXPECT_EQ(support::ceil_cycles(1.5), 2);
+  EXPECT_EQ(support::ceil_cycles(2.0), 2);
+}
+
+TEST(ClockRate, ConvertsCyclesAndMicroseconds) {
+  const support::ClockRate clk{400e6};
+  EXPECT_DOUBLE_EQ(clk.cycles_to_us(400), 1.0);
+  EXPECT_DOUBLE_EQ(clk.cycles_to_us(25500), 63.75);
+  EXPECT_EQ(clk.us_to_cycles(4.0), 1600);
+  // 3 cycles/byte at 400 MHz is 133 MB/s, Table 3's bandwidth.
+  EXPECT_NEAR(clk.gap_to_bytes_per_second(3.0) / 1e6, 133.3, 0.1);
+}
+
+}  // namespace
+}  // namespace qsm::net

@@ -1,0 +1,110 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/barrier.hpp"
+#include "net/exchange.hpp"
+
+namespace qsm::net {
+namespace {
+
+TEST(Topology, FullyConnectedIsOneHop) {
+  for (int p : {2, 5, 16}) {
+    for (int i = 0; i < p; ++i) {
+      for (int j = 0; j < p; ++j) {
+        EXPECT_EQ(hops(Topology::FullyConnected, i, j, p), i == j ? 0 : 1);
+      }
+    }
+  }
+  EXPECT_EQ(diameter(Topology::FullyConnected, 16), 1);
+  EXPECT_EQ(diameter(Topology::FullyConnected, 1), 0);
+}
+
+TEST(Topology, RingShortestWay) {
+  EXPECT_EQ(hops(Topology::Ring, 0, 1, 8), 1);
+  EXPECT_EQ(hops(Topology::Ring, 0, 7, 8), 1);  // wraps
+  EXPECT_EQ(hops(Topology::Ring, 0, 4, 8), 4);
+  EXPECT_EQ(hops(Topology::Ring, 2, 6, 8), 4);
+  EXPECT_EQ(hops(Topology::Ring, 6, 1, 8), 3);
+  EXPECT_EQ(diameter(Topology::Ring, 8), 4);
+  EXPECT_EQ(diameter(Topology::Ring, 9), 4);
+}
+
+TEST(Topology, TorusColsNearSquare) {
+  EXPECT_EQ(torus_cols(16), 4);
+  EXPECT_EQ(torus_cols(12), 3);
+  EXPECT_EQ(torus_cols(8), 2);
+  EXPECT_EQ(torus_cols(7), 1);  // prime: degenerate 7x1
+  EXPECT_EQ(torus_cols(1), 1);
+}
+
+TEST(Topology, TorusManhattanWithWraparound) {
+  // p=16: 4x4 grid, node = row*4 + col.
+  EXPECT_EQ(hops(Topology::Torus2D, 0, 5, 16), 2);   // (0,0)->(1,1)
+  EXPECT_EQ(hops(Topology::Torus2D, 0, 15, 16), 2);  // (0,0)->(3,3) wraps
+  EXPECT_EQ(hops(Topology::Torus2D, 0, 10, 16), 4);  // (0,0)->(2,2)
+  EXPECT_EQ(diameter(Topology::Torus2D, 16), 4);
+}
+
+TEST(Topology, HopsAreSymmetric) {
+  for (Topology t :
+       {Topology::FullyConnected, Topology::Ring, Topology::Torus2D}) {
+    for (int p : {4, 9, 16}) {
+      for (int i = 0; i < p; ++i) {
+        for (int j = 0; j < p; ++j) {
+          EXPECT_EQ(hops(t, i, j, p), hops(t, j, i, p))
+              << to_string(t) << " " << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(Topology, DiameterBoundsEveryPair) {
+  for (Topology t :
+       {Topology::FullyConnected, Topology::Ring, Topology::Torus2D}) {
+    for (int p : {2, 8, 15, 16}) {
+      const int d = diameter(t, p);
+      for (int i = 0; i < p; ++i) {
+        for (int j = 0; j < p; ++j) {
+          EXPECT_LE(hops(t, i, j, p), d);
+        }
+      }
+    }
+  }
+}
+
+TEST(Topology, OutOfRangeRejected) {
+  EXPECT_THROW((void)hops(Topology::Ring, 0, 9, 8), support::ContractViolation);
+  EXPECT_THROW((void)hops(Topology::Ring, -1, 0, 8), support::ContractViolation);
+}
+
+TEST(Topology, RingExchangeSlowerThanFullyConnected) {
+  SoftwareParams sw;
+  NetworkParams full;
+  NetworkParams ring;
+  ring.topology = Topology::Ring;
+  ExchangeSpec spec;
+  spec.p = 8;
+  spec.start.assign(8, 0);
+  // Diametrically opposite pairs maximize the difference.
+  for (int i = 0; i < 4; ++i) spec.transfers.push_back({i, i + 4, 256});
+  const auto f = simulate_exchange(full, sw, spec);
+  const auto r = simulate_exchange(ring, sw, spec);
+  EXPECT_GT(r.finish, f.finish);
+  // The gap is exactly the extra (hops-1)*l on the critical message.
+  EXPECT_EQ(r.finish - f.finish, 3 * full.latency);
+}
+
+TEST(Topology, TorusBarrierCostsMoreThanFullyConnected) {
+  SoftwareParams sw;
+  NetworkParams full;
+  NetworkParams torus;
+  torus.topology = Topology::Torus2D;
+  const std::vector<support::cycles_t> arrive(16, 0);
+  EXPECT_GT(simulate_tree_barrier(torus, sw, arrive),
+            simulate_tree_barrier(full, sw, arrive));
+}
+
+}  // namespace
+}  // namespace qsm::net

@@ -1,0 +1,86 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qsm::sim {
+namespace {
+
+TEST(Engine, ExecutesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule(30, [&] { order.push_back(3); });
+  e.schedule(10, [&] { order.push_back(1); });
+  e.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(e.run(), 30);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine e;
+  std::vector<cycles_t> times;
+  e.schedule(1, [&] {
+    times.push_back(e.now());
+    e.schedule_in(9, [&] {
+      times.push_back(e.now());
+      e.schedule(100, [&] { times.push_back(e.now()); });
+    });
+  });
+  EXPECT_EQ(e.run(), 100);
+  EXPECT_EQ(times, (std::vector<cycles_t>{1, 10, 100}));
+}
+
+TEST(Engine, NowAdvancesMonotonically) {
+  Engine e;
+  cycles_t last = -1;
+  for (cycles_t t : {5, 3, 9, 3, 7}) {
+    e.schedule(t, [&, t] {
+      EXPECT_GE(e.now(), last);
+      EXPECT_EQ(e.now(), t);
+      last = e.now();
+    });
+  }
+  e.run();
+  EXPECT_EQ(e.events_executed(), 5u);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule(10, [&] {
+    EXPECT_THROW(e.schedule(5, [] {}), support::ContractViolation);
+  });
+  e.run();
+}
+
+TEST(Engine, NegativeDelayThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_in(-1, [] {}), support::ContractViolation);
+}
+
+TEST(Engine, StepReturnsFalseWhenIdle) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  e.schedule(0, [] {});
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+  EXPECT_TRUE(e.idle());
+}
+
+TEST(Engine, RunOnEmptyQueueReturnsZero) {
+  Engine e;
+  EXPECT_EQ(e.run(), 0);
+}
+
+}  // namespace
+}  // namespace qsm::sim

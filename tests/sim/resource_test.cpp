@@ -1,0 +1,76 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qsm::sim {
+namespace {
+
+TEST(Resource, IdleResourceServesImmediately) {
+  Resource r("cpu");
+  const auto g = r.serve(100, 50);
+  EXPECT_EQ(g.start, 100);
+  EXPECT_EQ(g.end, 150);
+  EXPECT_EQ(g.wait, 0);
+}
+
+TEST(Resource, BusyResourceQueuesFifo) {
+  Resource r;
+  (void)r.serve(0, 100);
+  const auto g = r.serve(10, 20);  // requested while busy
+  EXPECT_EQ(g.start, 100);
+  EXPECT_EQ(g.end, 120);
+  EXPECT_EQ(g.wait, 90);
+}
+
+TEST(Resource, GapLeavesIdleTime) {
+  Resource r;
+  (void)r.serve(0, 10);
+  const auto g = r.serve(50, 10);
+  EXPECT_EQ(g.start, 50);
+  EXPECT_EQ(g.wait, 0);
+  EXPECT_EQ(r.busy_cycles(), 20);
+  EXPECT_DOUBLE_EQ(r.utilization(60), 20.0 / 60.0);
+}
+
+TEST(Resource, TracksAggregates) {
+  Resource r;
+  (void)r.serve(0, 5);
+  (void)r.serve(0, 5);
+  (void)r.serve(0, 5);
+  EXPECT_EQ(r.served(), 3u);
+  EXPECT_EQ(r.busy_cycles(), 15);
+  EXPECT_EQ(r.total_wait_cycles(), 0 + 5 + 10);
+  EXPECT_EQ(r.next_free(), 15);
+}
+
+TEST(Resource, ZeroDurationServiceIsAllowed) {
+  Resource r;
+  const auto g = r.serve(7, 0);
+  EXPECT_EQ(g.start, 7);
+  EXPECT_EQ(g.end, 7);
+}
+
+TEST(Resource, NegativeDurationThrows) {
+  Resource r;
+  EXPECT_THROW(r.serve(0, -1), support::ContractViolation);
+}
+
+TEST(Resource, OutOfOrderRequestsThrow) {
+  Resource r;
+  (void)r.serve(100, 1);
+  EXPECT_THROW(r.serve(50, 1), support::ContractViolation);
+}
+
+TEST(Resource, ResetClearsState) {
+  Resource r;
+  (void)r.serve(10, 10);
+  r.reset();
+  EXPECT_EQ(r.next_free(), 0);
+  EXPECT_EQ(r.busy_cycles(), 0);
+  EXPECT_EQ(r.served(), 0u);
+  const auto g = r.serve(0, 1);
+  EXPECT_EQ(g.start, 0);
+}
+
+}  // namespace
+}  // namespace qsm::sim

@@ -1,0 +1,72 @@
+#include "support/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contract.hpp"
+
+namespace qsm::support {
+namespace {
+
+TEST(AsciiChart, RendersMarkersAndLegend) {
+  AsciiChart chart({.width = 40, .height = 10, .log_x = false});
+  chart.add_series("measured", {1, 2, 3, 4}, {10, 20, 30, 40});
+  chart.add_series("predicted", {1, 2, 3, 4}, {40, 30, 20, 10});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("[*] measured"), std::string::npos);
+  EXPECT_NE(out.find("[+] predicted"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiChart, ExtremePointsLandOnCorners) {
+  AsciiChart chart({.width = 20, .height = 6, .log_x = false});
+  chart.add_series("s", {0, 10}, {0, 100});
+  const std::string out = chart.render();
+  // The max point sits on the top row, the min on the bottom row.
+  std::istringstream is(out);
+  std::string line;
+  std::getline(is, line);  // legend
+  std::getline(is, line);  // top row
+  EXPECT_NE(line.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, LogXRejectsNonPositive) {
+  AsciiChart chart({.log_x = true});
+  EXPECT_THROW(chart.add_series("bad", {0.0, 1.0}, {1.0, 2.0}),
+               ContractViolation);
+}
+
+TEST(AsciiChart, MismatchedSeriesRejected) {
+  AsciiChart chart;
+  EXPECT_THROW(chart.add_series("bad", {1.0, 2.0}, {1.0}),
+               ContractViolation);
+  EXPECT_THROW(chart.add_series("empty", {}, {}), ContractViolation);
+}
+
+TEST(AsciiChart, EmptyChartRejectsRender) {
+  AsciiChart chart;
+  EXPECT_THROW((void)chart.render(), ContractViolation);
+}
+
+TEST(AsciiChart, TinyCanvasRejected) {
+  EXPECT_THROW(AsciiChart({.width = 5, .height = 2}), ContractViolation);
+}
+
+TEST(AsciiChart, AxisLabelsAppear) {
+  AsciiChart chart({.width = 48, .height = 8, .log_x = true,
+                    .x_label = "problem size"});
+  chart.add_series("s", {1024, 1048576}, {5, 9});
+  const std::string out = chart.render();
+  EXPECT_NE(out.find("problem size (log)"), std::string::npos);
+  EXPECT_NE(out.find("1024"), std::string::npos);  // left tick
+  EXPECT_NE(out.find("1.0M"), std::string::npos);  // right tick
+}
+
+TEST(AsciiChart, ConstantSeriesStillRenders) {
+  AsciiChart chart({.width = 30, .height = 6, .log_x = false});
+  chart.add_series("flat", {1, 2, 3}, {7, 7, 7});
+  EXPECT_NO_THROW((void)chart.render());
+}
+
+}  // namespace
+}  // namespace qsm::support

@@ -1,0 +1,134 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace qsm::support {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256, ReproducibleForSeedAndStream) {
+  Xoshiro256 a(7, 3);
+  Xoshiro256 b(7, 3);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(Xoshiro256, StreamsAreIndependent) {
+  Xoshiro256 a(7, 0);
+  Xoshiro256 b(7, 1);
+  int same = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Xoshiro256, BelowStaysInRange) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BelowOneIsAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, BelowZeroIsContractViolation) {
+  Xoshiro256 rng(5);
+  EXPECT_THROW((void)rng.below(0), ContractViolation);
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(99);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kDraws = 80000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.below(kBuckets)]++;
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (std::uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], expected, 0.05 * expected) << "bucket " << b;
+  }
+}
+
+TEST(Xoshiro256, RangeIsInclusive) {
+  Xoshiro256 rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, UniformIsInUnitInterval) {
+  Xoshiro256 rng(17);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, BitIsFair) {
+  Xoshiro256 rng(21);
+  int ones = 0;
+  constexpr int kDraws = 40000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bit()) ++ones;
+  }
+  EXPECT_NEAR(ones, kDraws / 2, kDraws / 50);
+}
+
+TEST(DeterministicShuffle, IsAPermutationAndReproducible) {
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  Xoshiro256 rng1(11);
+  Xoshiro256 rng2(11);
+  auto a = v;
+  auto b = v;
+  deterministic_shuffle(a.begin(), a.end(), rng1);
+  deterministic_shuffle(b.begin(), b.end(), rng2);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, v);  // astronomically unlikely to be identity
+  std::sort(a.begin(), a.end());
+  EXPECT_EQ(a, v);
+}
+
+}  // namespace
+}  // namespace qsm::support

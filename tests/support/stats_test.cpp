@@ -1,0 +1,118 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "support/contract.hpp"
+
+namespace qsm::support {
+namespace {
+
+TEST(RunningStats, MatchesClosedForms) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats rs;
+  rs.add(3.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.5);
+}
+
+TEST(RunningStats, CvIsScaleInvariant) {
+  RunningStats a;
+  RunningStats b;
+  for (double x : {1.0, 2.0, 3.0}) {
+    a.add(x);
+    b.add(1000 * x);
+  }
+  EXPECT_NEAR(a.cv(), b.cv(), 1e-12);
+}
+
+TEST(Summarize, EmptyIsAllZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> xs{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenPoints) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.9), 9.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  std::vector<double> xs{1.0};
+  EXPECT_THROW((void)percentile({}, 0.5), ContractViolation);
+  EXPECT_THROW((void)percentile(xs, -0.1), ContractViolation);
+  EXPECT_THROW((void)percentile(xs, 1.1), ContractViolation);
+}
+
+TEST(FitLine, RecoversExactLine) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  std::vector<double> ys;
+  for (double x : xs) ys.push_back(3.0 * x - 2.0);
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_NEAR(f.slope, 3.0, 1e-12);
+  EXPECT_NEAR(f.intercept, -2.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(FitLine, FlatDataHasZeroSlope) {
+  std::vector<double> xs{1, 2, 3, 4};
+  std::vector<double> ys{7, 7, 7, 7};
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_DOUBLE_EQ(f.slope, 0.0);
+  EXPECT_DOUBLE_EQ(f.intercept, 7.0);
+  EXPECT_DOUBLE_EQ(f.r2, 1.0);
+}
+
+TEST(FitLine, NoisyDataHasR2BelowOne) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6};
+  std::vector<double> ys{1.0, 2.5, 2.7, 4.5, 4.6, 6.5};
+  const LinearFit f = fit_line(xs, ys);
+  EXPECT_GT(f.slope, 0.8);
+  EXPECT_LT(f.r2, 1.0);
+  EXPECT_GT(f.r2, 0.9);
+}
+
+TEST(InterpLinear, InterpolatesAndClamps) {
+  std::vector<double> xs{0, 10, 20};
+  std::vector<double> ys{0, 100, 0};
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 5), 50.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 15), 50.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, -5), 0.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 25), 0.0);
+  EXPECT_DOUBLE_EQ(interp_linear(xs, ys, 10), 100.0);
+}
+
+TEST(FirstCrossingBelow, FindsInterpolatedCrossing) {
+  std::vector<double> xs{0, 10, 20};
+  std::vector<double> ys{100, 50, 0};
+  // Crosses 75 halfway through the first segment.
+  EXPECT_DOUBLE_EQ(first_crossing_below(xs, ys, 75.0), 5.0);
+  // Already below at the start.
+  EXPECT_DOUBLE_EQ(first_crossing_below(xs, ys, 200.0), 0.0);
+  // Never crosses.
+  EXPECT_LT(first_crossing_below(xs, ys, -1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace qsm::support

@@ -1,0 +1,80 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/contract.hpp"
+
+namespace qsm::support {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "n", "time"});
+  t.set_precision(2, 1);
+  t.add_row({std::string("prefix"), 1024LL, 3.14159});
+  t.add_row({std::string("sort"), 1048576LL, 2.0});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("prefix"), std::string::npos);
+  EXPECT_NE(out.find("1048576"), std::string::npos);
+  EXPECT_NE(out.find("3.1"), std::string::npos);
+  // Every line has the same width.
+  std::istringstream is(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TextTable, RowWidthMismatchIsRejected) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), ContractViolation);
+}
+
+TEST(TextTable, EmptyHeadersRejected) {
+  EXPECT_THROW(TextTable t({}), ContractViolation);
+}
+
+TEST(TextTable, CsvQuotesSpecialCharacters) {
+  TextTable t({"k", "v"});
+  t.add_row({std::string("with,comma"), std::string("with\"quote")});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTable, CsvRoundNumbers) {
+  TextTable t({"x"});
+  t.set_precision(0, 0);
+  t.add_row({2.0});
+  EXPECT_EQ(t.to_csv(), "x\n2\n");
+}
+
+TEST(TextTable, WriteCsvCreatesFile) {
+  TextTable t({"x", "y"});
+  t.add_row({1LL, 2LL});
+  const std::string path = ::testing::TempDir() + "/qsm_table_test.csv";
+  t.write_csv(path);
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string header;
+  std::getline(f, header);
+  EXPECT_EQ(header, "x,y");
+  std::remove(path.c_str());
+}
+
+TEST(WithCommas, FormatsGroups) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(25500), "25,500");
+  EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace qsm::support

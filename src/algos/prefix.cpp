@@ -4,13 +4,23 @@
 
 namespace qsm::algos {
 
+namespace {
+/// Prefix sums over arbitrary inputs are expected to wrap; do the addition
+/// in unsigned arithmetic so the (two's-complement-identical) wraparound is
+/// defined behavior instead of signed overflow.
+std::int64_t wrap_add(std::int64_t a, std::int64_t b) {
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(a) +
+                                   static_cast<std::uint64_t>(b));
+}
+}  // namespace
+
 std::vector<std::int64_t> sequential_prefix(
     const std::vector<std::int64_t>& in) {
   std::vector<std::int64_t> out;
   out.reserve(in.size());
   std::int64_t acc = 0;
   for (std::int64_t v : in) {
-    acc += v;
+    acc = wrap_add(acc, v);
     out.push_back(acc);
   }
   return out;
@@ -42,7 +52,7 @@ PrefixOutcome parallel_prefix(rt::Runtime& runtime,
     // Step 1: local prefix sums over the owned block, in place.
     std::int64_t acc = 0;
     for (std::uint64_t i = range.begin; i < range.end; ++i) {
-      acc += ctx.read_local(data, i);
+      acc = wrap_add(acc, ctx.read_local(data, i));
       ctx.write_local(data, i, acc);
     }
     ctx.charge_ops(static_cast<std::int64_t>(range.size()));
@@ -62,12 +72,12 @@ PrefixOutcome parallel_prefix(rt::Runtime& runtime,
     // Step 3: add the offset of all preceding nodes.
     std::int64_t offset = 0;
     for (std::uint64_t j = 0; j < ume; ++j) {
-      offset += ctx.read_local(sums, ume * up + j);
+      offset = wrap_add(offset, ctx.read_local(sums, ume * up + j));
     }
     ctx.charge_ops(p);
     if (offset != 0) {
       for (std::uint64_t i = range.begin; i < range.end; ++i) {
-        ctx.write_local(data, i, ctx.read_local(data, i) + offset);
+        ctx.write_local(data, i, wrap_add(ctx.read_local(data, i), offset));
       }
     }
     ctx.charge_ops(static_cast<std::int64_t>(range.size()));

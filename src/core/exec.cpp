@@ -1,0 +1,55 @@
+#include "core/exec.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/contract.hpp"
+
+namespace qsm::rt {
+
+namespace {
+
+int default_phase_workers(int nprocs) {
+  const auto hw = static_cast<int>(std::thread::hardware_concurrency());
+  // hardware_concurrency() may return 0 ("unknown"); treat as 1. Cap at 8:
+  // phase stages are memory-bound and stop scaling well before that.
+  return std::clamp(std::min(nprocs, hw == 0 ? 1 : hw), 1, 8);
+}
+
+}  // namespace
+
+Executor::Executor(int nprocs, int phase_workers)
+    : nprocs_(nprocs),
+      phase_workers_(phase_workers > 0 ? phase_workers
+                                       : default_phase_workers(nprocs)) {
+  QSM_REQUIRE(nprocs_ >= 1, "executor needs at least one program lane");
+}
+
+void Executor::run_program(const std::function<void(int)>& fn) {
+  if (!lanes_) {
+    lanes_ = std::make_unique<support::WorkerPool>(nprocs_);
+  }
+  lanes_->parallel_for(static_cast<std::size_t>(nprocs_),
+                       [&fn](std::size_t rank) {
+                         fn(static_cast<int>(rank));
+                       });
+}
+
+void Executor::parallel(std::size_t tasks, bool spread,
+                        const std::function<void(std::size_t)>& fn) {
+  if (spread && parallel_enabled() && tasks > 1) {
+    if (!phase_pool_) {
+      phase_pool_ = std::make_unique<support::WorkerPool>(phase_workers_);
+    }
+    phase_pool_->parallel_for(tasks, fn);
+    return;
+  }
+  for (std::size_t t = 0; t < tasks; ++t) fn(t);
+}
+
+std::uint64_t Executor::host_threads_created() const {
+  return (lanes_ ? lanes_->threads_created() : 0) +
+         (phase_pool_ ? phase_pool_->threads_created() : 0);
+}
+
+}  // namespace qsm::rt

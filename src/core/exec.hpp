@@ -1,0 +1,67 @@
+// Host-side execution layer of the runtime.
+//
+// The Executor owns every OS thread the runtime uses and reuses them across
+// run() calls:
+//   - p persistent "program lanes", one per simulated processor. The old
+//     runtime spawned p fresh OS threads inside every run(), so
+//     repeated-run harnesses (sweep_p, table4_nmin, long-lived services)
+//     paid thread-creation cost per data point.
+//   - an optional pool of phase workers that the PhasePipeline uses to
+//     parallelize classification and data movement inside the barrier.
+//     Phase workers are sized independently of p (simulated processors are
+//     a model parameter; host workers are a hardware resource) and are only
+//     spawned when the host actually has spare cores or the caller forces a
+//     count.
+//
+// Everything here is host machinery: no simulated cycles are charged and no
+// choice of worker count may change a single simulated number.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "support/worker_pool.hpp"
+
+namespace qsm::rt {
+
+class Executor {
+ public:
+  /// `nprocs` program lanes; `phase_workers` <= 0 picks a host-sized
+  /// default (min(nprocs, hardware cores, 8)), 1 disables phase
+  /// parallelism.
+  Executor(int nprocs, int phase_workers);
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Runs fn(rank) for every rank on the persistent program lanes; blocks
+  /// until all lanes finish. Lanes may block on each other (the phase
+  /// barrier): every rank is guaranteed its own OS thread.
+  void run_program(const std::function<void(int)>& fn);
+
+  /// Runs fn(t) for t in [0, tasks). Executes inline on the calling thread
+  /// unless `spread` is true and phase workers exist; either way the work
+  /// is identical, so results never depend on the worker count.
+  void parallel(std::size_t tasks, bool spread,
+                const std::function<void(std::size_t)>& fn);
+
+  [[nodiscard]] int nprocs() const { return nprocs_; }
+  [[nodiscard]] int phase_workers() const { return phase_workers_; }
+  [[nodiscard]] bool parallel_enabled() const { return phase_workers_ > 1; }
+
+  /// Total OS threads this executor has ever created. Stable across
+  /// repeated run_program() calls once both pools exist — the executor
+  /// reuse tests assert exactly that.
+  [[nodiscard]] std::uint64_t host_threads_created() const;
+
+ private:
+  int nprocs_;
+  int phase_workers_;
+  /// Lazily built so host-only Runtime use (alloc/host_fill/host_read)
+  /// never spawns a thread.
+  std::unique_ptr<support::WorkerPool> lanes_;
+  std::unique_ptr<support::WorkerPool> phase_pool_;
+};
+
+}  // namespace qsm::rt

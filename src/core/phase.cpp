@@ -1,0 +1,394 @@
+#include "core/phase.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "core/exec.hpp"
+#include "net/barrier.hpp"
+
+namespace qsm::rt {
+
+namespace {
+
+/// Below this many queued words a phase is classified and moved inline on
+/// the completion thread: waking the worker pool costs more than the work.
+constexpr std::uint64_t kSpreadWordThreshold = 1u << 14;
+
+std::uint64_t loc_key(std::uint32_t array, std::uint64_t idx) {
+  return (static_cast<std::uint64_t>(array) << kLocIndexBits) | idx;
+}
+
+/// Half-open key interval covered by one request.
+struct LocSpan {
+  std::uint64_t begin;
+  std::uint64_t end;
+};
+
+void push_span(std::vector<LocSpan>& spans, std::uint32_t array,
+               std::uint64_t start, std::uint64_t count) {
+  QSM_REQUIRE(start + count - 1 < (1ULL << kLocIndexBits),
+              "array too large for location tracking");
+  spans.push_back({loc_key(array, start), loc_key(array, start + count)});
+}
+
+}  // namespace
+
+PhasePipeline::PhasePipeline(SharedStore& store, const msg::Comm& comm,
+                             Executor& exec, bool check_rules,
+                             bool track_kappa)
+    : store_(store),
+      comm_(comm),
+      exec_(exec),
+      check_rules_(check_rules),
+      track_kappa_(track_kappa) {
+  const auto up = static_cast<std::size_t>(comm_.nprocs());
+  put_w_.resize(up * up);
+  get_w_.resize(up * up);
+  local_w_.resize(up);
+  hashed_put_owners_.resize(up);
+  bytes1_.resize(up * up);
+  bytes2_.resize(up * up);
+  t_ready_.resize(up);
+  t_done_.resize(up);
+}
+
+PhaseStats PhasePipeline::run_phase(std::vector<NodeState>& nodes) {
+  PhaseStats ps;
+
+  cycles_t max_arrive = nodes[0].now;
+  cycles_t min_arrive = nodes[0].now;
+  std::uint64_t total_words = 0;
+  for (const auto& nd : nodes) {
+    max_arrive = std::max(max_arrive, nd.now);
+    min_arrive = std::min(min_arrive, nd.now);
+    total_words += nd.enq_words;
+  }
+  ps.arrival_spread = max_arrive - min_arrive;
+
+  const bool spread =
+      exec_.parallel_enabled() && total_words >= kSpreadWordThreshold;
+
+  classify(nodes, spread);
+  check_rules_and_kappa(nodes, ps);
+  move_data(nodes, spread);
+  price(nodes, ps);
+
+  for (auto& nd : nodes) {
+    // Per-phase m_op: everything charged locally since the last sync,
+    // including the local-fraction applies added during pricing.
+    ps.m_op_max =
+        std::max(ps.m_op_max, nd.compute - nd.compute_at_phase_start);
+    nd.compute_at_phase_start = nd.compute;
+    nd.gets.clear();
+    nd.puts.clear();
+    nd.put_buf.clear();
+    nd.enq_words = 0;
+    nd.phase_count++;
+  }
+  return ps;
+}
+
+void PhasePipeline::classify(std::vector<NodeState>& nodes, bool spread) {
+  const auto up = nodes.size();
+  exec_.parallel(up, spread, [&](std::size_t i) {
+    NodeState& nd = nodes[i];
+    std::uint64_t* pw = put_w_.data() + i * up;
+    std::uint64_t* gw = get_w_.data() + i * up;
+    std::fill(pw, pw + up, 0);
+    std::fill(gw, gw + up, 0);
+    auto& hashed_owners = hashed_put_owners_[i];
+    hashed_owners.clear();
+
+    const auto p = static_cast<std::uint64_t>(up);
+    for (const PutReq& rq : nd.puts) {
+      const ArraySlot& s = store_.slot_unchecked(rq.array);
+      if (s.layout == Layout::Hashed) {
+        // Hash each word once; the move stage replays the recorded owners.
+        for (std::uint64_t k = rq.start; k < rq.start + rq.count; ++k) {
+          const int o = static_cast<int>(hash_index(k, s.salt) % p);
+          hashed_owners.push_back(o);
+          pw[o]++;
+        }
+      } else {
+        store_.accumulate_owner_counts(s, rq.start, rq.count, pw);
+      }
+    }
+    for (const GetReq& rq : nd.gets) {
+      store_.accumulate_owner_counts(store_.slot_unchecked(rq.array),
+                                     rq.start, rq.count, gw);
+    }
+    // Words whose owner is the requesting node never touch the network.
+    local_w_[i] = pw[i] + gw[i];
+    pw[i] = 0;
+    gw[i] = 0;
+  });
+}
+
+void PhasePipeline::check_rules_and_kappa(const std::vector<NodeState>& nodes,
+                                          PhaseStats& ps) const {
+  if (!check_rules_ && !track_kappa_) return;
+
+  std::vector<LocSpan> put_spans;
+  std::vector<LocSpan> get_spans;
+  for (const NodeState& nd : nodes) {
+    for (const PutReq& rq : nd.puts) {
+      push_span(put_spans, rq.array, rq.start, rq.count);
+    }
+    for (const GetReq& rq : nd.gets) {
+      push_span(get_spans, rq.array, rq.start, rq.count);
+    }
+  }
+  const auto by_begin = [](const LocSpan& a, const LocSpan& b) {
+    return a.begin < b.begin;
+  };
+  std::sort(put_spans.begin(), put_spans.end(), by_begin);
+  std::sort(get_spans.begin(), get_spans.end(), by_begin);
+
+  if (check_rules_) {
+    // Two sorted sweeps: any overlap between a put span and a get span is a
+    // location both read and written this phase.
+    std::size_t pi = 0;
+    std::size_t gi = 0;
+    while (pi < put_spans.size() && gi < get_spans.size()) {
+      const LocSpan& pu = put_spans[pi];
+      const LocSpan& ge = get_spans[gi];
+      if (pu.end <= ge.begin) {
+        ++pi;
+      } else if (ge.end <= pu.begin) {
+        ++gi;
+      } else {
+        const std::uint64_t key = std::max(pu.begin, ge.begin);
+        const auto array = static_cast<std::uint32_t>(key >> kLocIndexBits);
+        const std::uint64_t idx = key & ((1ULL << kLocIndexBits) - 1);
+        throw support::ContractViolation(
+            "bulk-synchrony violation: location read and written in the "
+            "same phase (array '" +
+                store_.slot_unchecked(array).name + "', index " +
+                std::to_string(idx) + ")",
+            std::source_location::current());
+      }
+    }
+  }
+
+  if (track_kappa_) {
+    // Max accesses to any one location == max overlap depth of the access
+    // spans. Sweep +1/-1 boundary events; ends sort before starts at equal
+    // keys because spans are half-open.
+    std::vector<std::pair<std::uint64_t, int>> events;
+    events.reserve(2 * (put_spans.size() + get_spans.size()));
+    for (const auto* spans : {&put_spans, &get_spans}) {
+      for (const LocSpan& sp : *spans) {
+        events.emplace_back(sp.begin, +1);
+        events.emplace_back(sp.end, -1);
+      }
+    }
+    std::sort(events.begin(), events.end());
+    std::int64_t depth = 0;
+    std::int64_t max_depth = 0;
+    for (const auto& [key, delta] : events) {
+      depth += delta;
+      max_depth = std::max(max_depth, depth);
+    }
+    ps.kappa = std::max(ps.kappa, static_cast<std::uint64_t>(max_depth));
+  }
+}
+
+void PhasePipeline::move_data(std::vector<NodeState>& nodes, bool spread) {
+  const auto up = nodes.size();
+
+  // Gets first: reads see pre-phase values. Each node's destination buffers
+  // are private to it, so requesting nodes proceed in parallel; the stage
+  // boundary below is a pool barrier, so no put lands before a get reads.
+  exec_.parallel(up, spread, [&](std::size_t i) {
+    for (const GetReq& rq : nodes[i].gets) {
+      const ArraySlot& s = store_.slot_unchecked(rq.array);
+      const std::uint64_t* src = s.data.data() + rq.start;
+      if (rq.elem_size == sizeof(std::uint64_t)) {
+        std::memcpy(rq.dest, src, rq.count * sizeof(std::uint64_t));
+      } else {
+        for (std::uint64_t k = 0; k < rq.count; ++k) {
+          std::memcpy(rq.dest + k * rq.elem_size, &src[k], rq.elem_size);
+        }
+      }
+    }
+  });
+
+  if (!spread || !exec_.parallel_enabled()) {
+    // Serial: rank-major request order, whole-request copies.
+    for (auto& nd : nodes) {
+      for (const PutReq& rq : nd.puts) {
+        ArraySlot& s = store_.slot_unchecked(rq.array);
+        std::memcpy(s.data.data() + rq.start,
+                    nd.put_buf.data() + rq.buf_offset,
+                    rq.count * sizeof(std::uint64_t));
+      }
+    }
+    return;
+  }
+
+  // Parallel: partition by owning node — every word has exactly one owner,
+  // so tasks write disjoint locations. Within a task, sources are walked in
+  // (rank, enqueue order, ascending index) order: the serial resolution
+  // order projected onto this owner's words, so concurrent-put results are
+  // bit-identical to the serial path.
+  exec_.parallel(up, true, [&](std::size_t j) {
+    const auto p = static_cast<std::uint64_t>(up);
+    for (std::size_t i = 0; i < up; ++i) {
+      const NodeState& nd = nodes[i];
+      std::size_t hash_cursor = 0;
+      for (const PutReq& rq : nd.puts) {
+        ArraySlot& s = store_.slot_unchecked(rq.array);
+        const std::uint64_t* src = nd.put_buf.data() + rq.buf_offset;
+        switch (s.layout) {
+          case Layout::Block: {
+            const std::uint64_t own_begin =
+                std::min<std::uint64_t>(s.n, j * s.chunk);
+            const std::uint64_t own_end =
+                std::min<std::uint64_t>(s.n, (j + 1) * s.chunk);
+            const std::uint64_t b = std::max(rq.start, own_begin);
+            const std::uint64_t e = std::min(rq.start + rq.count, own_end);
+            if (b < e) {
+              std::memcpy(s.data.data() + b, src + (b - rq.start),
+                          (e - b) * sizeof(std::uint64_t));
+            }
+            break;
+          }
+          case Layout::Cyclic: {
+            const std::uint64_t first =
+                rq.start + ((j + p - rq.start % p) % p);
+            for (std::uint64_t k = first; k < rq.start + rq.count; k += p) {
+              s.data[k] = src[k - rq.start];
+            }
+            break;
+          }
+          case Layout::Hashed: {
+            const int* owners =
+                hashed_put_owners_[i].data() + hash_cursor;
+            for (std::uint64_t k = 0; k < rq.count; ++k) {
+              if (owners[k] == static_cast<int>(j)) {
+                s.data[rq.start + k] = src[k];
+              }
+            }
+            hash_cursor += rq.count;
+            break;
+          }
+        }
+      }
+    }
+  });
+}
+
+void PhasePipeline::price(std::vector<NodeState>& nodes, PhaseStats& ps) {
+  const int p = comm_.nprocs();
+  const auto up = static_cast<std::size_t>(p);
+  const auto& sw = comm_.config().sw;
+
+  std::uint64_t total_get_words = 0;
+  std::uint64_t total_remote = 0;
+  for (std::size_t i = 0; i < up; ++i) {
+    std::uint64_t put_i = 0;
+    std::uint64_t get_i = 0;
+    for (std::size_t j = 0; j < up; ++j) {
+      put_i += put_w_[i * up + j];
+      get_i += get_w_[i * up + j];
+      total_get_words += get_w_[i * up + j];
+    }
+    total_remote += put_i + get_i;
+    ps.m_rw_max = std::max(ps.m_rw_max, put_i + get_i);
+    ps.max_put_words = std::max(ps.max_put_words, put_i);
+    ps.max_get_words = std::max(ps.max_get_words, get_i);
+    ps.local_words += local_w_[i];
+  }
+  ps.rw_total = total_remote;
+
+  // Request enqueueing was already charged at the get()/put() call sites.
+  // Applying the locally-owned fraction is local memory work: it delays the
+  // node's readiness but counts as compute, not communication.
+  cycles_t max_ready = 0;
+  for (std::size_t i = 0; i < up; ++i) {
+    const cycles_t local_apply =
+        static_cast<cycles_t>(local_w_[i]) * sw.per_apply_cpu;
+    t_ready_[i] = nodes[i].now + local_apply;
+    nodes[i].compute += local_apply;
+    max_ready = std::max(max_ready, t_ready_[i]);
+  }
+
+  t_done_ = t_ready_;
+  if (p > 1) {
+    // Communication plan: every node broadcasts its per-destination
+    // put/get counts.
+    const std::int64_t plan_bytes =
+        2 * static_cast<std::int64_t>(p) * sw.plan_entry_bytes;
+    const auto plan = comm_.allgather(t_ready_, plan_bytes, /*control=*/true);
+    ps.messages += plan.messages;
+    ps.wire_bytes += plan.wire_bytes;
+    std::vector<cycles_t> t_plan(up);
+    for (std::size_t i = 0; i < up; ++i) t_plan[i] = plan.nodes[i].finish;
+
+    // Round 1: put data and get requests.
+    bool any1 = false;
+    for (std::size_t i = 0; i < up; ++i) {
+      for (std::size_t j = 0; j < up; ++j) {
+        bytes1_[i * up + j] =
+            static_cast<std::int64_t>(put_w_[i * up + j]) *
+                sw.put_record_bytes +
+            static_cast<std::int64_t>(get_w_[i * up + j]) *
+                sw.get_request_bytes;
+        any1 = any1 || bytes1_[i * up + j] > 0;
+      }
+    }
+    std::vector<cycles_t> t1 = t_plan;
+    if (any1) {
+      const auto r1 = comm_.alltoallv_flat(t_plan, bytes1_);
+      ps.messages += r1.messages;
+      ps.wire_bytes += r1.wire_bytes;
+      for (std::size_t i = 0; i < up; ++i) t1[i] = r1.nodes[i].finish;
+    }
+
+    // Owners apply received puts and service received get requests.
+    std::vector<cycles_t> t2 = t1;
+    for (std::size_t j = 0; j < up; ++j) {
+      std::uint64_t recv = 0;
+      for (std::size_t i = 0; i < up; ++i) {
+        recv += put_w_[i * up + j] + get_w_[i * up + j];
+      }
+      t2[j] += static_cast<cycles_t>(recv) * sw.per_apply_cpu;
+    }
+
+    // Round 2: get replies travel back.
+    t_done_ = t2;
+    if (total_get_words > 0) {
+      for (std::size_t i = 0; i < up; ++i) {
+        for (std::size_t j = 0; j < up; ++j) {
+          bytes2_[j * up + i] =
+              static_cast<std::int64_t>(get_w_[i * up + j]) *
+              sw.get_reply_bytes;
+        }
+      }
+      const auto r2 = comm_.alltoallv_flat(t2, bytes2_);
+      ps.messages += r2.messages;
+      ps.wire_bytes += r2.wire_bytes;
+      for (std::size_t i = 0; i < up; ++i) {
+        std::uint64_t mine = 0;
+        for (std::size_t j = 0; j < up; ++j) mine += get_w_[i * up + j];
+        t_done_[i] = r2.nodes[i].finish +
+                     static_cast<cycles_t>(mine) * sw.per_apply_cpu;
+      }
+    }
+  }
+
+  cycles_t finish = 0;
+  for (cycles_t t : t_done_) finish = std::max(finish, t);
+  ps.exchange_cycles = finish - max_ready;
+
+  cycles_t release = finish;
+  if (p > 1) {
+    release = net::simulate_tree_barrier(comm_.config().net, sw, t_done_);
+  }
+  ps.barrier_cycles = release - finish;
+
+  for (auto& nd : nodes) nd.now = release;
+}
+
+}  // namespace qsm::rt

@@ -1,0 +1,115 @@
+// The phase pipeline: everything that happens inside a sync().
+//
+// When the last program lane arrives at the phase barrier, the pipeline
+// runs three explicit stages over the queued get/put traffic:
+//
+//   classify — resolve every queued word to its owning node and reduce the
+//       traffic to per-(source, owner) word counts. Ownership is resolved
+//       at run granularity through the SharedStore's cached resolvers
+//       (closed-form for Block and Cyclic layouts; per-word hashing only
+//       for Hashed, recorded once and reused by the move stage). The
+//       bulk-synchrony rule check and kappa tracking run here as sorted
+//       interval passes over the request spans — O(requests log requests),
+//       not a hash-map probe per word.
+//
+//   move — execute the semantics: gets copy pre-phase values into their
+//       destination buffers (parallel over requesting nodes — each node's
+//       destinations are private), then puts apply owner-partitioned in
+//       (source rank, enqueue order) order, so concurrent writes resolve
+//       exactly as the serial runtime did: last writer in rank-major order
+//       wins. The stage boundary is a worker-pool barrier, which is what
+//       makes "reads see pre-phase values" hold under parallelism.
+//
+//   price — feed the per-(source, owner) counts through the simulated
+//       communication plan, data rounds, and closing tree barrier, and
+//       advance every node's simulated clock to the release time.
+//
+// Host parallelism is confined to classify and move, whose outputs are
+// exact counts and memory contents; price consumes only those counts.
+// Simulated clocks and PhaseStats are therefore byte-identical for any
+// worker count — the pipeline is a host-side throughput layer, never a
+// model change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/store.hpp"
+#include "core/trace.hpp"
+#include "msg/comm.hpp"
+#include "support/rng.hpp"
+
+namespace qsm::rt {
+
+class Executor;
+
+struct GetReq {
+  std::uint32_t array;
+  std::uint32_t elem_size;
+  std::uint64_t start;
+  std::uint64_t count;
+  std::byte* dest;
+};
+
+struct PutReq {
+  std::uint32_t array;
+  std::uint64_t start;
+  std::uint64_t count;
+  std::size_t buf_offset;  // into NodeState::put_buf
+};
+
+/// Per-simulated-processor state: the node's clocks, RNG stream, and the
+/// request queues the next sync() will drain.
+struct NodeState {
+  cycles_t now{0};
+  cycles_t compute{0};
+  cycles_t compute_at_phase_start{0};
+  std::unique_ptr<support::Xoshiro256> rng;
+  std::vector<GetReq> gets;
+  std::vector<PutReq> puts;
+  std::vector<std::uint64_t> put_buf;
+  std::uint64_t enq_words{0};
+  std::uint64_t phase_count{0};
+};
+
+class PhasePipeline {
+ public:
+  PhasePipeline(SharedStore& store, const msg::Comm& comm, Executor& exec,
+                bool check_rules, bool track_kappa);
+
+  /// Runs one phase: classifies and moves all queued traffic, prices the
+  /// exchange, advances every node's clock to the barrier release time,
+  /// and clears the queues. Throws ContractViolation on a bulk-synchrony
+  /// rule violation (when rule checking is on).
+  [[nodiscard]] PhaseStats run_phase(std::vector<NodeState>& nodes);
+
+ private:
+  void classify(std::vector<NodeState>& nodes, bool spread);
+  void check_rules_and_kappa(const std::vector<NodeState>& nodes,
+                             PhaseStats& ps) const;
+  void move_data(std::vector<NodeState>& nodes, bool spread);
+  void price(std::vector<NodeState>& nodes, PhaseStats& ps);
+
+  SharedStore& store_;
+  const msg::Comm& comm_;
+  Executor& exec_;
+  bool check_rules_;
+  bool track_kappa_;
+
+  // --- per-phase scratch, reused across phases -----------------------------
+  std::vector<std::uint64_t> put_w_;    ///< p x p remote put words, row-major
+  std::vector<std::uint64_t> get_w_;    ///< p x p remote get words, row-major
+  std::vector<std::uint64_t> local_w_;  ///< locally-owned words per node
+  /// Word owners of every Hashed-layout put request, per source node, in
+  /// (request, word) order: hashed once in classify, replayed by the
+  /// owner-partitioned put stage.
+  std::vector<std::vector<int>> hashed_put_owners_;
+  std::vector<std::int64_t> bytes1_;  ///< p x p wire bytes, round 1
+  std::vector<std::int64_t> bytes2_;  ///< p x p wire bytes, round 2
+  std::vector<cycles_t> t_ready_;
+  std::vector<cycles_t> t_done_;
+};
+
+}  // namespace qsm::rt

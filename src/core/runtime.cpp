@@ -4,30 +4,25 @@
 #include <bit>
 #include <condition_variable>
 #include <mutex>
-#include <thread>
-#include <unordered_map>
-#include <unordered_set>
 #include <utility>
 
-#include "net/barrier.hpp"
+namespace qsm::rt {
 
 static_assert(std::endian::native == std::endian::little,
               "word packing in the QSM runtime assumes a little-endian host");
-
-namespace qsm::rt {
 
 // ---- phase barrier --------------------------------------------------------
 
 /// Cyclic barrier whose last arriver runs the phase-processing completion
 /// function. Exceptions thrown by the completion (e.g. bulk-synchrony rule
 /// violations) are captured and rethrown on *every* participating thread so
-/// program threads unwind instead of deadlocking; a thread that dies outside
-/// the barrier calls abort() to wake the others.
+/// program lanes unwind instead of deadlocking; a lane that dies outside
+/// the barrier calls abort_with() to wake the others.
 struct Runtime::Barrier {
   std::mutex m;
   std::condition_variable cv;
   int initial{0};       ///< participants at reset()
-  int participants{0};  ///< still-running program threads
+  int participants{0};  ///< still-running program lanes
   int waiting{0};
   std::uint64_t generation{0};
   std::function<void()> completion;
@@ -54,7 +49,7 @@ struct Runtime::Barrier {
     std::unique_lock lk(m);
     if (error) std::rethrow_exception(error);
     if (participants != initial) {
-      // Some thread already finished its program but this one wants
+      // Some lane already finished its program but this one wants
       // another phase: the program is not bulk-synchronous.
       error = mismatch_error();
       cv.notify_all();
@@ -78,18 +73,18 @@ struct Runtime::Barrier {
     }
   }
 
-  /// A thread finished its program normally and leaves the barrier.
+  /// A lane finished its program normally and leaves the barrier.
   void retire() {
     std::lock_guard lk(m);
     --participants;
     if (waiting > 0 && !error) {
-      // Other threads are blocked at a sync this thread never reached.
+      // Other lanes are blocked at a sync this lane never reached.
       error = mismatch_error();
       cv.notify_all();
     }
   }
 
-  /// A thread died with an exception; wake everyone with it.
+  /// A lane died with an exception; wake everyone with it.
   void abort_with(std::exception_ptr e) {
     std::lock_guard lk(m);
     if (!error) error = std::move(e);
@@ -138,35 +133,20 @@ support::Xoshiro256& Context::rng() {
 
 void Context::sync() { rt_->barrier_->arrive_and_wait(); }
 
-// ---- Runtime ----------------------------------------------------------------
+// ---- Runtime: thin orchestration over Store / Pipeline / Executor ---------
 
 Runtime::Runtime(machine::MachineConfig cfg, Options opts)
     : comm_(std::move(cfg)),
       opts_(opts),
+      store_(opts.seed, comm_.nprocs()),
+      exec_(comm_.nprocs(), opts.host_workers),
+      pipeline_(store_, comm_, exec_, opts.check_rules, opts.track_kappa),
       nodes_(static_cast<std::size_t>(comm_.nprocs())),
       barrier_(std::make_unique<Barrier>()) {
   reset_clocks();
 }
 
 Runtime::~Runtime() = default;
-
-Runtime::ArrayStore& Runtime::store(std::uint32_t id) {
-  QSM_REQUIRE(id < arrays_.size(), "invalid GlobalArray handle");
-  QSM_REQUIRE(!arrays_[id].freed,
-              "use of freed shared array '" + arrays_[id].name + "'");
-  return arrays_[id];
-}
-
-void Runtime::free_array(std::uint32_t id) {
-  auto& s = store(id);  // validates the handle and rejects double free
-  s.freed = true;
-  s.data.clear();
-  s.data.shrink_to_fit();
-}
-
-int Runtime::owner(const ArrayStore& s, std::uint64_t idx) const {
-  return owner_of(s.layout, idx, s.n, nprocs(), s.salt);
-}
 
 void Runtime::reset_clocks() {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
@@ -196,22 +176,18 @@ RunResult Runtime::run(const std::function<void(Context&)>& program) {
   run_counter_++;
   reset_clocks();
   result_ = RunResult{};
-  barrier_->reset(nprocs(), [this] { process_phase(); });
+  barrier_->reset(nprocs(),
+                  [this] { result_.add_phase(pipeline_.run_phase(nodes_)); });
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nprocs()));
-  for (int rank = 0; rank < nprocs(); ++rank) {
-    threads.emplace_back([this, rank, &program] {
-      Context ctx(this, rank);
-      try {
-        program(ctx);
-        barrier_->retire();
-      } catch (...) {
-        barrier_->abort_with(std::current_exception());
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
+  exec_.run_program([this, &program](int rank) {
+    Context ctx(this, rank);
+    try {
+      program(ctx);
+      barrier_->retire();
+    } catch (...) {
+      barrier_->abort_with(std::current_exception());
+    }
+  });
 
   if (auto e = barrier_->take_error()) std::rethrow_exception(e);
   check_queues_empty();
@@ -225,224 +201,6 @@ RunResult Runtime::run(const std::function<void(Context&)>& program) {
     result_.compute_cycles = std::max(result_.compute_cycles, nd.compute);
   }
   return std::move(result_);
-}
-
-// ---- the heart: pricing and executing one bulk-synchronous phase ----------
-
-void Runtime::process_phase() {
-  const int p = nprocs();
-  const auto up = static_cast<std::size_t>(p);
-  const auto& cfg = machine();
-  const auto& sw = cfg.sw;
-
-  PhaseStats ps;
-
-  cycles_t max_arrive = nodes_[0].now;
-  cycles_t min_arrive = nodes_[0].now;
-  for (const auto& nd : nodes_) {
-    max_arrive = std::max(max_arrive, nd.now);
-    min_arrive = std::min(min_arrive, nd.now);
-  }
-  ps.arrival_spread = max_arrive - min_arrive;
-
-  // --- classify traffic -----------------------------------------------------
-  std::vector<std::vector<std::uint64_t>> put_w(up,
-                                                std::vector<std::uint64_t>(up));
-  std::vector<std::vector<std::uint64_t>> get_w(up,
-                                                std::vector<std::uint64_t>(up));
-  std::vector<std::uint64_t> local_w(up, 0);
-
-  const bool rules = opts_.check_rules;
-  const bool kappa = opts_.track_kappa;
-  std::unordered_set<std::uint64_t> put_locs;
-  std::unordered_map<std::uint64_t, std::uint64_t> access_count;
-  auto loc_key = [](std::uint32_t array, std::uint64_t idx) {
-    QSM_REQUIRE(idx < (1ULL << 40), "array too large for location tracking");
-    return (static_cast<std::uint64_t>(array) << 40) | idx;
-  };
-
-  for (std::size_t i = 0; i < up; ++i) {
-    for (const PutReq& rq : nodes_[i].puts) {
-      const ArrayStore& s = arrays_[rq.array];
-      for (std::uint64_t k = 0; k < rq.count; ++k) {
-        const std::uint64_t idx = rq.start + k;
-        const int o = owner(s, idx);
-        if (o == static_cast<int>(i)) {
-          local_w[i]++;
-        } else {
-          put_w[i][static_cast<std::size_t>(o)]++;
-        }
-        if (rules) put_locs.insert(loc_key(rq.array, idx));
-        if (kappa) access_count[loc_key(rq.array, idx)]++;
-      }
-    }
-  }
-  for (std::size_t i = 0; i < up; ++i) {
-    for (const GetReq& rq : nodes_[i].gets) {
-      const ArrayStore& s = arrays_[rq.array];
-      for (std::uint64_t k = 0; k < rq.count; ++k) {
-        const std::uint64_t idx = rq.start + k;
-        const int o = owner(s, idx);
-        if (o == static_cast<int>(i)) {
-          local_w[i]++;
-        } else {
-          get_w[i][static_cast<std::size_t>(o)]++;
-        }
-        if (rules && put_locs.contains(loc_key(rq.array, idx))) {
-          throw support::ContractViolation(
-              "bulk-synchrony violation: location read and written in the "
-              "same phase (array '" +
-                  arrays_[rq.array].name + "', index " + std::to_string(idx) +
-                  ")",
-              std::source_location::current());
-        }
-        if (kappa) access_count[loc_key(rq.array, idx)]++;
-      }
-    }
-  }
-  if (kappa) {
-    for (const auto& [k, c] : access_count) ps.kappa = std::max(ps.kappa, c);
-  }
-
-  // --- move the data (reads see pre-phase values; then writes apply) --------
-  for (auto& nd : nodes_) {
-    for (const GetReq& rq : nd.gets) {
-      const ArrayStore& s = arrays_[rq.array];
-      for (std::uint64_t k = 0; k < rq.count; ++k) {
-        const std::uint64_t w = s.data[rq.start + k];
-        std::memcpy(rq.dest + k * rq.elem_size, &w, rq.elem_size);
-      }
-    }
-  }
-  for (auto& nd : nodes_) {
-    for (const PutReq& rq : nd.puts) {
-      ArrayStore& s = arrays_[rq.array];
-      for (std::uint64_t k = 0; k < rq.count; ++k) {
-        s.data[rq.start + k] = nd.put_buf[rq.buf_offset + k];
-      }
-    }
-  }
-
-  // --- price the phase -------------------------------------------------------
-  std::uint64_t total_get_words = 0;
-  std::uint64_t total_remote = 0;
-  for (std::size_t i = 0; i < up; ++i) {
-    std::uint64_t put_i = 0;
-    std::uint64_t get_i = 0;
-    for (std::size_t j = 0; j < up; ++j) {
-      put_i += put_w[i][j];
-      get_i += get_w[i][j];
-      total_get_words += get_w[i][j];
-    }
-    total_remote += put_i + get_i;
-    ps.m_rw_max = std::max(ps.m_rw_max, put_i + get_i);
-    ps.max_put_words = std::max(ps.max_put_words, put_i);
-    ps.max_get_words = std::max(ps.max_get_words, get_i);
-    ps.local_words += local_w[i];
-  }
-  ps.rw_total = total_remote;
-
-  // Request enqueueing was already charged at the get()/put() call sites.
-  // Applying the locally-owned fraction is local memory work: it delays the
-  // node's readiness but counts as compute, not communication.
-  std::vector<cycles_t> t_ready(up);
-  cycles_t max_ready = 0;
-  for (std::size_t i = 0; i < up; ++i) {
-    const cycles_t local_apply =
-        static_cast<cycles_t>(local_w[i]) * sw.per_apply_cpu;
-    t_ready[i] = nodes_[i].now + local_apply;
-    nodes_[i].compute += local_apply;
-    max_ready = std::max(max_ready, t_ready[i]);
-  }
-
-  std::vector<cycles_t> t_done = t_ready;
-  if (p > 1) {
-    // Communication plan: every node broadcasts its per-destination
-    // put/get counts.
-    const std::int64_t plan_bytes =
-        2 * static_cast<std::int64_t>(p) * sw.plan_entry_bytes;
-    const auto plan = comm_.allgather(t_ready, plan_bytes, /*control=*/true);
-    ps.messages += plan.messages;
-    ps.wire_bytes += plan.wire_bytes;
-    std::vector<cycles_t> t_plan(up);
-    for (std::size_t i = 0; i < up; ++i) t_plan[i] = plan.nodes[i].finish;
-
-    // Round 1: put data and get requests.
-    std::vector<std::vector<std::int64_t>> bytes1(
-        up, std::vector<std::int64_t>(up, 0));
-    bool any1 = false;
-    for (std::size_t i = 0; i < up; ++i) {
-      for (std::size_t j = 0; j < up; ++j) {
-        bytes1[i][j] =
-            static_cast<std::int64_t>(put_w[i][j]) * sw.put_record_bytes +
-            static_cast<std::int64_t>(get_w[i][j]) * sw.get_request_bytes;
-        any1 = any1 || bytes1[i][j] > 0;
-      }
-    }
-    std::vector<cycles_t> t1 = t_plan;
-    if (any1) {
-      const auto r1 = comm_.alltoallv(t_plan, bytes1);
-      ps.messages += r1.messages;
-      ps.wire_bytes += r1.wire_bytes;
-      for (std::size_t i = 0; i < up; ++i) t1[i] = r1.nodes[i].finish;
-    }
-
-    // Owners apply received puts and service received get requests.
-    std::vector<cycles_t> t2 = t1;
-    for (std::size_t j = 0; j < up; ++j) {
-      std::uint64_t recv = 0;
-      for (std::size_t i = 0; i < up; ++i) recv += put_w[i][j] + get_w[i][j];
-      t2[j] += static_cast<cycles_t>(recv) * sw.per_apply_cpu;
-    }
-
-    // Round 2: get replies travel back.
-    t_done = t2;
-    if (total_get_words > 0) {
-      std::vector<std::vector<std::int64_t>> bytes2(
-          up, std::vector<std::int64_t>(up, 0));
-      for (std::size_t i = 0; i < up; ++i) {
-        for (std::size_t j = 0; j < up; ++j) {
-          bytes2[j][i] =
-              static_cast<std::int64_t>(get_w[i][j]) * sw.get_reply_bytes;
-        }
-      }
-      const auto r2 = comm_.alltoallv(t2, bytes2);
-      ps.messages += r2.messages;
-      ps.wire_bytes += r2.wire_bytes;
-      for (std::size_t i = 0; i < up; ++i) {
-        std::uint64_t mine = 0;
-        for (std::size_t j = 0; j < up; ++j) mine += get_w[i][j];
-        t_done[i] = r2.nodes[i].finish +
-                    static_cast<cycles_t>(mine) * sw.per_apply_cpu;
-      }
-    }
-  }
-
-  cycles_t finish = 0;
-  for (cycles_t t : t_done) finish = std::max(finish, t);
-  ps.exchange_cycles = finish - max_ready;
-
-  cycles_t release = finish;
-  if (p > 1) {
-    release = net::simulate_tree_barrier(cfg.net, sw, t_done);
-  }
-  ps.barrier_cycles = release - finish;
-
-  for (auto& nd : nodes_) {
-    nd.now = release;
-    // Per-phase m_op: everything charged locally since the last sync,
-    // including the local-fraction applies above.
-    ps.m_op_max =
-        std::max(ps.m_op_max, nd.compute - nd.compute_at_phase_start);
-    nd.compute_at_phase_start = nd.compute;
-    nd.gets.clear();
-    nd.puts.clear();
-    nd.put_buf.clear();
-    nd.enq_words = 0;
-    nd.phase_count++;
-  }
-
-  result_.add_phase(ps);
 }
 
 }  // namespace qsm::rt

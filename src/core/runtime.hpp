@@ -18,6 +18,13 @@
 // Options::check_rules is set). Concurrent writes to one location queue;
 // we resolve the final value deterministically by (rank, enqueue order),
 // with the last writer winning.
+//
+// The Runtime itself is a thin orchestrator over three layers (see
+// DESIGN.md "Runtime architecture"):
+//   SharedStore   (core/store) — array storage, layouts, ownership queries;
+//   PhasePipeline (core/phase) — classify / move / price inside the barrier;
+//   Executor      (core/exec)  — persistent host threads for program lanes
+//                                and phase workers, reused across run()s.
 #pragma once
 
 #include <cstddef>
@@ -29,7 +36,10 @@
 #include <type_traits>
 #include <vector>
 
+#include "core/exec.hpp"
 #include "core/layout.hpp"
+#include "core/phase.hpp"
+#include "core/store.hpp"
 #include "core/trace.hpp"
 #include "machine/config.hpp"
 #include "msg/comm.hpp"
@@ -43,12 +53,14 @@ namespace qsm::rt {
 template <typename T>
 concept Word = std::is_trivially_copyable_v<T> && sizeof(T) <= 8;
 
-/// Typed handle to a shared array. Cheap to copy; valid for the lifetime of
-/// the Runtime that allocated it.
+/// Typed handle to a shared array. Cheap to copy; valid until the array is
+/// freed (the store recycles slots, so handles carry the slot generation
+/// and stale use faults loudly).
 template <Word T>
 struct GlobalArray {
   std::uint32_t id{UINT32_MAX};
   std::uint64_t n{0};
+  std::uint32_t gen{0};
 
   [[nodiscard]] bool valid() const { return id != UINT32_MAX; }
 };
@@ -57,11 +69,15 @@ struct Options {
   /// Seed for all per-node RNG streams and hashed layouts.
   std::uint64_t seed{1};
   /// Detect same-phase read+write of a location (throws ContractViolation
-  /// from sync()). Costs a hash probe per word; on for tests, off for
-  /// large benchmark runs.
+  /// from sync()). Checked by sorted sweeps over the request spans, so
+  /// enabling it no longer changes a phase's algorithmic complexity.
   bool check_rules{false};
   /// Track kappa (max accesses to any one location per phase).
   bool track_kappa{false};
+  /// Host worker threads for the phase pipeline: 0 picks a default from
+  /// the host's core count, 1 forces serial phase processing. Purely a
+  /// host-throughput knob — simulated timing is identical for any value.
+  int host_workers{0};
 };
 
 class Runtime;
@@ -106,7 +122,8 @@ class Context {
 
   /// Range forms: count consecutive elements starting at `start`. The
   /// library is word-grained (each word is one remote operation, m_rw),
-  /// but ranges keep host-side bookkeeping compact.
+  /// but ranges keep host-side bookkeeping compact. Destination buffers
+  /// must not be shared between nodes.
   template <Word T>
   void get_range(GlobalArray<T> a, std::uint64_t start, std::uint64_t count,
                  T* dest);
@@ -153,10 +170,11 @@ class Runtime {
   /// Releases an array's storage. The handle (and any copy of it) becomes
   /// invalid; further use is a contract violation. Must not be called
   /// while a program is running. Long-lived runtimes that call algorithms
-  /// repeatedly use this to drop per-call scratch arrays.
+  /// repeatedly use this to drop per-call scratch arrays; the freed slot
+  /// id is recycled by the next alloc.
   template <Word T>
   void free(GlobalArray<T> a) {
-    free_array(a.id);
+    store_.release(a.id, a.gen);
   }
 
   /// Host-side (outside simulated time) bulk initialization and readback.
@@ -165,56 +183,24 @@ class Runtime {
   template <Word T>
   [[nodiscard]] std::vector<T> host_read(GlobalArray<T> a);
 
-  /// Runs `program` once on every simulated processor (p threads). The
-  /// program must be bulk-synchronous: every node executes the same number
-  /// of sync() calls. Clocks reset at the start of each run; array
-  /// contents persist across runs.
+  /// Runs `program` once on every simulated processor (p persistent host
+  /// lanes). The program must be bulk-synchronous: every node executes the
+  /// same number of sync() calls. Clocks reset at the start of each run;
+  /// array contents persist across runs.
   RunResult run(const std::function<void(Context&)>& program);
+
+  /// Total OS threads the runtime has created so far. Constant across
+  /// repeated run() calls: lanes and phase workers are persistent.
+  [[nodiscard]] std::uint64_t host_threads_created() const {
+    return exec_.host_threads_created();
+  }
+  /// Host worker threads available to the phase pipeline.
+  [[nodiscard]] int host_phase_workers() const {
+    return exec_.phase_workers();
+  }
 
  private:
   friend class Context;
-
-  struct ArrayStore {
-    std::string name;
-    Layout layout{Layout::Block};
-    std::uint64_t salt{0};
-    std::uint64_t n{0};
-    std::vector<std::uint64_t> data;  // one word per element
-    bool freed{false};
-  };
-
-  struct GetReq {
-    std::uint32_t array;
-    std::uint32_t elem_size;
-    std::uint64_t start;
-    std::uint64_t count;
-    std::byte* dest;
-  };
-  struct PutReq {
-    std::uint32_t array;
-    std::uint64_t start;
-    std::uint64_t count;
-    std::size_t buf_offset;  // into NodeState::put_buf
-  };
-
-  struct NodeState {
-    cycles_t now{0};
-    cycles_t compute{0};
-    cycles_t compute_at_phase_start{0};
-    std::unique_ptr<support::Xoshiro256> rng;
-    std::vector<GetReq> gets;
-    std::vector<PutReq> puts;
-    std::vector<std::uint64_t> put_buf;
-    std::uint64_t enq_words{0};
-    std::uint64_t phase_count{0};
-  };
-
-  ArrayStore& store(std::uint32_t id);
-  void free_array(std::uint32_t id);
-  [[nodiscard]] int owner(const ArrayStore& s, std::uint64_t idx) const;
-
-  /// Runs at each barrier: moves data, prices the exchange, advances clocks.
-  void process_phase();
 
   void reset_clocks();
   void check_queues_empty() const;
@@ -235,7 +221,9 @@ class Runtime {
 
   msg::Comm comm_;
   Options opts_;
-  std::vector<ArrayStore> arrays_;
+  SharedStore store_;
+  Executor exec_;
+  PhasePipeline pipeline_;
   std::vector<NodeState> nodes_;
   RunResult result_;  ///< being assembled by the current run()
   std::uint64_t run_counter_{0};
@@ -248,18 +236,18 @@ class Runtime {
 
 template <Word T>
 T Context::read_local(GlobalArray<T> a, std::uint64_t idx) {
-  auto& s = rt_->store(a.id);
+  auto& s = rt_->store_.slot(a.id, a.gen);
   QSM_REQUIRE(idx < s.n, "read_local out of bounds");
-  QSM_REQUIRE(rt_->owner(s, idx) == rank_,
+  QSM_REQUIRE(rt_->store_.owner(s, idx) == rank_,
               "read_local on an element this node does not own");
   return Runtime::from_word<T>(s.data[idx]);
 }
 
 template <Word T>
 void Context::write_local(GlobalArray<T> a, std::uint64_t idx, T value) {
-  auto& s = rt_->store(a.id);
+  auto& s = rt_->store_.slot(a.id, a.gen);
   QSM_REQUIRE(idx < s.n, "write_local out of bounds");
-  QSM_REQUIRE(rt_->owner(s, idx) == rank_,
+  QSM_REQUIRE(rt_->store_.owner(s, idx) == rank_,
               "write_local on an element this node does not own");
   s.data[idx] = Runtime::to_word(value);
 }
@@ -268,12 +256,12 @@ template <Word T>
 void Context::get_range(GlobalArray<T> a, std::uint64_t start,
                         std::uint64_t count, T* dest) {
   if (count == 0) return;
-  auto& s = rt_->store(a.id);
+  auto& s = rt_->store_.slot(a.id, a.gen);
   QSM_REQUIRE(start < s.n && count <= s.n - start, "get_range out of bounds");
   auto& node = rt_->nodes_[static_cast<std::size_t>(rank_)];
-  node.gets.push_back(Runtime::GetReq{a.id, static_cast<std::uint32_t>(sizeof(T)),
-                                      start, count,
-                                      reinterpret_cast<std::byte*>(dest)});
+  node.gets.push_back(GetReq{a.id, static_cast<std::uint32_t>(sizeof(T)),
+                             start, count,
+                             reinterpret_cast<std::byte*>(dest)});
   node.enq_words += count;
   // Enqueueing is local CPU work done during the phase ("get() and put()
   // calls merely enqueue requests on the local node").
@@ -285,15 +273,22 @@ template <Word T>
 void Context::put_range(GlobalArray<T> a, std::uint64_t start,
                         std::uint64_t count, const T* src) {
   if (count == 0) return;
-  auto& s = rt_->store(a.id);
+  auto& s = rt_->store_.slot(a.id, a.gen);
   QSM_REQUIRE(start < s.n && count <= s.n - start, "put_range out of bounds");
   auto& node = rt_->nodes_[static_cast<std::size_t>(rank_)];
   const std::size_t off = node.put_buf.size();
-  node.put_buf.reserve(off + count);
-  for (std::uint64_t k = 0; k < count; ++k) {
-    node.put_buf.push_back(Runtime::to_word(src[k]));
+  if constexpr (sizeof(T) == sizeof(std::uint64_t)) {
+    // Full words pack by straight copy.
+    node.put_buf.resize(off + count);
+    std::memcpy(node.put_buf.data() + off, src,
+                count * sizeof(std::uint64_t));
+  } else {
+    node.put_buf.reserve(off + count);
+    for (std::uint64_t k = 0; k < count; ++k) {
+      node.put_buf.push_back(Runtime::to_word(src[k]));
+    }
   }
-  node.puts.push_back(Runtime::PutReq{a.id, start, count, off});
+  node.puts.push_back(PutReq{a.id, start, count, off});
   node.enq_words += count;
   charge_cycles(static_cast<cycles_t>(count) *
                 rt_->machine().sw.per_request_cpu);
@@ -304,21 +299,13 @@ void Context::put_range(GlobalArray<T> a, std::uint64_t start,
 template <Word T>
 GlobalArray<T> Runtime::alloc(std::uint64_t n, Layout layout,
                               std::string name) {
-  QSM_REQUIRE(n > 0, "cannot allocate an empty shared array");
-  ArrayStore s;
-  s.name = name.empty() ? ("array" + std::to_string(arrays_.size()))
-                        : std::move(name);
-  s.layout = layout;
-  s.salt = support::SplitMix64(opts_.seed ^ (arrays_.size() + 0x51ULL)).next();
-  s.n = n;
-  s.data.assign(n, 0);
-  arrays_.push_back(std::move(s));
-  return GlobalArray<T>{static_cast<std::uint32_t>(arrays_.size() - 1), n};
+  const auto h = store_.allocate(n, layout, std::move(name));
+  return GlobalArray<T>{h.id, n, h.generation};
 }
 
 template <Word T>
 void Runtime::host_fill(GlobalArray<T> a, const std::vector<T>& values) {
-  auto& s = store(a.id);
+  auto& s = store_.slot(a.id, a.gen);
   QSM_REQUIRE(values.size() == s.n, "host_fill size mismatch");
   for (std::uint64_t i = 0; i < s.n; ++i) {
     s.data[i] = to_word(values[i]);
@@ -327,7 +314,7 @@ void Runtime::host_fill(GlobalArray<T> a, const std::vector<T>& values) {
 
 template <Word T>
 std::vector<T> Runtime::host_read(GlobalArray<T> a) {
-  auto& s = store(a.id);
+  auto& s = store_.slot(a.id, a.gen);
   std::vector<T> out(s.n);
   for (std::uint64_t i = 0; i < s.n; ++i) {
     out[i] = from_word<T>(s.data[i]);

@@ -23,6 +23,28 @@ net::ExchangeResult Comm::allgather(const std::vector<cycles_t>& start,
   return net::simulate_exchange(cfg_.net, cfg_.sw, spec);
 }
 
+net::ExchangeResult Comm::alltoallv_flat(
+    const std::vector<cycles_t>& start,
+    const std::vector<std::int64_t>& bytes) const {
+  const int p = cfg_.p;
+  const auto up = static_cast<std::size_t>(p);
+  QSM_REQUIRE(start.size() == up, "start times must cover every node");
+  QSM_REQUIRE(bytes.size() == up * up, "bytes matrix must be p x p");
+  net::ExchangeSpec spec;
+  spec.p = p;
+  spec.start = start;
+  // Same transfer order as simulate_alltoallv: source-major, destination
+  // ascending, zero entries dropped.
+  for (int i = 0; i < p; ++i) {
+    for (int j = 0; j < p; ++j) {
+      const std::int64_t b =
+          bytes[static_cast<std::size_t>(i) * up + static_cast<std::size_t>(j)];
+      if (i != j && b > 0) spec.transfers.push_back({i, j, b});
+    }
+  }
+  return net::simulate_exchange(cfg_.net, cfg_.sw, spec);
+}
+
 net::ExchangeResult Comm::gather(const std::vector<cycles_t>& start, int root,
                                  const std::vector<std::int64_t>& bytes) const {
   const int p = cfg_.p;

@@ -44,6 +44,15 @@ class Comm {
     return net::simulate_alltoallv(cfg_.net, cfg_.sw, start, bytes);
   }
 
+  /// Same exchange over a row-major p*p byte matrix. The phase pipeline
+  /// prices two exchanges per sync() into reusable flat scratch; this
+  /// overload avoids rebuilding a vector-of-vectors every phase. Produces
+  /// the identical message set (and therefore identical timing) as the
+  /// nested-matrix form.
+  [[nodiscard]] net::ExchangeResult alltoallv_flat(
+      const std::vector<cycles_t>& start,
+      const std::vector<std::int64_t>& bytes) const;
+
   /// Allgather: every node broadcasts `bytes_per_node` payload to all
   /// others (the communication-plan distribution during sync()). Set
   /// `control` for fast-path control traffic such as the plan counts.

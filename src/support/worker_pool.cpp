@@ -1,0 +1,87 @@
+#include "support/worker_pool.hpp"
+
+#include <utility>
+
+#include "support/contract.hpp"
+
+namespace qsm::support {
+
+WorkerPool::WorkerPool(int threads) {
+  QSM_REQUIRE(threads >= 1, "worker pool needs at least one thread");
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    threads_.emplace_back(
+        [this, t] { worker_loop(static_cast<std::size_t>(t)); });
+    ++threads_created_;
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lk(m_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::parallel_for(std::size_t tasks,
+                              const std::function<void(std::size_t)>& fn) {
+  if (tasks == 0) return;
+  std::unique_lock lk(m_);
+  QSM_REQUIRE(workers_busy_ == 0 && fn_ == nullptr,
+              "WorkerPool::parallel_for is not reentrant");
+  tasks_ = tasks;
+  fn_ = &fn;
+  first_error_ = nullptr;
+  first_error_task_ = SIZE_MAX;
+  workers_busy_ = size();
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lk, [&] { return workers_busy_ == 0; });
+  fn_ = nullptr;
+  if (first_error_) std::rethrow_exception(std::exchange(first_error_, {}));
+}
+
+void WorkerPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* fn = nullptr;
+    std::size_t tasks = 0;
+    {
+      std::unique_lock lk(m_);
+      work_cv_.wait(
+          lk, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+      fn = fn_;
+      tasks = tasks_;
+    }
+    std::exception_ptr error;
+    std::size_t error_task = tasks;
+    const auto stride = threads_.size();
+    for (std::size_t t = worker_index; t < tasks; t += stride) {
+      try {
+        (*fn)(t);
+      } catch (...) {
+        // Keep running the remaining tasks: for program lanes a vanished
+        // task would deadlock the others at the phase barrier, and every
+        // lane handles its own failure before reaching here.
+        if (!error) {
+          error = std::current_exception();
+          error_task = t;
+        }
+      }
+    }
+    {
+      std::lock_guard lk(m_);
+      if (error && error_task < first_error_task_) {
+        first_error_ = error;
+        first_error_task_ = error_task;
+      }
+      if (--workers_busy_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace qsm::support

@@ -1,0 +1,69 @@
+// A persistent pool of host worker threads.
+//
+// The QSM runtime is a *simulator*: simulated time comes from the cost
+// models, so host threads are purely a throughput concern. Two places need
+// them — the p simulated-processor program lanes of Runtime::run(), and the
+// data-parallel stages of the phase pipeline — and both used to pay OS
+// thread-creation cost on every use. A WorkerPool spawns its threads once
+// and reuses them: parallel_for() hands out tasks by static striding
+// (task t runs on thread t % size), which is deterministic, needs no
+// cross-task synchronization, and — crucially for the program lanes, which
+// block inside the phase barrier until every lane arrives — guarantees that
+// `tasks <= size` gives every task its own OS thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qsm::support {
+
+class WorkerPool {
+ public:
+  /// Spawns `threads` (>= 1) persistent workers.
+  explicit WorkerPool(int threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
+
+  /// OS threads spawned over the pool's lifetime (== size(): threads are
+  /// never respawned). Lets tests assert that repeated work reuses threads.
+  [[nodiscard]] std::uint64_t threads_created() const {
+    return threads_created_;
+  }
+
+  /// Runs fn(t) for t in [0, tasks) on the pool and blocks until all tasks
+  /// finish. Task t runs on worker t % size(); tasks assigned to one worker
+  /// run in ascending order. If any task throws, the first exception (in
+  /// worker order) is rethrown here after all tasks have finished. Not
+  /// reentrant: must not be called from inside a pool task of the same pool.
+  void parallel_for(std::size_t tasks,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t worker_index);
+
+  std::vector<std::thread> threads_;
+  std::uint64_t threads_created_{0};
+
+  std::mutex m_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_{0};
+  std::size_t tasks_{0};
+  const std::function<void(std::size_t)>* fn_{nullptr};
+  int workers_busy_{0};
+  std::exception_ptr first_error_;
+  std::size_t first_error_task_{0};
+  bool stop_{false};
+};
+
+}  // namespace qsm::support

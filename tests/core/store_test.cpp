@@ -1,0 +1,147 @@
+#include "core/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "support/contract.hpp"
+
+namespace qsm::rt {
+namespace {
+
+TEST(SharedStore, AllocateZeroesAndRecordsMetadata) {
+  SharedStore store(1, 4);
+  const auto h = store.allocate(10, Layout::Block, "a");
+  const auto& s = store.slot(h.id, h.generation);
+  EXPECT_EQ(s.name, "a");
+  EXPECT_EQ(s.n, 10u);
+  EXPECT_EQ(s.chunk, 3u);  // ceil(10 / 4)
+  ASSERT_EQ(s.data.size(), 10u);
+  for (const auto w : s.data) EXPECT_EQ(w, 0u);
+}
+
+TEST(SharedStore, ReleaseRecyclesSlotIds) {
+  SharedStore store(1, 4);
+  const auto a = store.allocate(8, Layout::Block, "");
+  const auto b = store.allocate(8, Layout::Block, "");
+  store.release(a.id, a.generation);
+  const auto c = store.allocate(16, Layout::Cyclic, "");
+  // The freed id comes back instead of growing the slot table.
+  EXPECT_EQ(c.id, a.id);
+  EXPECT_GT(c.generation, a.generation);
+  EXPECT_EQ(store.slot_count(), 2u);
+  EXPECT_EQ(store.allocations(), 3u);
+  EXPECT_EQ(store.slot(c.id, c.generation).n, 16u);
+  EXPECT_EQ(store.slot(b.id, b.generation).n, 8u);
+}
+
+TEST(SharedStore, StaleHandleFaults) {
+  SharedStore store(1, 4);
+  const auto a = store.allocate(8, Layout::Block, "");
+  store.release(a.id, a.generation);
+  EXPECT_THROW((void)store.slot(a.id, a.generation),
+               support::ContractViolation);
+  const auto b = store.allocate(8, Layout::Block, "");
+  ASSERT_EQ(b.id, a.id);
+  // The recycled slot is live again, but the old handle stays dead.
+  EXPECT_NO_THROW((void)store.slot(b.id, b.generation));
+  EXPECT_THROW((void)store.slot(a.id, a.generation),
+               support::ContractViolation);
+}
+
+TEST(SharedStore, DoubleFreeFaults) {
+  SharedStore store(1, 4);
+  const auto a = store.allocate(8, Layout::Block, "");
+  store.release(a.id, a.generation);
+  EXPECT_THROW(store.release(a.id, a.generation),
+               support::ContractViolation);
+}
+
+TEST(SharedStore, BogusIdFaults) {
+  SharedStore store(1, 4);
+  EXPECT_THROW((void)store.slot(0, 0), support::ContractViolation);
+  EXPECT_THROW(store.release(7, 0), support::ContractViolation);
+}
+
+TEST(SharedStore, HashedSaltsIgnoreSlotRecycling) {
+  // Two stores run the "same program": scratch array then a hashed array.
+  // One frees the scratch first, so the hashed array lands in a recycled
+  // slot. The salt (and therefore every ownership decision) must not see
+  // the difference — that is what keeps simulated timing independent of
+  // free() patterns.
+  SharedStore keep(42, 8);
+  (void)keep.allocate(64, Layout::Block, "scratch");
+  const auto hk = keep.allocate(1000, Layout::Hashed, "");
+
+  SharedStore churn(42, 8);
+  const auto scratch = churn.allocate(64, Layout::Block, "scratch");
+  churn.release(scratch.id, scratch.generation);
+  const auto hc = churn.allocate(1000, Layout::Hashed, "");
+
+  const auto& sk = keep.slot(hk.id, hk.generation);
+  const auto& sc = churn.slot(hc.id, hc.generation);
+  EXPECT_EQ(sk.salt, sc.salt);
+  EXPECT_EQ(sk.name, sc.name);  // default names count allocations, not slots
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(keep.owner(sk, i), churn.owner(sc, i)) << "index " << i;
+  }
+}
+
+TEST(SharedStore, BlockRunDecompositionMatchesPerWordOwner) {
+  SharedStore store(1, 5);
+  const auto h = store.allocate(23, Layout::Block, "");
+  const auto& s = store.slot(h.id, h.generation);
+  for (std::uint64_t start = 0; start < 23; ++start) {
+    for (std::uint64_t count = 1; count <= 23 - start; ++count) {
+      std::uint64_t covered = start;
+      store.for_each_block_run(
+          s, start, count,
+          [&](int owner, std::uint64_t begin, std::uint64_t len) {
+            ASSERT_EQ(begin, covered) << "gap in run decomposition";
+            ASSERT_GT(len, 0u);
+            for (std::uint64_t i = begin; i < begin + len; ++i) {
+              ASSERT_EQ(store.owner(s, i), owner);
+            }
+            covered = begin + len;
+          });
+      ASSERT_EQ(covered, start + count);
+    }
+  }
+}
+
+TEST(SharedStore, OwnerCountsMatchPerWordOwnerForEveryLayout) {
+  const int p = 7;
+  SharedStore store(99, p);
+  for (const Layout layout :
+       {Layout::Block, Layout::Cyclic, Layout::Hashed}) {
+    const auto h = store.allocate(61, layout, "");
+    const auto& s = store.slot(h.id, h.generation);
+    for (std::uint64_t start = 0; start < 61; start += 9) {
+      const std::uint64_t count = std::min<std::uint64_t>(17, 61 - start);
+      std::vector<std::uint64_t> closed(p, 0);
+      store.accumulate_owner_counts(s, start, count, closed.data());
+      std::vector<std::uint64_t> naive(p, 0);
+      for (std::uint64_t i = start; i < start + count; ++i) {
+        naive[static_cast<std::size_t>(store.owner(s, i))]++;
+      }
+      EXPECT_EQ(closed, naive)
+          << "layout " << static_cast<int>(layout) << " start " << start;
+    }
+  }
+}
+
+TEST(SharedStore, AccumulateIsAdditive) {
+  SharedStore store(1, 4);
+  const auto h = store.allocate(100, Layout::Cyclic, "");
+  const auto& s = store.slot(h.id, h.generation);
+  std::vector<std::uint64_t> counts(4, 0);
+  store.accumulate_owner_counts(s, 0, 50, counts.data());
+  store.accumulate_owner_counts(s, 50, 50, counts.data());
+  std::vector<std::uint64_t> whole(4, 0);
+  store.accumulate_owner_counts(s, 0, 100, whole.data());
+  EXPECT_EQ(counts, whole);
+}
+
+}  // namespace
+}  // namespace qsm::rt

@@ -1,0 +1,91 @@
+#include "support/worker_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace qsm::support {
+namespace {
+
+TEST(WorkerPool, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t t) { hits[t]++; });
+  for (std::size_t t = 0; t < hits.size(); ++t) {
+    EXPECT_EQ(hits[t].load(), 1) << "task " << t;
+  }
+}
+
+TEST(WorkerPool, HandlesFewerTasksThanThreads) {
+  WorkerPool pool(8);
+  std::atomic<int> ran{0};
+  pool.parallel_for(3, [&](std::size_t) { ran++; });
+  EXPECT_EQ(ran.load(), 3);
+  pool.parallel_for(0, [&](std::size_t) { ran++; });
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(WorkerPool, TasksUpToSizeGetDistinctThreads) {
+  // Program lanes rely on this: lanes block on each other inside the phase
+  // barrier, which only terminates if each lane has its own OS thread.
+  WorkerPool pool(4);
+  std::mutex m;
+  std::vector<std::thread::id> ids;
+  pool.parallel_for(4, [&](std::size_t) {
+    std::lock_guard lk(m);
+    ids.push_back(std::this_thread::get_id());
+  });
+  ASSERT_EQ(ids.size(), 4u);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      EXPECT_NE(ids[i], ids[j]);
+    }
+  }
+}
+
+TEST(WorkerPool, ThreadsAreSpawnedOnceAndReused) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.threads_created(), 3u);
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(17, [](std::size_t) {});
+  }
+  EXPECT_EQ(pool.threads_created(), 3u);
+}
+
+TEST(WorkerPool, RethrowsFirstErrorByTaskIndexAndFinishesTheRest) {
+  WorkerPool pool(4);
+  std::vector<std::atomic<int>> hits(20);
+  try {
+    pool.parallel_for(20, [&](std::size_t t) {
+      hits[t]++;
+      if (t == 13 || t == 5) {
+        throw std::runtime_error("task " + std::to_string(t));
+      }
+    });
+    FAIL() << "expected parallel_for to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 5");
+  }
+  // No task was abandoned because of the failures.
+  for (std::size_t t = 0; t < hits.size(); ++t) {
+    EXPECT_EQ(hits[t].load(), 1) << "task " << t;
+  }
+}
+
+TEST(WorkerPool, UsableAgainAfterAnError) {
+  WorkerPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(4, [](std::size_t) { throw std::runtime_error("x"); }),
+      std::runtime_error);
+  std::atomic<int> ran{0};
+  pool.parallel_for(4, [&](std::size_t) { ran++; });
+  EXPECT_EQ(ran.load(), 4);
+}
+
+}  // namespace
+}  // namespace qsm::support

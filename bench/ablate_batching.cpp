@@ -31,40 +31,57 @@ int run(int argc, const char* const* argv) {
       cfg.machine.name.c_str(), cfg.machine.p,
       static_cast<long long>(words));
 
+  const std::vector<long long> mults{1, 4, 16, 64};
+  harness::SweepRunner runner(bench::runner_options(cfg, "ablate_batching"));
+  for (const long long mult : mults) {
+    harness::KeyBuilder key("exchange_batching");
+    key.add("machine", cfg.machine);
+    key.add("words", words);
+    key.add("omult", mult);
+    runner.submit(key.build(), [&cfg, words, record, mult] {
+      auto net = cfg.machine.net;
+      net.overhead *= mult;
+
+      net::ExchangeSpec batched;
+      batched.p = cfg.machine.p;
+      batched.start.assign(static_cast<std::size_t>(cfg.machine.p), 0);
+      net::ExchangeSpec eager = batched;
+      for (int i = 0; i < cfg.machine.p; ++i) {
+        for (int j = 0; j < cfg.machine.p; ++j) {
+          if (i == j) continue;
+          batched.transfers.push_back({i, j, words * record});
+          for (std::int64_t w = 0; w < words; ++w) {
+            eager.transfers.push_back({i, j, record});
+          }
+        }
+      }
+      const auto b = net::simulate_exchange(net, cfg.machine.sw, batched);
+      const auto e = net::simulate_exchange(net, cfg.machine.sw, eager);
+      harness::PointResult out;
+      out.metrics["overhead"] = static_cast<double>(net.overhead);
+      out.metrics["batched"] = static_cast<double>(b.finish);
+      out.metrics["eager"] = static_cast<double>(e.finish);
+      return out;
+    });
+  }
+  const auto results = runner.run_all();
+
   support::TextTable table({"overhead o (cy)", "batched (cy)", "eager (cy)",
                             "eager/batched"});
   table.set_precision(3, 1);
-
-  for (const long long mult : {1LL, 4LL, 16LL, 64LL}) {
-    auto net = cfg.machine.net;
-    net.overhead *= mult;
-
-    net::ExchangeSpec batched;
-    batched.p = cfg.machine.p;
-    batched.start.assign(static_cast<std::size_t>(cfg.machine.p), 0);
-    net::ExchangeSpec eager = batched;
-    for (int i = 0; i < cfg.machine.p; ++i) {
-      for (int j = 0; j < cfg.machine.p; ++j) {
-        if (i == j) continue;
-        batched.transfers.push_back({i, j, words * record});
-        for (std::int64_t w = 0; w < words; ++w) {
-          eager.transfers.push_back({i, j, record});
-        }
-      }
-    }
-    const auto b = net::simulate_exchange(net, cfg.machine.sw, batched);
-    const auto e = net::simulate_exchange(net, cfg.machine.sw, eager);
-    table.add_row({static_cast<long long>(net.overhead),
-                   static_cast<long long>(b.finish),
-                   static_cast<long long>(e.finish),
-                   static_cast<double>(e.finish) /
-                       static_cast<double>(b.finish)});
+  for (std::size_t i = 0; i < mults.size(); ++i) {
+    const double b = results[i].metric("batched");
+    const double e = results[i].metric("eager");
+    table.add_row({static_cast<long long>(results[i].metric("overhead")),
+                   static_cast<long long>(b), static_cast<long long>(e),
+                   e / b});
   }
   bench::emit(table, cfg);
   std::printf(
       "expected shape: eager/batched grows roughly linearly with o while "
       "batched barely moves — batching is what lets QSM drop o from the "
       "model.\n");
+  bench::print_runner_stats(runner);
   return 0;
 }
 

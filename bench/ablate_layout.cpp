@@ -15,20 +15,18 @@ namespace {
 
 using namespace qsm;
 
-support::cycles_t hot_read_comm(const machine::MachineConfig& m,
-                                rt::Layout layout, std::uint64_t n,
-                                std::uint64_t seed) {
+rt::RunResult hot_read(const machine::MachineConfig& m, rt::Layout layout,
+                       std::uint64_t n, std::uint64_t seed) {
   rt::Runtime runtime(m, rt::Options{.seed = seed});
   auto data = runtime.alloc<std::int64_t>(n, layout, "hot");
   const std::uint64_t window = n / static_cast<std::uint64_t>(m.p);
-  const auto res = runtime.run([&](rt::Context& ctx) {
+  return runtime.run([&](rt::Context& ctx) {
     // Everyone reads the same index window. Under Block layout it all
     // lands on node 0; under Hashed layout it spreads across the machine.
     std::vector<std::int64_t> buf(window);
     ctx.get_range(data, 0, window, buf.data());
     ctx.sync();
   });
-  return res.comm_cycles;
 }
 
 int run(int argc, const char* const* argv) {
@@ -42,13 +40,37 @@ int run(int argc, const char* const* argv) {
   std::printf("== Ablation: layout randomization (machine %s, p=%d) ==\n\n",
               cfg.machine.name.c_str(), cfg.machine.p);
 
+  const std::vector<std::uint64_t> sizes{1u << 14, 1u << 16, 1u << 18};
+  const struct {
+    rt::Layout layout;
+    const char* name;
+  } layouts[] = {{rt::Layout::Block, "block"}, {rt::Layout::Hashed, "hashed"}};
+
+  harness::SweepRunner runner(bench::runner_options(cfg, "ablate_layout"));
+  for (const std::uint64_t n : sizes) {
+    for (const auto& l : layouts) {
+      harness::KeyBuilder key("hot_read");
+      key.add("machine", cfg.machine);
+      key.add("layout", l.name);
+      key.add("n", n);
+      key.add("seed", cfg.seed);
+      const auto layout = l.layout;
+      runner.submit(key.build(), [&cfg, layout, n] {
+        harness::PointResult out;
+        out.timing = hot_read(cfg.machine, layout, n, cfg.seed);
+        return out;
+      });
+    }
+  }
+  const auto results = runner.run_all();
+
   support::TextTable table(
       {"n", "block comm (cy)", "hashed comm (cy)", "block/hashed"});
   table.set_precision(3, 2);
-  for (const std::uint64_t n : {1u << 14, 1u << 16, 1u << 18}) {
-    const auto block = hot_read_comm(cfg.machine, rt::Layout::Block, n, cfg.seed);
-    const auto hashed =
-        hot_read_comm(cfg.machine, rt::Layout::Hashed, n, cfg.seed);
+  std::size_t at = 0;
+  for (const std::uint64_t n : sizes) {
+    const auto block = results[at++].timing.comm_cycles;
+    const auto hashed = results[at++].timing.comm_cycles;
     table.add_row({static_cast<long long>(n), static_cast<long long>(block),
                    static_cast<long long>(hashed),
                    static_cast<double>(block) / static_cast<double>(hashed)});
@@ -57,6 +79,7 @@ int run(int argc, const char* const* argv) {
   std::printf(
       "expected shape: block/hashed well above 1 — one node serving "
       "everyone serializes, the hashed layout spreads the serving load.\n");
+  bench::print_runner_stats(runner);
   return 0;
 }
 

@@ -5,6 +5,7 @@
 // outstanding accesses overlaps the interconnect flight time until the
 // serialization point (bank or CPU) saturates — Little's law in a table.
 #include <cstdio>
+#include <vector>
 
 #include "common.hpp"
 #include "membench/membench.hpp"
@@ -25,8 +26,34 @@ int run(int argc, const char* const* argv) {
 
   std::printf("== Ablation: pipelining (Random pattern) ==\n\n");
 
-  for (const auto& preset :
-       {membench::cray_t3e_shmem(), membench::now_bsplib()}) {
+  const std::vector<membench::BankMachineConfig> presets{
+      membench::cray_t3e_shmem(), membench::now_bsplib()};
+  const std::vector<int> windows{1, 2, 4, 8, 16};
+
+  harness::SweepRunner runner(bench::runner_options(cfg, "ablate_pipelining"));
+  for (const auto& preset : presets) {
+    for (const int window : windows) {
+      auto m = preset;
+      m.outstanding = window;
+      harness::KeyBuilder key("membench");
+      bench::add_membench_machine(key, m);
+      key.add("pattern", membench::to_string(membench::Pattern::Random));
+      key.add("accesses", accesses);
+      key.add("seed", cfg.seed);
+      runner.submit(key.build(), [&cfg, m, accesses] {
+        const auto r = membench::run_membench(m, membench::Pattern::Random,
+                                              accesses, cfg.seed);
+        harness::PointResult out;
+        out.metrics["avg_access_us"] = r.avg_access_us;
+        out.metrics["makespan"] = static_cast<double>(r.makespan);
+        return out;
+      });
+    }
+  }
+  const auto results = runner.run_all();
+
+  std::size_t at = 0;
+  for (const auto& preset : presets) {
     std::printf("-- %s (p=%d, latency %lld cy) --\n", preset.name.c_str(),
                 preset.procs,
                 static_cast<long long>(preset.interconnect_latency));
@@ -35,17 +62,13 @@ int run(int argc, const char* const* argv) {
     table.set_precision(1, 2);
     table.set_precision(3, 2);
     double blocking_makespan = 0;
-    for (const int window : {1, 2, 4, 8, 16}) {
-      auto m = preset;
-      m.outstanding = window;
-      const auto r =
-          run_membench(m, membench::Pattern::Random, accesses, cfg.seed);
-      if (window == 1) {
-        blocking_makespan = static_cast<double>(r.makespan);
-      }
-      table.add_row({static_cast<long long>(window), r.avg_access_us,
-                     static_cast<long long>(r.makespan),
-                     blocking_makespan / static_cast<double>(r.makespan)});
+    for (const int window : windows) {
+      const auto& r = results[at++];
+      const double makespan = r.metric("makespan");
+      if (window == 1) blocking_makespan = makespan;
+      table.add_row({static_cast<long long>(window), r.metric("avg_access_us"),
+                     static_cast<long long>(makespan),
+                     blocking_makespan / makespan});
     }
     bench::emit(table, cfg);
   }
@@ -53,6 +76,7 @@ int run(int argc, const char* const* argv) {
       "expected shape: speedup grows with the window while the flight time "
       "dominates, then flattens once the serialization point (bank or "
       "issuing CPU) saturates — latency is hidden, not removed.\n");
+  bench::print_runner_stats(runner);
   return 0;
 }
 

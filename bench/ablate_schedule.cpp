@@ -25,35 +25,50 @@ int run(int argc, const char* const* argv) {
   std::printf("== Ablation: exchange send schedule (machine %s, p=%d) ==\n\n",
               cfg.machine.name.c_str(), cfg.machine.p);
 
+  const std::vector<std::int64_t> sizes{64, 512, 4096, 32768, 262144};
+  harness::SweepRunner runner(bench::runner_options(cfg, "ablate_schedule"));
+  for (const std::int64_t bytes : sizes) {
+    harness::KeyBuilder key("exchange_schedule");
+    key.add("machine", cfg.machine);
+    key.add("bytes", bytes);
+    runner.submit(key.build(), [&cfg, bytes] {
+      net::ExchangeSpec spec;
+      spec.p = cfg.machine.p;
+      spec.start.assign(static_cast<std::size_t>(cfg.machine.p), 0);
+      for (int i = 0; i < cfg.machine.p; ++i) {
+        for (int j = 0; j < cfg.machine.p; ++j) {
+          if (i != j) spec.transfers.push_back({i, j, bytes});
+        }
+      }
+      spec.order = net::ExchangeSpec::SendOrder::Staggered;
+      const auto staggered =
+          net::simulate_exchange(cfg.machine.net, cfg.machine.sw, spec);
+      spec.order = net::ExchangeSpec::SendOrder::FixedTarget;
+      const auto naive =
+          net::simulate_exchange(cfg.machine.net, cfg.machine.sw, spec);
+      harness::PointResult out;
+      out.metrics["staggered"] = static_cast<double>(staggered.finish);
+      out.metrics["naive"] = static_cast<double>(naive.finish);
+      return out;
+    });
+  }
+  const auto results = runner.run_all();
+
   support::TextTable table({"bytes/pair", "staggered (cy)", "naive (cy)",
                             "naive/staggered"});
   table.set_precision(3, 2);
-
-  for (const std::int64_t bytes : {64LL, 512LL, 4096LL, 32768LL, 262144LL}) {
-    net::ExchangeSpec spec;
-    spec.p = cfg.machine.p;
-    spec.start.assign(static_cast<std::size_t>(cfg.machine.p), 0);
-    for (int i = 0; i < cfg.machine.p; ++i) {
-      for (int j = 0; j < cfg.machine.p; ++j) {
-        if (i != j) spec.transfers.push_back({i, j, bytes});
-      }
-    }
-    spec.order = net::ExchangeSpec::SendOrder::Staggered;
-    const auto staggered =
-        net::simulate_exchange(cfg.machine.net, cfg.machine.sw, spec);
-    spec.order = net::ExchangeSpec::SendOrder::FixedTarget;
-    const auto naive =
-        net::simulate_exchange(cfg.machine.net, cfg.machine.sw, spec);
-    table.add_row({static_cast<long long>(bytes),
-                   static_cast<long long>(staggered.finish),
-                   static_cast<long long>(naive.finish),
-                   static_cast<double>(naive.finish) /
-                       static_cast<double>(staggered.finish)});
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    const double staggered = results[i].metric("staggered");
+    const double naive = results[i].metric("naive");
+    table.add_row({static_cast<long long>(sizes[i]),
+                   static_cast<long long>(staggered),
+                   static_cast<long long>(naive), naive / staggered});
   }
   bench::emit(table, cfg);
   std::printf(
       "expected shape: naive/staggered > 1 and growing with message size — "
       "the staggered schedule exists for a reason.\n");
+  bench::print_runner_stats(runner);
   return 0;
 }
 

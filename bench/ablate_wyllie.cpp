@@ -6,6 +6,7 @@
 // algorithm Theta(n/p) words in O(log p) elimination rounds — so the gap
 // widens with n.
 #include <cstdio>
+#include <stdexcept>
 #include <vector>
 
 #include "algos/listrank.hpp"
@@ -32,42 +33,69 @@ int run(int argc, const char* const* argv) {
       "machine %s, p=%d ==\n\n",
       cfg.machine.name.c_str(), cfg.machine.p);
 
+  // Both algorithms run (and are cross-checked) inside ONE grid point, so
+  // a cached point still certifies that the two agreed when computed.
+  harness::SweepRunner runner(bench::runner_options(cfg, "ablate_wyllie"));
+  const auto sizes =
+      bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
+                        static_cast<std::uint64_t>(args.i64("nmax")), 4.0);
+  for (const std::uint64_t n : sizes) {
+    harness::KeyBuilder key("elim_vs_wyllie");
+    key.add("machine", cfg.machine);
+    key.add("n", n);
+    key.add("seed", cfg.seed);
+    runner.submit(key.build(), [&cfg, n] {
+      const auto list = algos::make_random_list(n, cfg.seed + n);
+
+      rt::Runtime rt_elim(cfg.machine, rt::Options{.seed = cfg.seed});
+      auto ranks_elim = rt_elim.alloc<std::int64_t>(n);
+      const auto elim = algos::list_rank(rt_elim, list, ranks_elim);
+
+      rt::Runtime rt_wyllie(cfg.machine, rt::Options{.seed = cfg.seed});
+      auto ranks_wyllie = rt_wyllie.alloc<std::int64_t>(n);
+      const auto wyllie =
+          algos::wyllie_list_rank(rt_wyllie, list, ranks_wyllie);
+
+      // Both must agree (and be right) before the timing comparison means
+      // anything.
+      if (rt_elim.host_read(ranks_elim) != rt_wyllie.host_read(ranks_wyllie)) {
+        throw std::runtime_error("rank mismatch at n=" + std::to_string(n));
+      }
+
+      harness::PointResult out;
+      out.timing = elim.timing;
+      out.metrics["wyllie_comm"] =
+          static_cast<double>(wyllie.timing.comm_cycles);
+      out.metrics["wyllie_words"] = static_cast<double>(wyllie.timing.rw_total);
+      out.metrics["wyllie_phases"] = static_cast<double>(wyllie.timing.phases);
+      return out;
+    });
+  }
+
+  std::vector<harness::PointResult> results;
+  try {
+    results = runner.run_all();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+
   support::TextTable table({"n", "elim comm", "wyllie comm", "speedup",
                             "elim words", "wyllie words", "elim phases",
                             "wyllie phases"});
   table.set_precision(3, 2);
-
-  for (const std::uint64_t n :
-       bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
-                         static_cast<std::uint64_t>(args.i64("nmax")),
-                         4.0)) {
-    const auto list = algos::make_random_list(n, cfg.seed + n);
-
-    rt::Runtime rt_elim(cfg.machine, rt::Options{.seed = cfg.seed});
-    auto ranks_elim = rt_elim.alloc<std::int64_t>(n);
-    const auto elim = algos::list_rank(rt_elim, list, ranks_elim);
-
-    rt::Runtime rt_wyllie(cfg.machine, rt::Options{.seed = cfg.seed});
-    auto ranks_wyllie = rt_wyllie.alloc<std::int64_t>(n);
-    const auto wyllie = algos::wyllie_list_rank(rt_wyllie, list, ranks_wyllie);
-
-    // Both must agree (and be right) before the timing comparison means
-    // anything.
-    if (rt_elim.host_read(ranks_elim) != rt_wyllie.host_read(ranks_wyllie)) {
-      std::fprintf(stderr, "rank mismatch at n=%llu!\n",
-                   static_cast<unsigned long long>(n));
-      return 1;
-    }
-
+  std::size_t at = 0;
+  for (const std::uint64_t n : sizes) {
+    const auto& r = results[at++];
+    const double wyllie_comm = r.metric("wyllie_comm");
     table.add_row({static_cast<long long>(n),
-                   static_cast<long long>(elim.timing.comm_cycles),
-                   static_cast<long long>(wyllie.timing.comm_cycles),
-                   static_cast<double>(wyllie.timing.comm_cycles) /
-                       static_cast<double>(elim.timing.comm_cycles),
-                   static_cast<long long>(elim.timing.rw_total),
-                   static_cast<long long>(wyllie.timing.rw_total),
-                   static_cast<long long>(elim.timing.phases),
-                   static_cast<long long>(wyllie.timing.phases)});
+                   static_cast<long long>(r.timing.comm_cycles),
+                   static_cast<long long>(wyllie_comm),
+                   wyllie_comm / static_cast<double>(r.timing.comm_cycles),
+                   static_cast<long long>(r.timing.rw_total),
+                   static_cast<long long>(r.metric("wyllie_words")),
+                   static_cast<long long>(r.timing.phases),
+                   static_cast<long long>(r.metric("wyllie_phases"))});
   }
   bench::emit(table, cfg);
   std::printf(
@@ -76,6 +104,7 @@ int run(int argc, const char* const* argv) {
       "elimination algorithm's fixed ~84-phase schedule; at tiny n pointer "
       "jumping's fewer phases can win. Elimination's phase count is "
       "independent of n; pointer jumping's grows as 2 ceil(log2 n).\n");
+  bench::print_runner_stats(runner);
   return 0;
 }
 

@@ -18,6 +18,12 @@ void register_common_flags(support::ArgParser& args) {
   args.flag_i64("reps", 3, "repetitions per configuration (paper used 10)");
   args.flag_i64("seed", 1, "base random seed");
   args.flag_str("csv", "", "also write the table to this CSV file");
+  args.flag_i64("jobs", 0,
+                "grid points simulated concurrently (0 = host thread budget)");
+  args.flag_bool("no-cache", false,
+                 "recompute every grid point, ignore the result cache");
+  args.flag_str("cache-dir", "outputs/.cache",
+                "content-addressed result cache location (JSONL per workload)");
 }
 
 CommonConfig read_common_flags(const support::ArgParser& args) {
@@ -31,20 +37,71 @@ CommonConfig read_common_flags(const support::ArgParser& args) {
   QSM_REQUIRE(cfg.reps >= 1, "--reps must be at least 1");
   cfg.seed = static_cast<std::uint64_t>(args.i64("seed"));
   cfg.csv = args.str("csv");
+  cfg.jobs = static_cast<int>(args.i64("jobs"));
+  QSM_REQUIRE(cfg.jobs >= 0, "--jobs must be non-negative");
+  cfg.cache = !args.boolean("no-cache");
+  cfg.cache_dir = args.str("cache-dir");
   return cfg;
 }
 
-std::vector<std::int64_t> random_keys(std::uint64_t n, std::uint64_t seed) {
+harness::RunnerOptions runner_options(const CommonConfig& cfg,
+                                      std::string workload) {
+  harness::RunnerOptions opts;
+  opts.workload = std::move(workload);
+  opts.jobs = cfg.jobs;
+  opts.cache = cfg.cache;
+  opts.cache_dir = cfg.cache_dir;
+  return opts;
+}
+
+void print_runner_stats(const harness::SweepRunner& runner) {
+  const harness::RunnerStats& s = runner.stats();
+  std::printf(
+      "harness: points=%zu cached=%zu computed=%zu jobs=%d workers/job=%d "
+      "compute=%.3fs cache=%s\n\n",
+      s.points, s.cached, s.computed, s.jobs, s.phase_workers_per_job,
+      s.compute_seconds,
+      runner.options().cache ? runner.options().cache_dir.c_str() : "off");
+}
+
+void fill_random_keys(std::vector<std::int64_t>& out, std::uint64_t n,
+                      std::uint64_t seed) {
   support::Xoshiro256 rng(seed);
-  std::vector<std::int64_t> v(n);
-  for (auto& x : v) x = static_cast<std::int64_t>(rng() >> 1);
+  out.resize(n);
+  for (auto& x : out) x = static_cast<std::int64_t>(rng() >> 1);
+}
+
+std::vector<std::int64_t> random_keys(std::uint64_t n, std::uint64_t seed) {
+  std::vector<std::int64_t> v;
+  fill_random_keys(v, n, seed);
   return v;
+}
+
+const std::vector<std::int64_t>& scratch_keys(std::uint64_t n,
+                                              std::uint64_t seed) {
+  struct Scratch {
+    std::vector<std::int64_t> keys;
+    std::uint64_t n{0};
+    std::uint64_t seed{0};
+    bool valid{false};
+  };
+  thread_local Scratch scratch;
+  if (!scratch.valid || scratch.n != n || scratch.seed != seed) {
+    fill_random_keys(scratch.keys, n, seed);
+    scratch.n = n;
+    scratch.seed = seed;
+    scratch.valid = true;
+  }
+  return scratch.keys;
 }
 
 RepeatedRuns summarize_runs(const std::vector<rt::RunResult>& runs) {
   std::vector<double> total;
   std::vector<double> comm;
   std::vector<double> compute;
+  total.reserve(runs.size());
+  comm.reserve(runs.size());
+  compute.reserve(runs.size());
   for (const auto& r : runs) {
     total.push_back(static_cast<double>(r.total_cycles));
     comm.push_back(static_cast<double>(r.comm_cycles));
@@ -55,6 +112,40 @@ RepeatedRuns summarize_runs(const std::vector<rt::RunResult>& runs) {
   out.comm = support::summarize(comm);
   out.compute = support::summarize(compute);
   return out;
+}
+
+RepeatedRuns summarize_points(const std::vector<harness::PointResult>& results,
+                              std::size_t first, std::size_t count) {
+  QSM_REQUIRE(first + count <= results.size(), "point range out of bounds");
+  std::vector<double> total;
+  std::vector<double> comm;
+  std::vector<double> compute;
+  total.reserve(count);
+  comm.reserve(count);
+  compute.reserve(count);
+  for (std::size_t i = first; i < first + count; ++i) {
+    const rt::RunResult& r = results[i].timing;
+    total.push_back(static_cast<double>(r.total_cycles));
+    comm.push_back(static_cast<double>(r.comm_cycles));
+    compute.push_back(static_cast<double>(r.compute_cycles));
+  }
+  RepeatedRuns out;
+  out.total = support::summarize(total);
+  out.comm = support::summarize(comm);
+  out.compute = support::summarize(compute);
+  return out;
+}
+
+void add_membench_machine(harness::KeyBuilder& key,
+                          const membench::BankMachineConfig& m) {
+  key.add("mb.name", m.name);
+  key.add("mb.procs", m.procs);
+  key.add("mb.banks", m.banks);
+  key.add("mb.hz", m.clock.hz);
+  key.add("mb.sw", m.sw_overhead);
+  key.add("mb.lat", m.interconnect_latency);
+  key.add("mb.occ", m.bank_occupancy);
+  key.add("mb.out", m.outstanding);
 }
 
 void print_preamble(const std::string& title, const CommonConfig& cfg,
@@ -80,6 +171,18 @@ void emit(const support::TextTable& table, const CommonConfig& cfg) {
     std::printf("(csv written to %s)\n", cfg.csv.c_str());
   }
   std::printf("\n");
+}
+
+std::vector<long long> parse_csv_i64(const std::string& spec) {
+  std::vector<long long> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const auto comma = spec.find(',', pos);
+    out.push_back(std::stoll(spec.substr(pos, comma - pos)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
 }
 
 std::vector<std::uint64_t> size_sweep(std::uint64_t lo, std::uint64_t hi,

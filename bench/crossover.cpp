@@ -8,41 +8,73 @@
 
 namespace qsm::bench {
 
-CrossoverResult find_samplesort_crossover(
-    const machine::MachineConfig& variant,
-    const models::Calibration& reference_cal,
+CrossoverJob submit_samplesort_crossover(
+    harness::SweepRunner& runner, const machine::MachineConfig& variant,
     const std::vector<std::uint64_t>& sizes, int reps, std::uint64_t seed,
     int oversample_c) {
-  CrossoverResult result;
-  const int p = variant.p;
+  CrossoverJob job;
+  job.sizes = sizes;
+  job.reps = reps;
+  job.p = variant.p;
+  job.oversample_c = oversample_c;
+  bool first_point = true;
+  for (const std::uint64_t n : sizes) {
+    for (int rep = 0; rep < reps; ++rep) {
+      harness::KeyBuilder key("samplesort");
+      key.add("machine", variant);
+      key.add("n", n);
+      key.add("seed", seed);
+      key.add("rep", rep);
+      key.add("c", oversample_c);
+      const std::size_t index = runner.submit(
+          key.build(), [variant, n, seed, rep, oversample_c] {
+            rt::Runtime runtime(
+                variant,
+                rt::Options{.seed = seed + static_cast<std::uint64_t>(rep)});
+            auto data = runtime.alloc<std::int64_t>(n);
+            runtime.host_fill(
+                data, scratch_keys(
+                          n, seed + n * 131 + static_cast<std::uint64_t>(rep)));
+            harness::PointResult out;
+            out.timing = algos::sample_sort(runtime, data, oversample_c).timing;
+            return out;
+          });
+      if (first_point) {
+        job.first = index;
+        first_point = false;
+      }
+    }
+  }
+  return job;
+}
 
+CrossoverResult fold_samplesort_crossover(
+    const CrossoverJob& job, const models::Calibration& reference_cal,
+    const std::vector<harness::PointResult>& results) {
+  CrossoverResult result;
   std::vector<double> xs;
   std::vector<double> ratio;  // measured / whp; crossover at 1.0
-  for (const std::uint64_t n : sizes) {
+  std::size_t at = job.first;
+  for (const std::uint64_t n : job.sizes) {
     double comm = 0;
-    for (int rep = 0; rep < reps; ++rep) {
-      rt::Runtime runtime(variant,
-                          rt::Options{.seed = seed + static_cast<std::uint64_t>(rep)});
-      auto data = runtime.alloc<std::int64_t>(n);
-      runtime.host_fill(data,
-                        random_keys(n, seed + n * 131 + static_cast<std::uint64_t>(rep)));
-      comm += static_cast<double>(
-          algos::sample_sort(runtime, data, oversample_c).timing.comm_cycles);
+    for (int rep = 0; rep < job.reps; ++rep, ++at) {
+      comm += static_cast<double>(results.at(at).timing.comm_cycles);
     }
-    comm /= reps;
+    comm /= job.reps;
 
     CrossoverPoint pt;
     pt.n = n;
     pt.measured = comm;
-    pt.best = models::samplesort_comm(reference_cal, n, p,
-                                      models::samplesort_best_skew(n, p),
-                                      oversample_c)
+    pt.best = models::samplesort_comm(reference_cal, n, job.p,
+                                      models::samplesort_best_skew(n, job.p),
+                                      job.oversample_c)
                   .qsm;
-    pt.whp = models::samplesort_comm(
-                 reference_cal, n, p,
-                 models::samplesort_whp_skew(n, p, 0.1, oversample_c),
-                 oversample_c)
-                 .qsm;
+    pt.whp =
+        models::samplesort_comm(
+            reference_cal, n, job.p,
+            models::samplesort_whp_skew(n, job.p, 0.1, job.oversample_c),
+            job.oversample_c)
+            .qsm;
     result.points.push_back(pt);
     xs.push_back(static_cast<double>(n));
     ratio.push_back(pt.measured / pt.whp);

@@ -1,4 +1,4 @@
-// Crossover finder for Figures 5 and 6.
+// Crossover finder for Figures 5 and 6 (and Table 4 / the p-sweep).
 //
 // For a machine variant (latency or overhead scaled up), find the problem
 // size n* at which measured sample-sort communication time first falls
@@ -6,15 +6,28 @@
 // machine's calibration — the predictions deliberately do not change with
 // l or o, exactly as in the paper ("QSM's predictions do not account for
 // latency and are thus constant as l is varied").
+//
+// The finder is split into two stages around the experiment scheduler:
+// submit_samplesort_crossover() enqueues one grid point per (size, rep)
+// on a SweepRunner, and fold_samplesort_crossover() turns that job's
+// slice of the results back into the crossover curve. All four harnesses
+// that sweep this grid (fig5, fig6, table4, sweep_p) share the
+// "crossover" cache namespace, so each other's cached sort runs are
+// reused across binaries.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "harness/point.hpp"
+#include "harness/sweep.hpp"
 #include "machine/config.hpp"
 #include "models/calibration.hpp"
 
 namespace qsm::bench {
+
+/// Cache namespace shared by every harness that sweeps this grid.
+inline constexpr const char* kCrossoverWorkload = "crossover";
 
 struct CrossoverPoint {
   std::uint64_t n{0};
@@ -30,12 +43,27 @@ struct CrossoverResult {
   std::vector<CrossoverPoint> points;
 };
 
-/// Runs sample sort over `sizes` on `variant` and locates the crossover
-/// against predictions from `reference_cal`.
-[[nodiscard]] CrossoverResult find_samplesort_crossover(
-    const machine::MachineConfig& variant,
-    const models::Calibration& reference_cal,
+/// Handle connecting a submitted crossover sweep to its results.
+struct CrossoverJob {
+  std::size_t first{0};  ///< index of the job's first point in run_all order
+  std::vector<std::uint64_t> sizes;
+  int reps{1};
+  int p{0};
+  int oversample_c{4};
+};
+
+/// Enqueues sample sort over `sizes` x `reps` on `variant`; one grid point
+/// per (size, rep), keyed by machine/size/seed/rep/oversampling.
+[[nodiscard]] CrossoverJob submit_samplesort_crossover(
+    harness::SweepRunner& runner, const machine::MachineConfig& variant,
     const std::vector<std::uint64_t>& sizes, int reps, std::uint64_t seed,
     int oversample_c = 4);
+
+/// Locates the crossover of the job's measured communication times against
+/// predictions from `reference_cal`. `results` is the vector returned by
+/// the run_all() call that resolved this job.
+[[nodiscard]] CrossoverResult fold_samplesort_crossover(
+    const CrossoverJob& job, const models::Calibration& reference_cal,
+    const std::vector<harness::PointResult>& results);
 
 }  // namespace qsm::bench

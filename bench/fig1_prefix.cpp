@@ -34,6 +34,35 @@ int run(int argc, const char* const* argv) {
   bench::print_preamble("Figure 1: prefix sums", cfg, cal);
   const auto pred = models::prefix_comm(cal);
 
+  // Stage 1: submit the (n, rep) grid.
+  harness::SweepRunner runner(bench::runner_options(cfg, "fig1_prefix"));
+  const auto sizes =
+      bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
+                        static_cast<std::uint64_t>(args.i64("nmax")));
+  for (const std::uint64_t n : sizes) {
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+      harness::KeyBuilder key("prefix");
+      key.add("machine", cfg.machine);
+      key.add("n", n);
+      key.add("seed", cfg.seed);
+      key.add("rep", rep);
+      runner.submit(key.build(), [&cfg, n, rep] {
+        rt::Runtime runtime(
+            cfg.machine,
+            rt::Options{.seed = cfg.seed + static_cast<std::uint64_t>(rep)});
+        auto data = runtime.alloc<std::int64_t>(n);
+        runtime.host_fill(
+            data, bench::scratch_keys(
+                      n, cfg.seed + n + static_cast<std::uint64_t>(rep)));
+        harness::PointResult out;
+        out.timing = algos::parallel_prefix(runtime, data).timing;
+        return out;
+      });
+    }
+  }
+  const auto results = runner.run_all();
+
+  // Stage 2: fold results back into the figure, in grid order.
   support::TextTable table({"n", "comm(meas)", "comm(QSM)", "comm(BSP)",
                             "total(meas)", "comm/total"});
   table.set_precision(1, 0);
@@ -43,18 +72,11 @@ int run(int argc, const char* const* argv) {
   table.set_precision(5, 3);
 
   std::vector<double> xs, meas, totals;
-  for (const std::uint64_t n :
-       bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
-                         static_cast<std::uint64_t>(args.i64("nmax")))) {
-    std::vector<rt::RunResult> runs;
-    for (int rep = 0; rep < cfg.reps; ++rep) {
-      rt::Runtime runtime(cfg.machine,
-                          rt::Options{.seed = cfg.seed + static_cast<std::uint64_t>(rep)});
-      auto data = runtime.alloc<std::int64_t>(n);
-      runtime.host_fill(data, bench::random_keys(n, cfg.seed + n + static_cast<std::uint64_t>(rep)));
-      runs.push_back(algos::parallel_prefix(runtime, data).timing);
-    }
-    const auto s = bench::summarize_runs(runs);
+  std::size_t at = 0;
+  for (const std::uint64_t n : sizes) {
+    const auto s = bench::summarize_points(
+        results, at, static_cast<std::size_t>(cfg.reps));
+    at += static_cast<std::size_t>(cfg.reps);
     table.add_row({static_cast<long long>(n), s.comm.mean, pred.qsm, pred.bsp,
                    s.total.mean, s.comm.mean / s.total.mean});
     xs.push_back(static_cast<double>(n));
@@ -77,6 +99,7 @@ int run(int argc, const char* const* argv) {
   std::printf(
       "expected shape: comm(QSM) < comm(BSP) < comm(meas); comm(meas) flat "
       "in n; comm/total shrinking as n grows.\n");
+  bench::print_runner_stats(runner);
   return 0;
 }
 

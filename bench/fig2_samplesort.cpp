@@ -33,6 +33,38 @@ int run(int argc, const char* const* argv) {
   const auto cal = models::calibrate(cfg.machine);
   bench::print_preamble("Figure 2: sample sort", cfg, cal);
 
+  harness::SweepRunner runner(bench::runner_options(cfg, "fig2_samplesort"));
+  const auto sizes =
+      bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
+                        static_cast<std::uint64_t>(args.i64("nmax")));
+  for (const std::uint64_t n : sizes) {
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+      harness::KeyBuilder key("samplesort");
+      key.add("machine", cfg.machine);
+      key.add("n", n);
+      key.add("seed", cfg.seed);
+      key.add("rep", rep);
+      key.add("c", c);
+      runner.submit(key.build(), [&cfg, n, rep, c] {
+        rt::Runtime runtime(
+            cfg.machine,
+            rt::Options{.seed = cfg.seed + static_cast<std::uint64_t>(rep)});
+        auto data = runtime.alloc<std::int64_t>(n);
+        runtime.host_fill(
+            data, bench::scratch_keys(
+                      n, cfg.seed + n * 31 + static_cast<std::uint64_t>(rep)));
+        const auto sorted = algos::sample_sort(runtime, data, c);
+        harness::PointResult out;
+        out.timing = sorted.timing;
+        out.metrics["largest_bucket"] =
+            static_cast<double>(sorted.largest_bucket);
+        out.metrics["remote_fraction"] = sorted.remote_fraction;
+        return out;
+      });
+    }
+  }
+  const auto results = runner.run_all();
+
   support::TextTable table({"n", "total", "comm", "cv%", "best", "whp",
                             "qsm-est", "bsp-est", "B", "r"});
   for (std::size_t col : {1u, 2u, 4u, 5u, 6u, 7u}) table.set_precision(col, 0);
@@ -41,30 +73,26 @@ int run(int argc, const char* const* argv) {
 
   const int p = cfg.machine.p;
   std::vector<double> xs, meas, bests, whps, ests;
-  for (const std::uint64_t n :
-       bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
-                         static_cast<std::uint64_t>(args.i64("nmax")))) {
-    std::vector<rt::RunResult> runs;
+  std::size_t at = 0;
+  for (const std::uint64_t n : sizes) {
     double qsm_est = 0;
     double bsp_est = 0;
     std::uint64_t largest_bucket = 0;
     double remote_fraction = 0;
-    for (int rep = 0; rep < cfg.reps; ++rep) {
-      rt::Runtime runtime(cfg.machine,
-                          rt::Options{.seed = cfg.seed + static_cast<std::uint64_t>(rep)});
-      auto data = runtime.alloc<std::int64_t>(n);
-      runtime.host_fill(data,
-                        bench::random_keys(n, cfg.seed + n * 31 + static_cast<std::uint64_t>(rep)));
-      const auto out = algos::sample_sort(runtime, data, c);
-      runs.push_back(out.timing);
-      qsm_est += models::qsm_estimate_from_trace(cal, out.timing);
-      bsp_est += models::bsp_estimate_from_trace(cal, out.timing);
-      largest_bucket = std::max(largest_bucket, out.largest_bucket);
-      remote_fraction = std::max(remote_fraction, out.remote_fraction);
+    const std::size_t first = at;
+    for (int rep = 0; rep < cfg.reps; ++rep, ++at) {
+      const harness::PointResult& r = results[at];
+      qsm_est += models::qsm_estimate_from_trace(cal, r.timing);
+      bsp_est += models::bsp_estimate_from_trace(cal, r.timing);
+      largest_bucket = std::max(
+          largest_bucket,
+          static_cast<std::uint64_t>(r.metric("largest_bucket")));
+      remote_fraction = std::max(remote_fraction, r.metric("remote_fraction"));
     }
     qsm_est /= cfg.reps;
     bsp_est /= cfg.reps;
-    const auto s = bench::summarize_runs(runs);
+    const auto s = bench::summarize_points(
+        results, first, static_cast<std::size_t>(cfg.reps));
     const auto best =
         models::samplesort_comm(cal, n, p, models::samplesort_best_skew(n, p), c);
     const auto whp = models::samplesort_comm(
@@ -98,6 +126,7 @@ int run(int argc, const char* const* argv) {
       "within ~10%% of comm once n is large; bsp-est = qsm-est + 5L closes "
       "the gap at small n; cv%% below ~11 (the paper's run-to-run "
       "variability for sample sort).\n");
+  bench::print_runner_stats(runner);
   return 0;
 }
 

@@ -33,6 +33,35 @@ int run(int argc, const char* const* argv) {
   const auto cal = models::calibrate(cfg.machine);
   bench::print_preamble("Figure 3: list ranking", cfg, cal);
 
+  harness::SweepRunner runner(bench::runner_options(cfg, "fig3_listrank"));
+  const auto sizes =
+      bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
+                        static_cast<std::uint64_t>(args.i64("nmax")));
+  for (const std::uint64_t n : sizes) {
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+      harness::KeyBuilder key("listrank");
+      key.add("machine", cfg.machine);
+      key.add("n", n);
+      key.add("seed", cfg.seed);
+      key.add("rep", rep);
+      key.add("c", c);
+      runner.submit(key.build(), [&cfg, n, rep, c] {
+        rt::Runtime runtime(
+            cfg.machine,
+            rt::Options{.seed = cfg.seed + static_cast<std::uint64_t>(rep)});
+        const auto list = algos::make_random_list(
+            n, cfg.seed + n * 17 + static_cast<std::uint64_t>(rep));
+        auto ranks = runtime.alloc<std::int64_t>(n);
+        const auto ranked = algos::list_rank(runtime, list, ranks, c);
+        harness::PointResult out;
+        out.timing = ranked.timing;
+        out.metrics["z"] = static_cast<double>(ranked.z);
+        return out;
+      });
+    }
+  }
+  const auto results = runner.run_all();
+
   support::TextTable table({"n", "total", "comm", "cv%", "best", "whp",
                             "qsm-est", "bsp-est", "z"});
   for (std::size_t col : {1u, 2u, 4u, 5u, 6u, 7u}) table.set_precision(col, 0);
@@ -40,28 +69,22 @@ int run(int argc, const char* const* argv) {
 
   const int p = cfg.machine.p;
   std::vector<double> xs, meas, bests, whps, ests;
-  for (const std::uint64_t n :
-       bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
-                         static_cast<std::uint64_t>(args.i64("nmax")))) {
-    std::vector<rt::RunResult> runs;
+  std::size_t at = 0;
+  for (const std::uint64_t n : sizes) {
     double qsm_est = 0;
     double bsp_est = 0;
     std::uint64_t z = 0;
-    for (int rep = 0; rep < cfg.reps; ++rep) {
-      rt::Runtime runtime(cfg.machine,
-                          rt::Options{.seed = cfg.seed + static_cast<std::uint64_t>(rep)});
-      const auto list =
-          algos::make_random_list(n, cfg.seed + n * 17 + static_cast<std::uint64_t>(rep));
-      auto ranks = runtime.alloc<std::int64_t>(n);
-      const auto out = algos::list_rank(runtime, list, ranks, c);
-      runs.push_back(out.timing);
-      qsm_est += models::qsm_estimate_from_trace(cal, out.timing);
-      bsp_est += models::bsp_estimate_from_trace(cal, out.timing);
-      z = std::max(z, out.z);
+    const std::size_t first = at;
+    for (int rep = 0; rep < cfg.reps; ++rep, ++at) {
+      const harness::PointResult& r = results[at];
+      qsm_est += models::qsm_estimate_from_trace(cal, r.timing);
+      bsp_est += models::bsp_estimate_from_trace(cal, r.timing);
+      z = std::max(z, static_cast<std::uint64_t>(r.metric("z")));
     }
     qsm_est /= cfg.reps;
     bsp_est /= cfg.reps;
-    const auto s = bench::summarize_runs(runs);
+    const auto s = bench::summarize_points(
+        results, first, static_cast<std::size_t>(cfg.reps));
     const auto best =
         models::listrank_comm(cal, n, p, models::listrank_best_skew(n, p, c));
     const auto whp = models::listrank_comm(
@@ -95,6 +118,7 @@ int run(int argc, const char* const* argv) {
       "once n >= ~60k (paper section 3.2); comm dominates total for this "
       "irregular workload; cv%% small except at tiny n (the paper's <2%% "
       "claim).\n");
+  bench::print_runner_stats(runner);
   return 0;
 }
 

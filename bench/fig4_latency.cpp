@@ -30,22 +30,48 @@ int run(int argc, const char* const* argv) {
   if (!args.parse(argc, argv)) return 0;
   auto cfg = bench::read_common_flags(args);
 
-  std::vector<long long> multipliers;
-  {
-    const std::string& spec = args.str("lat-multipliers");
-    std::size_t pos = 0;
-    while (pos < spec.size()) {
-      const auto comma = spec.find(',', pos);
-      multipliers.push_back(std::stoll(spec.substr(pos, comma - pos)));
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
-  }
+  const auto multipliers = bench::parse_csv_i64(args.str("lat-multipliers"));
 
   const auto cal = models::calibrate(cfg.machine);
   bench::print_preamble("Figure 4: latency sweep", cfg, cal);
   const int p = cfg.machine.p;
 
+  // Stage 1: submit the (n, multiplier, rep) grid.
+  harness::SweepRunner runner(bench::runner_options(cfg, "fig4_latency"));
+  const auto sizes =
+      bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
+                        static_cast<std::uint64_t>(args.i64("nmax")));
+  for (const std::uint64_t n : sizes) {
+    for (const long long m : multipliers) {
+      auto variant = cfg.machine;
+      variant.net.latency *= m;
+      for (int rep = 0; rep < cfg.reps; ++rep) {
+        harness::KeyBuilder key("samplesort");
+        key.add("machine", variant);
+        key.add("n", n);
+        key.add("seed", cfg.seed);
+        key.add("rep", rep);
+        key.add("keyseed", 7);
+        runner.submit(key.build(), [&cfg, variant, n, rep] {
+          rt::Runtime runtime(
+              variant,
+              rt::Options{.seed = cfg.seed + static_cast<std::uint64_t>(rep)});
+          auto data = runtime.alloc<std::int64_t>(n);
+          runtime.host_fill(
+              data,
+              bench::scratch_keys(
+                  n, cfg.seed + n * 7 + static_cast<std::uint64_t>(rep)));
+          harness::PointResult out;
+          out.timing = algos::sample_sort(runtime, data).timing;
+          return out;
+        });
+      }
+    }
+  }
+  const auto results = runner.run_all();
+
+  // Stage 2: fold into one row per n with one measured column per
+  // multiplier.
   std::vector<std::string> headers{"n", "best(QSM)", "whp(QSM)"};
   for (const long long m : multipliers) {
     headers.push_back("meas l*" + std::to_string(m));
@@ -55,11 +81,9 @@ int run(int argc, const char* const* argv) {
     table.set_precision(col, 0);
   }
 
-  const auto sizes =
-      bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
-                        static_cast<std::uint64_t>(args.i64("nmax")));
   std::vector<double> xs, whp_line;
   std::vector<std::vector<double>> meas(multipliers.size());
+  std::size_t at = 0;
   for (const std::uint64_t n : sizes) {
     std::vector<support::Cell> row;
     row.push_back(static_cast<long long>(n));
@@ -71,22 +95,13 @@ int run(int argc, const char* const* argv) {
                       .qsm);
     xs.push_back(static_cast<double>(n));
     whp_line.push_back(std::get<double>(row[2]));
-    std::size_t series_idx = 0;
-    for (const long long m : multipliers) {
-      auto variant = cfg.machine;
-      variant.net.latency *= m;
+    for (std::size_t s = 0; s < multipliers.size(); ++s) {
       double comm = 0;
-      for (int rep = 0; rep < cfg.reps; ++rep) {
-        rt::Runtime runtime(variant,
-                            rt::Options{.seed = cfg.seed + static_cast<std::uint64_t>(rep)});
-        auto data = runtime.alloc<std::int64_t>(n);
-        runtime.host_fill(data,
-                          bench::random_keys(n, cfg.seed + n * 7 + static_cast<std::uint64_t>(rep)));
-        comm += static_cast<double>(
-            algos::sample_sort(runtime, data).timing.comm_cycles);
+      for (int rep = 0; rep < cfg.reps; ++rep, ++at) {
+        comm += static_cast<double>(results[at].timing.comm_cycles);
       }
       row.push_back(comm / cfg.reps);
-      meas[series_idx++].push_back(comm / cfg.reps);
+      meas[s].push_back(comm / cfg.reps);
     }
     table.add_row(std::move(row));
   }
@@ -107,6 +122,7 @@ int run(int argc, const char* const* argv) {
       "expected shape: higher latency columns start far above whp(QSM) at "
       "small n and converge toward the (latency-blind) predictions as n "
       "grows.\n");
+  bench::print_runner_stats(runner);
   return 0;
 }
 

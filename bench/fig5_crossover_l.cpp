@@ -26,17 +26,7 @@ int run(int argc, const char* const* argv) {
   if (!args.parse(argc, argv)) return 0;
   auto cfg = bench::read_common_flags(args);
 
-  std::vector<long long> multipliers;
-  {
-    const std::string& spec = args.str("lat-multipliers");
-    std::size_t pos = 0;
-    while (pos < spec.size()) {
-      const auto comma = spec.find(',', pos);
-      multipliers.push_back(std::stoll(spec.substr(pos, comma - pos)));
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
-  }
+  const auto multipliers = bench::parse_csv_i64(args.str("lat-multipliers"));
 
   const auto cal = models::calibrate(cfg.machine);
   bench::print_preamble("Figure 5: crossover vs latency", cfg, cal);
@@ -46,20 +36,32 @@ int run(int argc, const char* const* argv) {
                         static_cast<std::uint64_t>(args.i64("nmax")),
                         std::sqrt(2.0));
 
+  // All latency variants share one sweep: every (variant, n, rep) sort is
+  // one grid point in the shared "crossover" cache namespace, so table4 /
+  // sweep_p / fig6 runs reuse whatever overlaps.
+  harness::SweepRunner runner(
+      bench::runner_options(cfg, bench::kCrossoverWorkload));
+  std::vector<bench::CrossoverJob> jobs;
+  std::vector<long long> latencies;
+  for (const long long m : multipliers) {
+    auto variant = cfg.machine;
+    variant.net.latency *= m;
+    latencies.push_back(static_cast<long long>(variant.net.latency));
+    jobs.push_back(bench::submit_samplesort_crossover(runner, variant, sizes,
+                                                      cfg.reps, cfg.seed));
+  }
+  const auto results = runner.run_all();
+
   support::TextTable table({"latency l (cy)", "crossover n*", "n*/p"});
   table.set_precision(1, 0);
   table.set_precision(2, 0);
   std::vector<double> ls;
   std::vector<double> ns;
-  for (const long long m : multipliers) {
-    auto variant = cfg.machine;
-    variant.net.latency *= m;
-    const auto res = bench::find_samplesort_crossover(variant, cal, sizes,
-                                                      cfg.reps, cfg.seed);
-    table.add_row({static_cast<long long>(variant.net.latency), res.n_star,
-                   res.n_star / cfg.machine.p});
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto res = bench::fold_samplesort_crossover(jobs[j], cal, results);
+    table.add_row({latencies[j], res.n_star, res.n_star / cfg.machine.p});
     if (res.n_star > 0) {
-      ls.push_back(static_cast<double>(variant.net.latency));
+      ls.push_back(static_cast<double>(latencies[j]));
       ns.push_back(res.n_star);
     }
   }
@@ -75,6 +77,7 @@ int run(int argc, const char* const* argv) {
   } else {
     std::printf("not enough crossovers found to fit a line; widen --nmax.\n");
   }
+  bench::print_runner_stats(runner);
   return 0;
 }
 

@@ -29,17 +29,7 @@ int run(int argc, const char* const* argv) {
   if (!args.parse(argc, argv)) return 0;
   auto cfg = bench::read_common_flags(args);
 
-  std::vector<long long> multipliers;
-  {
-    const std::string& spec = args.str("ovh-multipliers");
-    std::size_t pos = 0;
-    while (pos < spec.size()) {
-      const auto comma = spec.find(',', pos);
-      multipliers.push_back(std::stoll(spec.substr(pos, comma - pos)));
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
-  }
+  const auto multipliers = bench::parse_csv_i64(args.str("ovh-multipliers"));
 
   const auto cal = models::calibrate(cfg.machine);
   bench::print_preamble("Figure 6: crossover vs overhead", cfg, cal);
@@ -49,20 +39,31 @@ int run(int argc, const char* const* argv) {
                         static_cast<std::uint64_t>(args.i64("nmax")),
                         std::sqrt(2.0));
 
+  // Shares the "crossover" cache namespace with fig5 / table4 / sweep_p;
+  // the m=1 variant in particular is the same grid and comes back warm.
+  harness::SweepRunner runner(
+      bench::runner_options(cfg, bench::kCrossoverWorkload));
+  std::vector<bench::CrossoverJob> jobs;
+  std::vector<long long> overheads;
+  for (const long long m : multipliers) {
+    auto variant = cfg.machine;
+    variant.net.overhead *= m;
+    overheads.push_back(static_cast<long long>(variant.net.overhead));
+    jobs.push_back(bench::submit_samplesort_crossover(runner, variant, sizes,
+                                                      cfg.reps, cfg.seed));
+  }
+  const auto results = runner.run_all();
+
   support::TextTable table({"overhead o (cy)", "crossover n*", "n*/p"});
   table.set_precision(1, 0);
   table.set_precision(2, 0);
   std::vector<double> os;
   std::vector<double> ns;
-  for (const long long m : multipliers) {
-    auto variant = cfg.machine;
-    variant.net.overhead *= m;
-    const auto res = bench::find_samplesort_crossover(variant, cal, sizes,
-                                                      cfg.reps, cfg.seed);
-    table.add_row({static_cast<long long>(variant.net.overhead), res.n_star,
-                   res.n_star / cfg.machine.p});
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const auto res = bench::fold_samplesort_crossover(jobs[j], cal, results);
+    table.add_row({overheads[j], res.n_star, res.n_star / cfg.machine.p});
     if (res.n_star > 0) {
-      os.push_back(static_cast<double>(variant.net.overhead));
+      os.push_back(static_cast<double>(overheads[j]));
       ns.push_back(res.n_star);
     }
   }
@@ -78,6 +79,7 @@ int run(int argc, const char* const* argv) {
   } else {
     std::printf("not enough crossovers found to fit a line; widen --nmax.\n");
   }
+  bench::print_runner_stats(runner);
   return 0;
 }
 

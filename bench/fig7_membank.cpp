@@ -7,6 +7,7 @@
 // hot spot) is generally 2-4x worse than NoConflict — randomization costs
 // little and avoids the cliff.
 #include <cstdio>
+#include <vector>
 
 #include "common.hpp"
 #include "membench/membench.hpp"
@@ -14,6 +15,28 @@
 namespace {
 
 using namespace qsm;
+
+/// One bank-machine run as a cached grid point (the event-driven model is
+/// not a Runtime simulation, so everything lands in metrics).
+std::size_t submit_membench(harness::SweepRunner& runner,
+                            const membench::BankMachineConfig& m,
+                            membench::Pattern pattern, std::uint64_t accesses,
+                            std::uint64_t seed) {
+  harness::KeyBuilder key("membench");
+  bench::add_membench_machine(key, m);
+  key.add("pattern", membench::to_string(pattern));
+  key.add("accesses", accesses);
+  key.add("seed", seed);
+  return runner.submit(key.build(), [m, pattern, accesses, seed] {
+    const auto r = membench::run_membench(m, pattern, accesses, seed);
+    harness::PointResult out;
+    out.metrics["avg_access_cycles"] = r.avg_access_cycles;
+    out.metrics["avg_access_us"] = r.avg_access_us;
+    out.metrics["hot_util"] = r.hottest_bank_utilization;
+    out.metrics["makespan"] = static_cast<double>(r.makespan);
+    return out;
+  });
+}
 
 int run(int argc, const char* const* argv) {
   support::ArgParser args("bench_fig7_membank",
@@ -29,6 +52,29 @@ int run(int argc, const char* const* argv) {
               static_cast<unsigned long long>(accesses),
               static_cast<unsigned long long>(cfg.seed));
 
+  // Grid: (preset x pattern) for the headline table, then the SMP overload
+  // sweep (procs x pattern).
+  harness::SweepRunner runner(bench::runner_options(cfg, "fig7_membank"));
+  const auto presets = membench::fig7_presets();
+  const membench::Pattern patterns[] = {membench::Pattern::NoConflict,
+                                        membench::Pattern::Random,
+                                        membench::Pattern::Conflict};
+  for (const auto& m : presets) {
+    for (const auto pattern : patterns) {
+      submit_membench(runner, m, pattern, accesses, cfg.seed);
+    }
+  }
+  const std::vector<int> smp_procs{2, 4, 8, 16, 32};
+  for (const int procs : smp_procs) {
+    auto m = membench::smp_native();
+    m.procs = procs;
+    m.banks = procs;  // keep one bank per processor, like the E5000 rows
+    for (const auto pattern : patterns) {
+      submit_membench(runner, m, pattern, accesses, cfg.seed);
+    }
+  }
+  const auto results = runner.run_all();
+
   support::TextTable table({"machine", "p", "NoConflict us", "Random us",
                             "Conflict us", "Random/NC", "Conflict/NC",
                             "hot-bank util"});
@@ -39,18 +85,17 @@ int run(int argc, const char* const* argv) {
   table.set_precision(6, 2);
   table.set_precision(7, 2);
 
-  for (const auto& m : membench::fig7_presets()) {
-    const auto nc =
-        run_membench(m, membench::Pattern::NoConflict, accesses, cfg.seed);
-    const auto rd =
-        run_membench(m, membench::Pattern::Random, accesses, cfg.seed);
-    const auto cf =
-        run_membench(m, membench::Pattern::Conflict, accesses, cfg.seed);
-    table.add_row({m.name, static_cast<long long>(m.procs),
-                   nc.avg_access_us, rd.avg_access_us, cf.avg_access_us,
-                   rd.avg_access_cycles / nc.avg_access_cycles,
-                   cf.avg_access_cycles / nc.avg_access_cycles,
-                   cf.hottest_bank_utilization});
+  std::size_t at = 0;
+  for (const auto& m : presets) {
+    const auto& nc = results[at++];
+    const auto& rd = results[at++];
+    const auto& cf = results[at++];
+    table.add_row(
+        {m.name, static_cast<long long>(m.procs), nc.metric("avg_access_us"),
+         rd.metric("avg_access_us"), cf.metric("avg_access_us"),
+         rd.metric("avg_access_cycles") / nc.metric("avg_access_cycles"),
+         cf.metric("avg_access_cycles") / nc.metric("avg_access_cycles"),
+         cf.metric("hot_util")});
   }
   bench::emit(table, cfg);
 
@@ -62,19 +107,14 @@ int run(int argc, const char* const* argv) {
                               "Conflict us", "Conflict/NC"});
   for (std::size_t c = 1; c <= 3; ++c) scaling.set_precision(c, 2);
   scaling.set_precision(4, 2);
-  for (const int procs : {2, 4, 8, 16, 32}) {
-    auto m = membench::smp_native();
-    m.procs = procs;
-    m.banks = procs;  // keep one bank per processor, like the E5000 rows
-    const auto nc =
-        run_membench(m, membench::Pattern::NoConflict, accesses, cfg.seed);
-    const auto rd =
-        run_membench(m, membench::Pattern::Random, accesses, cfg.seed);
-    const auto cf =
-        run_membench(m, membench::Pattern::Conflict, accesses, cfg.seed);
-    scaling.add_row({static_cast<long long>(procs), nc.avg_access_us,
-                     rd.avg_access_us, cf.avg_access_us,
-                     cf.avg_access_cycles / nc.avg_access_cycles});
+  for (const int procs : smp_procs) {
+    const auto& nc = results[at++];
+    const auto& rd = results[at++];
+    const auto& cf = results[at++];
+    scaling.add_row(
+        {static_cast<long long>(procs), nc.metric("avg_access_us"),
+         rd.metric("avg_access_us"), cf.metric("avg_access_us"),
+         cf.metric("avg_access_cycles") / nc.metric("avg_access_cycles")});
   }
   bench::emit(scaling, cfg);
 
@@ -84,6 +124,7 @@ int run(int argc, const char* const* argv) {
       "slower than the SMP rows; T3E remote access in the ~1-2 us range; "
       "in the overload sweep, Conflict/NC grows roughly linearly with the "
       "processor count while NoConflict stays flat.\n");
+  bench::print_runner_stats(runner);
   return 0;
 }
 

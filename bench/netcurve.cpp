@@ -22,11 +22,29 @@ int run(int argc, const char* const* argv) {
   bench::register_common_flags(args);
   if (!args.parse(argc, argv)) return 0;
   const auto cfg = bench::read_common_flags(args);
-  const net::MsgCost cost{cfg.machine.net, cfg.machine.sw};
   const auto& clk = cfg.machine.cpu.clock;
 
   std::printf("== Message-size curve (machine %s) ==\n\n",
               cfg.machine.name.c_str());
+
+  std::vector<std::int64_t> payloads;
+  for (std::int64_t bytes = 8; bytes <= (1 << 22); bytes *= 4) {
+    payloads.push_back(bytes);
+  }
+
+  harness::SweepRunner runner(bench::runner_options(cfg, "netcurve"));
+  for (const std::int64_t bytes : payloads) {
+    harness::KeyBuilder key("msgcost");
+    key.add("machine", cfg.machine);
+    key.add("bytes", bytes);
+    runner.submit(key.build(), [&cfg, bytes] {
+      const net::MsgCost cost{cfg.machine.net, cfg.machine.sw};
+      harness::PointResult out;
+      out.metrics["cycles"] = static_cast<double>(cost.isolated(bytes));
+      return out;
+    });
+  }
+  const auto results = runner.run_all();
 
   support::TextTable table({"payload B", "time (cy)", "eff cy/B",
                             "eff MB/s"});
@@ -35,11 +53,13 @@ int run(int argc, const char* const* argv) {
   std::vector<double> xs;
   std::vector<double> cpb;
   double asymptotic = 0;
-  for (std::int64_t bytes = 8; bytes <= (1 << 22); bytes *= 4) {
-    const auto t = cost.isolated(bytes);
-    const double eff = static_cast<double>(t) / static_cast<double>(bytes);
-    table.add_row({static_cast<long long>(bytes), static_cast<long long>(t),
-                   eff, clk.gap_to_bytes_per_second(eff) / 1e6});
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const std::int64_t bytes = payloads[i];
+    const double t = results[i].metric("cycles");
+    const double eff = t / static_cast<double>(bytes);
+    table.add_row({static_cast<long long>(bytes),
+                   static_cast<long long>(t), eff,
+                   clk.gap_to_bytes_per_second(eff) / 1e6});
     xs.push_back(static_cast<double>(bytes));
     cpb.push_back(eff);
     asymptotic = eff;
@@ -72,6 +92,7 @@ int run(int argc, const char* const* argv) {
       "expected shape: per-byte cost falls as the per-message overheads "
       "amortize, flattening at the copy+wire rate — why the QSM contract "
       "insists on batching.\n");
+  bench::print_runner_stats(runner);
   return 0;
 }
 

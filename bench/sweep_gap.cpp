@@ -33,6 +33,33 @@ int run(int argc, const char* const* argv) {
               cfg.machine.name.c_str(), p,
               static_cast<unsigned long long>(n));
 
+  const std::vector<double> mults{0.25, 1.0, 4.0, 16.0};
+  harness::SweepRunner runner(bench::runner_options(cfg, "sweep_gap"));
+  for (const double mult : mults) {
+    auto variant = cfg.machine;
+    variant.net.gap_cpb *= mult;
+    for (int rep = 0; rep < cfg.reps; ++rep) {
+      harness::KeyBuilder key("samplesort");
+      key.add("machine", variant);
+      key.add("n", n);
+      key.add("seed", cfg.seed);
+      key.add("rep", rep);
+      runner.submit(key.build(), [&cfg, variant, n, rep] {
+        rt::Runtime runtime(
+            variant,
+            rt::Options{.seed = cfg.seed + static_cast<std::uint64_t>(rep)});
+        auto data = runtime.alloc<std::int64_t>(n);
+        runtime.host_fill(
+            data, bench::scratch_keys(
+                      n, cfg.seed + n + static_cast<std::uint64_t>(rep)));
+        harness::PointResult out;
+        out.timing = algos::sample_sort(runtime, data).timing;
+        return out;
+      });
+    }
+  }
+  const auto results = runner.run_all();
+
   support::TextTable table({"gap (c/B)", "comm (meas)", "best (QSM)",
                             "whp (QSM)", "meas/best"});
   table.set_precision(0, 2);
@@ -41,21 +68,16 @@ int run(int argc, const char* const* argv) {
   table.set_precision(3, 0);
   table.set_precision(4, 2);
 
-  for (const double mult : {0.25, 1.0, 4.0, 16.0}) {
+  std::size_t at = 0;
+  for (const double mult : mults) {
     auto variant = cfg.machine;
     variant.net.gap_cpb *= mult;
     // QSM's g is a model parameter: recalibrate for each machine variant,
     // exactly as a designer would when moving to a new machine.
     const auto cal = models::calibrate(variant);
     double comm = 0;
-    for (int rep = 0; rep < cfg.reps; ++rep) {
-      rt::Runtime runtime(variant,
-                          rt::Options{.seed = cfg.seed + static_cast<std::uint64_t>(rep)});
-      auto data = runtime.alloc<std::int64_t>(n);
-      runtime.host_fill(data,
-                        bench::random_keys(n, cfg.seed + n + static_cast<std::uint64_t>(rep)));
-      comm += static_cast<double>(
-          algos::sample_sort(runtime, data).timing.comm_cycles);
+    for (int rep = 0; rep < cfg.reps; ++rep, ++at) {
+      comm += static_cast<double>(results[at].timing.comm_cycles);
     }
     comm /= cfg.reps;
     const auto best =
@@ -70,6 +92,7 @@ int run(int argc, const char* const* argv) {
       "expected shape: unlike the latency/overhead sweeps, predictions "
       "move WITH the measurements — meas/best stays in a narrow band at "
       "every gap, because g is the parameter QSM models.\n");
+  bench::print_runner_stats(runner);
   return 0;
 }
 

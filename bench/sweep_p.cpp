@@ -35,15 +35,8 @@ int run(int argc, const char* const* argv) {
   const auto cfg = bench::read_common_flags(args);
 
   std::vector<int> procs;
-  {
-    const std::string& spec = args.str("procs");
-    std::size_t pos = 0;
-    while (pos < spec.size()) {
-      const auto comma = spec.find(',', pos);
-      procs.push_back(std::stoi(spec.substr(pos, comma - pos)));
-      if (comma == std::string::npos) break;
-      pos = comma + 1;
-    }
+  for (const long long p : bench::parse_csv_i64(args.str("procs"))) {
+    procs.push_back(static_cast<int>(p));
   }
 
   std::printf("== Crossover vs processor count (machine %s) ==\n\n",
@@ -54,17 +47,32 @@ int run(int argc, const char* const* argv) {
                         static_cast<std::uint64_t>(args.i64("nmax")),
                         std::sqrt(2.0));
 
+  // One crossover sweep per machine width, all sharing the "crossover"
+  // cache namespace with fig5 / fig6 / table4.
+  harness::SweepRunner runner(
+      bench::runner_options(cfg, bench::kCrossoverWorkload));
+  std::vector<bench::CrossoverJob> jobs;
+  for (const int p : procs) {
+    auto variant = cfg.machine;
+    variant.p = p;
+    jobs.push_back(bench::submit_samplesort_crossover(runner, variant, sizes,
+                                                      cfg.reps, cfg.seed));
+  }
+  const auto results = runner.run_all();
+
   support::TextTable table({"p", "L (cy)", "crossover n*", "n*/p"});
   table.set_precision(2, 0);
   table.set_precision(3, 0);
   std::vector<double> ps;
   std::vector<double> ns;
-  for (const int p : procs) {
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const int p = procs[j];
     auto variant = cfg.machine;
     variant.p = p;
+    // Calibration and predictions are per-p; the fold prices the cached
+    // sort runs against this width's calibration.
     const auto cal = models::calibrate(variant);
-    const auto res = bench::find_samplesort_crossover(variant, cal, sizes,
-                                                      cfg.reps, cfg.seed);
+    const auto res = bench::fold_samplesort_crossover(jobs[j], cal, results);
     table.add_row({static_cast<long long>(p),
                    static_cast<long long>(cal.phase_overhead), res.n_star,
                    res.n_star > 0 ? res.n_star / p : -1.0});
@@ -97,6 +105,7 @@ int run(int argc, const char* const* argv) {
   } else {
     std::printf("not enough crossovers found; widen --nmax.\n");
   }
+  bench::print_runner_stats(runner);
   return 0;
 }
 

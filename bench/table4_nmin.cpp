@@ -32,15 +32,21 @@ int run(int argc, const char* const* argv) {
   const double k = args.f64("k");
   const double tol = args.f64("tol");
 
-  // Measure the default machine's real crossover and anchor the model on it.
+  // Measure the default machine's real crossover and anchor the model on
+  // it. The sweep shares the "crossover" cache namespace with fig5 / fig6 /
+  // sweep_p, so a prior run of any of those resolves this grid warm.
   const auto cal = models::calibrate(cfg.machine);
   bench::print_preamble("Table 4: n_min extrapolation", cfg, cal);
   const auto sizes =
       bench::size_sweep(static_cast<std::uint64_t>(args.i64("nmin")),
                         static_cast<std::uint64_t>(args.i64("nmax")),
                         std::sqrt(2.0));
-  const auto crossing = bench::find_samplesort_crossover(
-      cfg.machine, cal, sizes, cfg.reps, cfg.seed);
+  harness::SweepRunner runner(
+      bench::runner_options(cfg, bench::kCrossoverWorkload));
+  const auto job = bench::submit_samplesort_crossover(runner, cfg.machine,
+                                                      sizes, cfg.reps, cfg.seed);
+  const auto results = runner.run_all();
+  const auto crossing = bench::fold_samplesort_crossover(job, cal, results);
   const double measured_per_proc =
       crossing.n_star > 0 ? crossing.n_star / cfg.machine.p : -1;
 
@@ -86,6 +92,7 @@ int run(int argc, const char* const* argv) {
       "expected shape: same ordering as the paper — TCP/Ethernet worst by "
       "orders of magnitude, T3E best, NOW/CS-2 mid-range; absolute values "
       "within a small factor after anchoring.\n");
+  bench::print_runner_stats(runner);
   return 0;
 }
 

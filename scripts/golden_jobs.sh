@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Golden scheduler-determinism check for one bench binary.
+#
+# Runs the binary three times: --jobs 1 (cold), --jobs 8 (cold, separate
+# cache), then --jobs 8 again (warm). The CSVs must be byte-identical in
+# all three runs — simulated timing may not depend on host parallelism or
+# on whether a point came from the cache — and the warm run must resolve
+# every point from the cache (computed=0).
+#
+# Usage: golden_jobs.sh <binary> [extra args...]
+set -euo pipefail
+
+bin=$1
+shift
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+"$bin" "$@" --jobs 1 --cache-dir "$work/cache1" --csv "$work/jobs1.csv" \
+  > "$work/out1.txt"
+"$bin" "$@" --jobs 8 --cache-dir "$work/cache8" --csv "$work/jobs8.csv" \
+  > "$work/out8.txt"
+"$bin" "$@" --jobs 8 --cache-dir "$work/cache8" --csv "$work/warm.csv" \
+  > "$work/warm.txt"
+
+if ! cmp -s "$work/jobs1.csv" "$work/jobs8.csv"; then
+  echo "FAIL: --jobs 1 and --jobs 8 produced different CSVs" >&2
+  diff "$work/jobs1.csv" "$work/jobs8.csv" >&2 || true
+  exit 1
+fi
+if ! cmp -s "$work/jobs8.csv" "$work/warm.csv"; then
+  echo "FAIL: warm (cached) run produced a different CSV" >&2
+  diff "$work/jobs8.csv" "$work/warm.csv" >&2 || true
+  exit 1
+fi
+if ! grep -q "computed=0 " "$work/warm.txt"; then
+  echo "FAIL: warm run recomputed points (expected computed=0):" >&2
+  grep "^harness:" "$work/warm.txt" >&2 || true
+  exit 1
+fi
+# The cache files themselves must be independent of the job count: results
+# are appended in submission order regardless of which worker computed them.
+for f in "$work"/cache1/*.jsonl; do
+  twin="$work/cache8/$(basename "$f")"
+  if ! cmp -s "$f" "$twin"; then
+    echo "FAIL: cache file $(basename "$f") differs between job counts" >&2
+    exit 1
+  fi
+done
+
+echo "OK: CSVs byte-identical across --jobs 1/8/warm; warm run computed=0"

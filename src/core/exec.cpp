@@ -1,6 +1,7 @@
 #include "core/exec.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 #include "support/contract.hpp"
@@ -9,14 +10,33 @@ namespace qsm::rt {
 
 namespace {
 
-int default_phase_workers(int nprocs) {
+/// 0 = no explicit budget installed; fall back to hardware concurrency.
+std::atomic<int> g_thread_budget{0};
+
+int hardware_threads() {
   const auto hw = static_cast<int>(std::thread::hardware_concurrency());
-  // hardware_concurrency() may return 0 ("unknown"); treat as 1. Cap at 8:
-  // phase stages are memory-bound and stop scaling well before that.
-  return std::clamp(std::min(nprocs, hw == 0 ? 1 : hw), 1, 8);
+  // hardware_concurrency() may return 0 ("unknown"); treat as 1.
+  return hw == 0 ? 1 : hw;
+}
+
+int default_phase_workers(int nprocs) {
+  // Cap at 8: phase stages are memory-bound and stop scaling well before
+  // that. The budget term is what keeps concurrent sweep jobs from
+  // oversubscribing the host (see host_thread_budget()).
+  return std::clamp(std::min(nprocs, host_thread_budget()), 1, 8);
 }
 
 }  // namespace
+
+int host_thread_budget() {
+  const int b = g_thread_budget.load(std::memory_order_relaxed);
+  return b > 0 ? b : hardware_threads();
+}
+
+void set_host_thread_budget(int threads) {
+  g_thread_budget.store(threads > 0 ? threads : 0,
+                        std::memory_order_relaxed);
+}
 
 Executor::Executor(int nprocs, int phase_workers)
     : nprocs_(nprocs),

@@ -25,6 +25,28 @@
 
 namespace qsm::rt {
 
+/// Process-wide host thread budget for throughput-only parallelism.
+///
+/// Two layers want host threads: each Runtime's phase worker pool, and the
+/// experiment scheduler (src/harness) that runs many Runtimes concurrently.
+/// Without coordination, J concurrent simulations each defaulting to 8
+/// phase workers oversubscribe the host J times over. The contract: the
+/// scheduler divides the budget among its jobs and lowers the process
+/// budget to the per-job share while its workers run; every Executor built
+/// with `phase_workers <= 0` sizes its pool from the budget *at
+/// construction time* (min(nprocs, budget, 8)). Program lanes are exempt —
+/// a p-processor program semantically needs p blockable threads no matter
+/// the budget. No budget value may change a simulated number; this is
+/// purely a host-throughput knob.
+///
+/// Returns the hardware concurrency (>= 1) until set_host_thread_budget()
+/// installs an explicit value.
+[[nodiscard]] int host_thread_budget();
+
+/// Installs an explicit budget; `threads <= 0` resets to the hardware
+/// default.
+void set_host_thread_budget(int threads);
+
 class Executor {
  public:
   /// `nprocs` program lanes; `phase_workers` <= 0 picks a host-sized

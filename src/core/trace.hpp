@@ -50,6 +50,8 @@ struct PhaseStats {
   /// Messages and wire bytes the exchange actually used.
   std::uint64_t messages{0};
   std::int64_t wire_bytes{0};
+
+  friend bool operator==(const PhaseStats&, const PhaseStats&) = default;
 };
 
 struct RunResult {
@@ -71,6 +73,8 @@ struct RunResult {
   std::int64_t wire_bytes{0};
 
   std::vector<PhaseStats> trace;
+
+  friend bool operator==(const RunResult&, const RunResult&) = default;
 
   void add_phase(const PhaseStats& ps) {
     comm_cycles += ps.comm_cycles();

@@ -1,0 +1,206 @@
+#include "harness/cache.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace qsm::harness {
+
+namespace fs = std::filesystem;
+
+std::string cache_file_stem(std::string_view workload) {
+  std::string stem;
+  stem.reserve(workload.size());
+  for (const char c : workload) {
+    const auto uc = static_cast<unsigned char>(c);
+    stem.push_back(std::isalnum(uc) || c == '-' || c == '_' ? c : '_');
+  }
+  return stem.empty() ? std::string("default") : stem;
+}
+
+ResultCache::ResultCache(std::string dir, std::string workload)
+    : dir_(std::move(dir)) {
+  path_ = dir_ + "/" + cache_file_stem(workload) + ".jsonl";
+}
+
+// ---- serialization --------------------------------------------------------
+
+namespace {
+
+void write_timing(support::JsonWriter& w, const rt::RunResult& t) {
+  // Aggregates in a fixed-order array, then one array per phase. A run
+  // with no phases and all-zero aggregates (a metrics-only point) is
+  // omitted entirely by the caller.
+  w.key("t").begin_array();
+  w.value(t.total_cycles)
+      .value(t.comm_cycles)
+      .value(t.barrier_cycles)
+      .value(t.compute_cycles)
+      .value(t.phases)
+      .value(t.rw_total)
+      .value(t.kappa_max)
+      .value(t.messages)
+      .value(t.wire_bytes);
+  w.end_array();
+  w.key("ph").begin_array();
+  for (const auto& ps : t.trace) {
+    w.begin_array();
+    w.value(ps.arrival_spread)
+        .value(ps.exchange_cycles)
+        .value(ps.barrier_cycles)
+        .value(ps.m_op_max)
+        .value(ps.m_rw_max)
+        .value(ps.max_put_words)
+        .value(ps.max_get_words)
+        .value(ps.rw_total)
+        .value(ps.local_words)
+        .value(ps.kappa)
+        .value(ps.messages)
+        .value(ps.wire_bytes);
+    w.end_array();
+  }
+  w.end_array();
+}
+
+bool has_timing(const rt::RunResult& t) {
+  return !(t == rt::RunResult{});
+}
+
+bool read_timing(const support::JsonValue& v, rt::RunResult& out) {
+  const auto* t = v.find("t");
+  const auto* ph = v.find("ph");
+  if (t == nullptr || ph == nullptr ||
+      !t->is(support::JsonValue::Kind::Array) || t->arr.size() != 9 ||
+      !ph->is(support::JsonValue::Kind::Array)) {
+    return false;
+  }
+  out.total_cycles = t->arr[0].as_i64();
+  out.comm_cycles = t->arr[1].as_i64();
+  out.barrier_cycles = t->arr[2].as_i64();
+  out.compute_cycles = t->arr[3].as_i64();
+  out.phases = t->arr[4].as_u64();
+  out.rw_total = t->arr[5].as_u64();
+  out.kappa_max = t->arr[6].as_u64();
+  out.messages = t->arr[7].as_u64();
+  out.wire_bytes = t->arr[8].as_i64();
+  out.trace.reserve(ph->arr.size());
+  for (const auto& row : ph->arr) {
+    if (!row.is(support::JsonValue::Kind::Array) || row.arr.size() != 12) {
+      return false;
+    }
+    rt::PhaseStats ps;
+    ps.arrival_spread = row.arr[0].as_i64();
+    ps.exchange_cycles = row.arr[1].as_i64();
+    ps.barrier_cycles = row.arr[2].as_i64();
+    ps.m_op_max = row.arr[3].as_i64();
+    ps.m_rw_max = row.arr[4].as_u64();
+    ps.max_put_words = row.arr[5].as_u64();
+    ps.max_get_words = row.arr[6].as_u64();
+    ps.rw_total = row.arr[7].as_u64();
+    ps.local_words = row.arr[8].as_u64();
+    ps.kappa = row.arr[9].as_u64();
+    ps.messages = row.arr[10].as_u64();
+    ps.wire_bytes = row.arr[11].as_i64();
+    out.trace.push_back(ps);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string ResultCache::serialize(const PointResult& r) {
+  support::JsonWriter w;
+  w.begin_object();
+  if (has_timing(r.timing)) write_timing(w, r.timing);
+  if (!r.metrics.empty()) {
+    w.key("m").begin_object();
+    for (const auto& [name, value] : r.metrics) {
+      w.key(name).value(value);
+    }
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::optional<PointResult> ResultCache::deserialize(
+    const support::JsonValue& v) {
+  if (!v.is(support::JsonValue::Kind::Object)) return std::nullopt;
+  PointResult r;
+  if (v.find("t") != nullptr) {
+    if (!read_timing(v, r.timing)) return std::nullopt;
+  }
+  if (const auto* m = v.find("m")) {
+    if (!m->is(support::JsonValue::Kind::Object)) return std::nullopt;
+    for (const auto& [name, value] : m->obj) {
+      if (!value.is(support::JsonValue::Kind::Number)) return std::nullopt;
+      r.metrics.emplace(name, value.as_double());
+    }
+  }
+  return r;
+}
+
+// ---- file I/O -------------------------------------------------------------
+
+void ResultCache::load() {
+  if (loaded_) return;
+  loaded_ = true;
+  std::ifstream in(path_);
+  if (!in) return;  // no cache yet
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto doc = support::parse_json(line);
+    if (!doc) continue;  // torn/corrupt line: just recompute that point
+    const auto* k = doc->find("k");
+    const auto* r = doc->find("r");
+    if (k == nullptr || r == nullptr ||
+        !k->is(support::JsonValue::Kind::String)) {
+      continue;
+    }
+    auto result = deserialize(*r);
+    if (!result) continue;
+    entries_.insert_or_assign(k->str, std::move(*result));
+  }
+}
+
+std::size_t ResultCache::loaded_entries() {
+  load();
+  return entries_.size();
+}
+
+const PointResult* ResultCache::lookup(const PointKey& key) {
+  load();
+  const auto it = entries_.find(key.text);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void ResultCache::store(
+    const std::vector<std::pair<PointKey, PointResult>>& batch) {
+  load();
+  std::error_code ec;
+  fs::create_directories(dir_, ec);  // best effort; open() reports failure
+  std::ofstream out(path_, std::ios::app);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write result cache %s\n",
+                 path_.c_str());
+    return;
+  }
+  for (const auto& [key, result] : batch) {
+    if (entries_.contains(key.text)) continue;
+    support::JsonWriter w;
+    char hex[24];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(key.hash()));
+    w.begin_object();
+    w.key("h").value(std::string_view(hex));
+    w.key("k").value(key.text);
+    out << w.str() << ",\"r\":" << serialize(result) << "}\n";
+    entries_.emplace(key.text, result);
+  }
+  out.flush();
+}
+
+}  // namespace qsm::harness

@@ -1,0 +1,63 @@
+// Content-addressed result cache for the experiment scheduler.
+//
+// One JSONL file per workload under the cache directory
+// (outputs/.cache/<workload>.jsonl by default); each line is
+// {"h":"<fnv64 hex>","k":"<canonical key text>","r":{<serialized result>}}.
+// Lookups compare the full key text, not just the hash, so collisions are
+// impossible and the files stay greppable. Serialization round-trips
+// doubles bit-exactly (%.17g), which is what lets a warm run regenerate
+// byte-identical tables without executing a single simulation.
+//
+// Robustness contract: unreadable or torn lines are skipped (the points
+// just recompute), and store() appends — concurrent binaries writing the
+// same file at worst duplicate a line, never corrupt the index.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "harness/point.hpp"
+#include "support/json.hpp"
+
+namespace qsm::harness {
+
+class ResultCache {
+ public:
+  /// `dir` need not exist yet; it is created on the first store().
+  ResultCache(std::string dir, std::string workload);
+
+  /// Loads the file on first use, then looks `key` up. Returns nullptr on
+  /// a miss. The pointer stays valid until the next store().
+  [[nodiscard]] const PointResult* lookup(const PointKey& key);
+
+  /// Appends `batch` to the file and the in-memory index, skipping keys
+  /// already present.
+  void store(const std::vector<std::pair<PointKey, PointResult>>& batch);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Entries usable after load (diagnostics).
+  [[nodiscard]] std::size_t loaded_entries();
+
+  /// JSON object text for one result (stable field order).
+  [[nodiscard]] static std::string serialize(const PointResult& r);
+  /// Inverse of serialize(); nullopt when the value is malformed.
+  [[nodiscard]] static std::optional<PointResult> deserialize(
+      const support::JsonValue& v);
+
+ private:
+  void load();
+
+  std::string dir_;
+  std::string path_;
+  bool loaded_{false};
+  std::unordered_map<std::string, PointResult> entries_;
+};
+
+/// Maps a workload id to a safe file stem ([A-Za-z0-9_-], others -> '_').
+[[nodiscard]] std::string cache_file_stem(std::string_view workload);
+
+}  // namespace qsm::harness

@@ -1,0 +1,128 @@
+#include "harness/point.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "net/topology.hpp"
+
+namespace qsm::harness {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+KeyBuilder::KeyBuilder(std::string_view workload) {
+  text_ = "epoch=";
+  text_ += kCacheEpoch;
+  text_ += ";workload=";
+  text_ += workload;
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view name, std::int64_t v) {
+  text_ += ';';
+  text_ += name;
+  text_ += '=';
+  text_ += std::to_string(v);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view name, std::uint64_t v) {
+  text_ += ';';
+  text_ += name;
+  text_ += '=';
+  text_ += std::to_string(v);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view name, double v) {
+  text_ += ';';
+  text_ += name;
+  text_ += '=';
+  text_ += fmt_double(v);
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view name, std::string_view v) {
+  text_ += ';';
+  text_ += name;
+  text_ += '=';
+  text_ += v;
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view name,
+                            const machine::MachineConfig& m) {
+  text_ += ';';
+  text_ += name;
+  text_ += "={";
+  text_ += describe(m);
+  text_ += '}';
+  return *this;
+}
+
+KeyBuilder& KeyBuilder::add(std::string_view name,
+                            const models::Calibration& cal) {
+  text_ += ';';
+  text_ += name;
+  text_ += "={";
+  text_ += describe(cal);
+  text_ += '}';
+  return *this;
+}
+
+std::string describe(const machine::MachineConfig& m) {
+  std::string s;
+  s += m.name;
+  s += ";p=" + std::to_string(m.p);
+  s += ";hz=" + fmt_double(m.cpu.clock.hz);
+  s += ";cpo=" + fmt_double(m.cpu.cycles_per_op);
+  s += ";l1=" + std::to_string(m.cpu.l1_bytes);
+  s += ";l1h=" + std::to_string(m.cpu.l1_hit);
+  s += ";l2=" + std::to_string(m.cpu.l2_bytes);
+  s += ";l2h=" + std::to_string(m.cpu.l2_hit);
+  s += ";mem=" + std::to_string(m.cpu.mem_access);
+  s += ";g=" + fmt_double(m.net.gap_cpb);
+  s += ";o=" + std::to_string(m.net.overhead);
+  s += ";l=" + std::to_string(m.net.latency);
+  s += ";topo=" + std::string(net::to_string(m.net.topology));
+  s += ";links=" + std::to_string(m.net.fabric_links);
+  s += ";copy=" + fmt_double(m.sw.copy_cpb);
+  s += ";pmsg=" + std::to_string(m.sw.per_message_cpu);
+  s += ";preq=" + std::to_string(m.sw.per_request_cpu);
+  s += ";papp=" + std::to_string(m.sw.per_apply_cpu);
+  s += ";hdr=" + std::to_string(m.sw.msg_header_bytes);
+  s += ";putr=" + std::to_string(m.sw.put_record_bytes);
+  s += ";getq=" + std::to_string(m.sw.get_request_bytes);
+  s += ";getr=" + std::to_string(m.sw.get_reply_bytes);
+  s += ";plan=" + std::to_string(m.sw.plan_entry_bytes);
+  s += ";word=" + std::to_string(m.sw.word_bytes);
+  return s;
+}
+
+std::string describe(const models::Calibration& cal) {
+  std::string s;
+  s += "p=" + std::to_string(cal.p);
+  s += ";put=" + fmt_double(cal.put_cpw);
+  s += ";get=" + fmt_double(cal.get_cpw);
+  s += ";L=" + std::to_string(cal.phase_overhead);
+  s += ";bar=" + std::to_string(cal.barrier);
+  s += ";word=" + std::to_string(cal.word_bytes);
+  return s;
+}
+
+double PointResult::metric(std::string_view name) const {
+  const auto it = metrics.find(std::string(name));
+  if (it == metrics.end()) {
+    throw std::out_of_range("PointResult has no metric '" +
+                            std::string(name) + "'");
+  }
+  return it->second;
+}
+
+}  // namespace qsm::harness

@@ -1,0 +1,99 @@
+// Grid points of the experiment scheduler.
+//
+// Every figure/table the paper reports is a grid of independent
+// simulations: (workload, problem size, machine variant, seed, repetition).
+// A PointKey names one grid point by a canonical text form of everything
+// that can change its result — the content address the cache hashes — and a
+// PointResult carries what one simulation produced: a RunResult timing
+// trace and/or a set of named scalar metrics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/trace.hpp"
+#include "machine/config.hpp"
+#include "models/calibration.hpp"
+
+namespace qsm::harness {
+
+/// Cache epoch: the "code version" component of every cache key. Bump it
+/// whenever a change anywhere in the simulator/algorithms can alter any
+/// simulated number — stale cache entries become unreachable instead of
+/// silently wrong.
+inline constexpr std::string_view kCacheEpoch = "qsm1";
+
+/// FNV-1a 64-bit, the content hash of a key's canonical text.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Canonical name of one grid point. Two points with equal text are the
+/// same experiment by contract: equal text => equal result.
+struct PointKey {
+  std::string text;
+
+  [[nodiscard]] std::uint64_t hash() const { return fnv1a(text); }
+
+  friend bool operator==(const PointKey&, const PointKey&) = default;
+};
+
+/// Builds a PointKey as "epoch=qsm1;workload=<id>;k=v;k=v;...". Machine
+/// and calibration overloads expand to every field so that any parameter
+/// sweep (latency multipliers, gap scaling, processor count, ...) produces
+/// distinct keys automatically.
+class KeyBuilder {
+ public:
+  explicit KeyBuilder(std::string_view workload);
+
+  KeyBuilder& add(std::string_view name, std::int64_t v);
+  KeyBuilder& add(std::string_view name, std::uint64_t v);
+  KeyBuilder& add(std::string_view name, int v) {
+    return add(name, static_cast<std::int64_t>(v));
+  }
+  KeyBuilder& add(std::string_view name, long long v) {
+    return add(name, static_cast<std::int64_t>(v));
+  }
+  KeyBuilder& add(std::string_view name, double v);
+  KeyBuilder& add(std::string_view name, std::string_view v);
+  KeyBuilder& add(std::string_view name, const machine::MachineConfig& m);
+  KeyBuilder& add(std::string_view name, const models::Calibration& cal);
+
+  [[nodiscard]] PointKey build() const { return PointKey{text_}; }
+
+ private:
+  std::string text_;
+};
+
+/// Canonical text of every field of a machine description (used in keys;
+/// the name is included only for readability — all cost-relevant knobs
+/// follow it explicitly).
+[[nodiscard]] std::string describe(const machine::MachineConfig& m);
+
+/// Canonical text of a calibration (for benches whose *predictions* are
+/// part of the cached value).
+[[nodiscard]] std::string describe(const models::Calibration& cal);
+
+/// What one grid point produced. Points that run a bulk-synchronous
+/// program fill `timing` (including the per-phase trace the model
+/// estimators consume); points that measure something else (membench runs,
+/// exchange simulations, calibrations) report named scalars in `metrics`.
+struct PointResult {
+  rt::RunResult timing;
+  std::map<std::string, double> metrics;
+
+  /// Looks a metric up; throws std::out_of_range when absent (a key-scheme
+  /// bug, not a recoverable condition).
+  [[nodiscard]] double metric(std::string_view name) const;
+
+  friend bool operator==(const PointResult&, const PointResult&) = default;
+};
+
+}  // namespace qsm::harness

@@ -1,0 +1,100 @@
+// SweepRunner: the parallel experiment scheduler.
+//
+// The regen pipeline is a grid of independent simulations; PR 1 made one
+// simulation fast inside the barrier, this layer makes the *harness*
+// parallel and cheap to re-run. A bench binary submits its grid points
+// (key + compute closure) in grid order, then calls run_all():
+//
+//   - points whose key is in the content-addressed result cache resolve
+//     without computing anything;
+//   - the remaining points are sharded across `jobs` host worker threads
+//     by static striding (point i of the miss list runs on worker
+//     i % jobs) — deterministic, and each closure builds its own
+//     Runtime/Executor, so simulated timing is byte-identical for any
+//     job count;
+//   - results come back indexed by submission order, so tables/CSVs are
+//     reproducible for any --jobs N;
+//   - freshly computed results are appended to the cache in submission
+//     order.
+//
+// Thread-budget contract (see rt::host_thread_budget()): while computing,
+// the runner lowers the process budget to budget/jobs so the per-run
+// phase worker pools of J concurrent simulations never oversubscribe the
+// host, and restores it afterwards. Nesting SweepRunners is not supported.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/cache.hpp"
+#include "harness/point.hpp"
+#include "support/worker_pool.hpp"
+
+namespace qsm::harness {
+
+struct RunnerOptions {
+  /// Cache namespace; names the JSONL file (usually the bench id, or a
+  /// shared id like "crossover" when several benches draw from one grid).
+  std::string workload{"sweep"};
+  /// Concurrent grid points; 0 = auto (host thread budget, capped at 16).
+  int jobs{0};
+  bool cache{true};
+  std::string cache_dir{"outputs/.cache"};
+};
+
+struct RunnerStats {
+  std::size_t points{0};   ///< submitted over the runner's lifetime
+  std::size_t cached{0};   ///< resolved from the cache
+  std::size_t computed{0}; ///< actually simulated
+  double compute_seconds{0};  ///< wall-clock spent inside run_all computes
+  int jobs{1};
+  int phase_workers_per_job{1};
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(RunnerOptions opts);
+  ~SweepRunner();
+
+  SweepRunner(const SweepRunner&) = delete;
+  SweepRunner& operator=(const SweepRunner&) = delete;
+
+  /// Enqueues one grid point; returns its index (submission order).
+  /// Duplicate keys within one batch are computed once and fanned out.
+  std::size_t submit(PointKey key, std::function<PointResult()> compute);
+
+  /// Resolves every pending point (cache, then sharded compute), appends
+  /// fresh results to the cache, clears the queue, and returns results in
+  /// submission order. Exceptions from compute closures propagate (the
+  /// first, in shard order) after all in-flight points finish.
+  std::vector<PointResult> run_all();
+
+  [[nodiscard]] const RunnerStats& stats() const { return stats_; }
+  [[nodiscard]] const RunnerOptions& options() const { return opts_; }
+  [[nodiscard]] int jobs() const { return jobs_; }
+  /// The per-job share of the host thread budget: what
+  /// Options::host_workers defaults to inside a point while run_all is
+  /// computing.
+  [[nodiscard]] int phase_workers_per_job() const {
+    return phase_workers_per_job_;
+  }
+
+ private:
+  struct Pending {
+    PointKey key;
+    std::function<PointResult()> compute;
+  };
+
+  RunnerOptions opts_;
+  int jobs_{1};
+  int phase_workers_per_job_{1};
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<support::WorkerPool> pool_;
+  std::vector<Pending> pending_;
+  RunnerStats stats_;
+};
+
+}  // namespace qsm::harness

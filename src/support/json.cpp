@@ -1,0 +1,347 @@
+#include "support/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace qsm::support {
+
+// ---- writer ---------------------------------------------------------------
+
+void JsonWriter::comma() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!first_.empty()) {
+    if (!first_.back()) out_.push_back(',');
+    first_.back() = false;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_.push_back('{');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_.push_back('}');
+  if (!first_.empty()) first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_.push_back('[');
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_.push_back(']');
+  if (!first_.empty()) first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  comma();
+  out_.push_back('"');
+  out_ += json_escape(k);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  comma();
+  out_.push_back('"');
+  out_ += json_escape(v);
+  out_.push_back('"');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  out_ += json_number(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  comma();
+  out_ += "null";
+  return *this;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no NaN/Inf
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+// ---- parser ---------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::Object) return nullptr;
+  for (const auto& [k, v] : obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos{0};
+  bool failed{false};
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  [[nodiscard]] bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue fail() {
+    failed = true;
+    return {};
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    if (pos >= text.size()) return fail();
+    const char c = text[pos];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') return parse_null();
+    return parse_number();
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    if (!eat('{')) return fail();
+    skip_ws();
+    if (eat('}')) return v;
+    while (!failed) {
+      skip_ws();
+      if (pos >= text.size() || text[pos] != '"') return fail();
+      JsonValue key = parse_string();
+      if (failed || !eat(':')) return fail();
+      JsonValue val = parse_value();
+      if (failed) return fail();
+      v.obj.emplace_back(std::move(key.str), std::move(val));
+      if (eat('}')) return v;
+      if (!eat(',')) return fail();
+    }
+    return fail();
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    if (!eat('[')) return fail();
+    skip_ws();
+    if (eat(']')) return v;
+    while (!failed) {
+      JsonValue elem = parse_value();
+      if (failed) return fail();
+      v.arr.push_back(std::move(elem));
+      if (eat(']')) return v;
+      if (!eat(',')) return fail();
+    }
+    return fail();
+  }
+
+  JsonValue parse_string() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    if (!eat('"')) return fail();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.str.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) break;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': v.str.push_back('"'); break;
+        case '\\': v.str.push_back('\\'); break;
+        case '/': v.str.push_back('/'); break;
+        case 'b': v.str.push_back('\b'); break;
+        case 'f': v.str.push_back('\f'); break;
+        case 'n': v.str.push_back('\n'); break;
+        case 'r': v.str.push_back('\r'); break;
+        case 't': v.str.push_back('\t'); break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail();
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail();
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our writer; a lone surrogate encodes as-is).
+          if (cp < 0x80) {
+            v.str.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            v.str.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            v.str.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          } else {
+            v.str.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            v.str.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            v.str.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+          }
+          break;
+        }
+        default: return fail();
+      }
+    }
+    return fail();
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Bool;
+    if (text.substr(pos, 4) == "true") {
+      v.b = true;
+      pos += 4;
+      return v;
+    }
+    if (text.substr(pos, 5) == "false") {
+      v.b = false;
+      pos += 5;
+      return v;
+    }
+    return fail();
+  }
+
+  JsonValue parse_null() {
+    if (text.substr(pos, 4) == "null") {
+      pos += 4;
+      return {};
+    }
+    return fail();
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool integral = true;
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        integral = false;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (pos == start) return fail();
+    const std::string tok(text.substr(start, pos - start));
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    char* end = nullptr;
+    v.num = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str()) return fail();
+    v.integral = integral;
+    if (integral) {
+      if (!tok.empty() && tok[0] == '-') {
+        v.i64 = std::strtoll(tok.c_str(), nullptr, 10);
+        v.u64 = static_cast<std::uint64_t>(v.i64);
+      } else {
+        v.u64 = std::strtoull(tok.c_str(), nullptr, 10);
+        v.i64 = static_cast<std::int64_t>(v.u64);
+      }
+    } else {
+      v.i64 = static_cast<std::int64_t>(v.num);
+      v.u64 = static_cast<std::uint64_t>(v.num);
+    }
+    return v;
+  }
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text) {
+  Parser p{text};
+  JsonValue v = p.parse_value();
+  if (p.failed) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;  // trailing garbage
+  return v;
+}
+
+}  // namespace qsm::support

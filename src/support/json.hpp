@@ -1,0 +1,84 @@
+// Minimal JSON reading/writing for the experiment harness.
+//
+// The result cache persists one JSON object per line (JSONL) and the
+// scheduler bench emits a BENCH_harness.json; neither needs more than a
+// streaming writer and a tolerant value parser. Doubles are written with
+// enough digits (%.17g) that a write/parse round trip is bit-exact, which
+// the cache relies on for byte-identical warm-run tables.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace qsm::support {
+
+/// Streaming JSON writer. Call sites are responsible for well-formedness
+/// (a key() before every value inside an object); commas are inserted
+/// automatically.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<bool> first_;  // per open container: no element emitted yet
+  bool after_key_{false};
+};
+
+/// Formats a double so that parsing it back yields the same binary64.
+[[nodiscard]] std::string json_number(double v);
+
+/// Escapes a string for embedding in JSON (quotes not included).
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Parsed JSON value. Numbers keep both an integer and a double view:
+/// cycle counters are int64/uint64 and must round-trip exactly even past
+/// 2^53, while metrics are doubles.
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind kind{Kind::Null};
+  bool b{false};
+  double num{0};
+  std::int64_t i64{0};
+  std::uint64_t u64{0};
+  bool integral{false};
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  [[nodiscard]] bool is(Kind k) const { return kind == k; }
+  [[nodiscard]] double as_double() const { return num; }
+  [[nodiscard]] std::int64_t as_i64() const { return i64; }
+  [[nodiscard]] std::uint64_t as_u64() const { return u64; }
+};
+
+/// Parses one JSON document. Returns nullopt on malformed input (the cache
+/// treats such lines as absent rather than failing the run).
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text);
+
+}  // namespace qsm::support

@@ -1,0 +1,153 @@
+// ResultCache: content-addressed persistence behind the sweep runner.
+//
+// The warm-run guarantee ("byte-identical tables, zero simulations")
+// reduces to: serialize/deserialize is lossless — including cycle counts
+// past 2^53 and doubles to the last bit — and load() tolerates torn lines
+// instead of failing the run.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "harness/cache.hpp"
+#include "harness/point.hpp"
+#include "support/json.hpp"
+
+namespace qsm::harness {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test directory under the gtest temp root.
+std::string test_dir(const std::string& leaf) {
+  const fs::path dir = fs::path(::testing::TempDir()) / "qsm_cache_test" / leaf;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+PointResult sample_result() {
+  PointResult r;
+  r.timing.total_cycles = 123456789;
+  r.timing.compute_cycles = 1000;
+  r.timing.kappa_max = (1ull << 60) + 3;  // not representable as double
+  r.timing.wire_bytes = -1;               // signed field keeps its sign
+  rt::PhaseStats ps;
+  ps.arrival_spread = 7;
+  ps.exchange_cycles = 42;
+  ps.barrier_cycles = 5;
+  ps.m_rw_max = (1ull << 55) + 1;
+  ps.rw_total = 99;
+  r.timing.add_phase(ps);
+  ps.exchange_cycles = 43;
+  r.timing.add_phase(ps);
+  r.metrics["z"] = 0.1;
+  r.metrics["remote_fraction"] = 1.0 / 3.0;
+  return r;
+}
+
+std::size_t file_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) ++n;
+  return n;
+}
+
+TEST(CacheFileStem, SanitizesWorkloadIds) {
+  EXPECT_EQ(cache_file_stem("fig1_prefix"), "fig1_prefix");
+  EXPECT_EQ(cache_file_stem("a b/c.d"), "a_b_c_d");
+  EXPECT_EQ(cache_file_stem(""), "default");
+}
+
+TEST(ResultCache, SerializeDeserializeIsLossless) {
+  const PointResult r = sample_result();
+  const auto doc = support::parse_json(ResultCache::serialize(r));
+  ASSERT_TRUE(doc.has_value());
+  const auto back = ResultCache::deserialize(*doc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, r);
+}
+
+TEST(ResultCache, MetricsOnlyResultOmitsTiming) {
+  PointResult r;
+  r.metrics["cycles"] = 12.5;
+  const std::string text = ResultCache::serialize(r);
+  EXPECT_EQ(text.find("\"t\""), std::string::npos);
+  const auto back = ResultCache::deserialize(*support::parse_json(text));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, r);
+  EXPECT_EQ(back->timing, rt::RunResult{});
+}
+
+TEST(ResultCache, StoreCreatesDirAndRoundTrips) {
+  const std::string dir = test_dir("roundtrip") + "/nested/deeper";
+  const PointKey key{"epoch=qsm1;workload=w;n=5"};
+  const PointResult r = sample_result();
+  {
+    ResultCache cache(dir, "w");
+    EXPECT_EQ(cache.lookup(key), nullptr);  // cold: no file yet
+    cache.store({{key, r}});
+  }
+  ResultCache reloaded(dir, "w");
+  EXPECT_EQ(reloaded.loaded_entries(), 1u);
+  const PointResult* hit = reloaded.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, r);
+  EXPECT_EQ(reloaded.lookup(PointKey{"epoch=qsm1;workload=w;n=6"}), nullptr);
+}
+
+TEST(ResultCache, DuplicateStoresAppendNothing) {
+  const std::string dir = test_dir("dedup");
+  const PointKey key{"epoch=qsm1;workload=w;n=5"};
+  const PointResult r = sample_result();
+  ResultCache cache(dir, "w");
+  cache.store({{key, r}});
+  cache.store({{key, r}});              // same instance: in-memory dedup
+  cache.store({{key, r}, {key, r}});    // duplicate within one batch
+  EXPECT_EQ(file_lines(cache.path()), 1u);
+  ResultCache twin(dir, "w");
+  twin.store({{key, r}});               // fresh instance: dedup via load()
+  EXPECT_EQ(file_lines(cache.path()), 1u);
+}
+
+TEST(ResultCache, CorruptLinesAreSkippedNotFatal) {
+  const std::string dir = test_dir("corrupt");
+  const PointKey key{"epoch=qsm1;workload=w;n=5"};
+  const PointResult r = sample_result();
+  {
+    ResultCache cache(dir, "w");
+    cache.store({{key, r}});
+  }
+  const std::string path = dir + "/w.jsonl";
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "not json at all\n";
+    out << "{\"h\":\"00\"}\n";                       // missing k/r
+    out << "{\"h\":\"00\",\"k\":\"x\",\"r\":{\"t\":[1]}}\n";  // bad timing
+    out << "{\"h\":\"00\",\"k\":\"y\",\"r\":{\"m\":{\"z\":\"s\"}}}\n";
+    out << "{\"h\":\"00\",\"k\":\"trunc";            // torn final line
+  }
+  ResultCache cache(dir, "w");
+  EXPECT_EQ(cache.loaded_entries(), 1u);
+  const PointResult* hit = cache.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, r);
+  EXPECT_EQ(cache.lookup(PointKey{"x"}), nullptr);
+  EXPECT_EQ(cache.lookup(PointKey{"y"}), nullptr);
+}
+
+TEST(ResultCache, SeparateWorkloadsUseSeparateFiles) {
+  const std::string dir = test_dir("namespaces");
+  const PointKey key{"epoch=qsm1;workload=w;n=5"};
+  ResultCache a(dir, "fig1");
+  ResultCache b(dir, "fig2");
+  a.store({{key, sample_result()}});
+  EXPECT_NE(a.path(), b.path());
+  EXPECT_EQ(b.lookup(key), nullptr);  // namespaces do not leak
+}
+
+}  // namespace
+}  // namespace qsm::harness

@@ -1,0 +1,128 @@
+// PointKey / KeyBuilder: the content-address scheme of the result cache.
+//
+// The safety property is that every knob that can change a simulated
+// number appears in the key text, so any machine-variant sweep produces
+// distinct keys and a stale entry can never be returned for a different
+// experiment.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "harness/point.hpp"
+#include "machine/presets.hpp"
+#include "models/calibration.hpp"
+
+namespace qsm::harness {
+namespace {
+
+TEST(Fnv1a, PinnedValues) {
+  // Cache files persist across runs; the hash must never drift.
+  EXPECT_EQ(fnv1a(""), 1469598103934665603ull);
+  EXPECT_EQ(fnv1a("a"), 4953267810257967366ull);
+  EXPECT_EQ(fnv1a("epoch=qsm1;workload=w;n=5"), 943591199789098212ull);
+}
+
+TEST(KeyBuilder, CanonicalTextFormat) {
+  KeyBuilder key("w");
+  key.add("n", 5);
+  EXPECT_EQ(key.build().text, "epoch=qsm1;workload=w;n=5");
+  EXPECT_EQ(key.build().hash(), fnv1a("epoch=qsm1;workload=w;n=5"));
+}
+
+TEST(KeyBuilder, IntegerOverloadsAgree) {
+  const auto text = [](auto v) {
+    KeyBuilder key("w");
+    key.add("x", v);
+    return key.build().text;
+  };
+  EXPECT_EQ(text(int{7}), text(std::int64_t{7}));
+  EXPECT_EQ(text(7LL), text(std::int64_t{7}));
+  EXPECT_EQ(text(std::uint64_t{7}), text(std::int64_t{7}));
+}
+
+TEST(KeyBuilder, DoublesUseFullPrecision) {
+  KeyBuilder key("w");
+  key.add("g", 0.1);
+  // %.17g: enough digits that parsing the key text back is bit-exact, so
+  // two gap multipliers that differ in the last ulp get distinct keys.
+  EXPECT_NE(key.build().text.find("g=0.10000000000000001"), std::string::npos);
+}
+
+TEST(KeyBuilder, MachineVariantsProduceDistinctKeys) {
+  const auto base = machine::default_sim(8);
+  const auto key_for = [](const machine::MachineConfig& m) {
+    KeyBuilder key("w");
+    key.add("machine", m);
+    return key.build();
+  };
+  const PointKey k0 = key_for(base);
+  EXPECT_EQ(k0, key_for(base));  // deterministic
+
+  auto lat = base;
+  lat.net.latency *= 2;
+  auto gap = base;
+  gap.net.gap_cpb *= 1.5;
+  auto procs = base;
+  procs.p = 16;
+  auto links = base;
+  links.net.fabric_links = links.net.fabric_links == 1 ? 2 : 1;
+  auto cache = base;
+  cache.cpu.l1_bytes *= 2;
+  const PointKey variants[] = {key_for(lat), key_for(gap), key_for(procs),
+                               key_for(links), key_for(cache)};
+  for (const auto& v : variants) {
+    EXPECT_NE(v, k0);
+  }
+  // Renaming alone must not collide either direction: the name is part of
+  // the text, but the cost knobs are what distinguish real variants.
+  auto renamed = base;
+  renamed.name = "other";
+  EXPECT_NE(key_for(renamed), k0);
+}
+
+TEST(KeyBuilder, CalibrationFieldsAreAllKeyed) {
+  models::Calibration cal;
+  cal.p = 8;
+  cal.put_cpw = 2.5;
+  cal.get_cpw = 4.5;
+  cal.phase_overhead = 1000;
+  cal.barrier = 300;
+  cal.word_bytes = 8;
+  const auto key_for = [](const models::Calibration& c) {
+    KeyBuilder key("w");
+    key.add("cal", c);
+    return key.build();
+  };
+  const PointKey k0 = key_for(cal);
+  auto put = cal;
+  put.put_cpw += 0.25;
+  auto bar = cal;
+  bar.barrier += 1;
+  EXPECT_NE(key_for(put), k0);
+  EXPECT_NE(key_for(bar), k0);
+}
+
+TEST(PointResult, MetricLookup) {
+  PointResult r;
+  r.metrics["z"] = 2.5;
+  EXPECT_DOUBLE_EQ(r.metric("z"), 2.5);
+  EXPECT_THROW((void)r.metric("missing"), std::out_of_range);
+}
+
+TEST(PointResult, EqualityCoversTimingAndMetrics) {
+  PointResult a;
+  a.timing.total_cycles = 100;
+  a.metrics["z"] = 1.0;
+  PointResult b = a;
+  EXPECT_EQ(a, b);
+  b.metrics["z"] = 2.0;
+  EXPECT_NE(a, b);
+  b = a;
+  b.timing.total_cycles = 101;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace qsm::harness

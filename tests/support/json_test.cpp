@@ -1,0 +1,148 @@
+// JSON writer/parser used by the result cache and the scheduler bench.
+//
+// The load-bearing property is bit-exact double round-tripping (%.17g):
+// the cache's warm runs regenerate byte-identical tables only because a
+// serialized result parses back to the same binary64 values.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "support/json.hpp"
+
+namespace qsm::support {
+namespace {
+
+TEST(JsonWriter, NestedDocumentText) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("fig1");
+  w.key("n").value(std::int64_t{4096});
+  w.key("ok").value(true);
+  w.key("none").null();
+  w.key("rows").begin_array();
+  w.begin_array().value(1).value(2).end_array();
+  w.begin_array().value(3).value(4).end_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"name\":\"fig1\",\"n\":4096,\"ok\":true,\"none\":null,"
+            "\"rows\":[[1,2],[3,4]]}");
+}
+
+TEST(JsonWriter, EscapesSpecialCharacters) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("s").value("a\"b\\c\nd\te\x01");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\\te\\u0001\"}");
+}
+
+TEST(JsonNumber, DoubleRoundTripIsBitExact) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          0.1,
+                          1.0 / 3.0,
+                          1e-300,
+                          1.7976931348623157e308,  // max double
+                          5e-324,                  // min subnormal
+                          123456789.123456789,
+                          -2.5e-7};
+  for (const double v : cases) {
+    const auto doc = parse_json(json_number(v));
+    ASSERT_TRUE(doc.has_value()) << json_number(v);
+    ASSERT_TRUE(doc->is(JsonValue::Kind::Number));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(doc->as_double()),
+              std::bit_cast<std::uint64_t>(v))
+        << "not bit-exact for " << json_number(v);
+  }
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+}
+
+TEST(JsonParser, LargeIntegersRoundTripExactly) {
+  // Cycle counters exceed 2^53; the parser must keep the integer view.
+  const auto big = parse_json("18446744073709551615");  // uint64 max
+  ASSERT_TRUE(big.has_value());
+  EXPECT_TRUE(big->integral);
+  EXPECT_EQ(big->as_u64(), std::numeric_limits<std::uint64_t>::max());
+
+  const auto neg = parse_json("-9223372036854775808");  // int64 min
+  ASSERT_TRUE(neg.has_value());
+  EXPECT_TRUE(neg->integral);
+  EXPECT_EQ(neg->as_i64(), std::numeric_limits<std::int64_t>::min());
+
+  const auto writer_rt = [](std::uint64_t v) {
+    JsonWriter w;
+    w.value(v);
+    return parse_json(w.str())->as_u64();
+  };
+  const std::uint64_t odd = (1ull << 60) + 3;  // not representable as double
+  EXPECT_EQ(writer_rt(odd), odd);
+}
+
+TEST(JsonParser, IntegralFlagDistinguishesDoubles) {
+  EXPECT_TRUE(parse_json("42")->integral);
+  EXPECT_FALSE(parse_json("42.0")->integral);
+  EXPECT_FALSE(parse_json("1e3")->integral);
+  EXPECT_DOUBLE_EQ(parse_json("1e3")->as_double(), 1000.0);
+}
+
+TEST(JsonParser, StringEscapes) {
+  const auto doc = parse_json("\"a\\\"b\\\\c\\n\\t\\u0041\\u00e9\"");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is(JsonValue::Kind::String));
+  EXPECT_EQ(doc->str, "a\"b\\c\n\tA\xC3\xA9");
+}
+
+TEST(JsonParser, ObjectLookupAndMissingKeys) {
+  const auto doc = parse_json("{\"a\":1,\"b\":{\"c\":true},\"d\":null}");
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_NE(doc->find("a"), nullptr);
+  EXPECT_EQ(doc->find("a")->as_i64(), 1);
+  ASSERT_NE(doc->find("b"), nullptr);
+  EXPECT_TRUE(doc->find("b")->find("c")->b);
+  EXPECT_TRUE(doc->find("d")->is(JsonValue::Kind::Null));
+  EXPECT_EQ(doc->find("missing"), nullptr);
+  EXPECT_EQ(doc->find("a")->find("nested"), nullptr);  // not an object
+}
+
+TEST(JsonParser, MalformedInputsReturnNullopt) {
+  const char* bad[] = {"",
+                       "{",
+                       "{\"a\":}",
+                       "{\"a\" 1}",
+                       "[1,]",
+                       "[1 2]",
+                       "\"unterminated",
+                       "\"bad\\q\"",
+                       "\"bad\\u12\"",
+                       "tru",
+                       "nul",
+                       "{} trailing",
+                       "12 34"};
+  for (const char* text : bad) {
+    EXPECT_FALSE(parse_json(text).has_value()) << "accepted: " << text;
+  }
+}
+
+TEST(JsonParser, WriterOutputParsesBack) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("t").begin_array().value(std::int64_t{-5}).value(0.25).end_array();
+  w.key("m").begin_object().key("z").value(3.0).end_object();
+  w.end_object();
+  const auto doc = parse_json(w.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("t")->arr[0].as_i64(), -5);
+  EXPECT_DOUBLE_EQ(doc->find("t")->arr[1].as_double(), 0.25);
+  EXPECT_DOUBLE_EQ(doc->find("m")->find("z")->as_double(), 3.0);
+}
+
+}  // namespace
+}  // namespace qsm::support

@@ -24,6 +24,9 @@ void register_common_flags(support::ArgParser& args) {
                  "recompute every grid point, ignore the result cache");
   args.flag_str("cache-dir", "outputs/.cache",
                 "content-addressed result cache location (JSONL per workload)");
+  args.flag_str("lanes", "auto",
+                "program lane engine: auto, threads, or fibers (host "
+                "throughput only; traces are identical)");
 }
 
 CommonConfig read_common_flags(const support::ArgParser& args) {
@@ -41,6 +44,11 @@ CommonConfig read_common_flags(const support::ArgParser& args) {
   QSM_REQUIRE(cfg.jobs >= 0, "--jobs must be non-negative");
   cfg.cache = !args.boolean("no-cache");
   cfg.cache_dir = args.str("cache-dir");
+  cfg.lanes = rt::lane_mode_from_string(args.str("lanes"));
+  // Installed process-wide: every Runtime the sweeps build (their Options
+  // leave `lanes` at Auto) resolves through this default. Not part of any
+  // cache key — lane mode cannot change a simulated number.
+  rt::set_default_lane_mode(cfg.lanes);
   return cfg;
 }
 

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/exec.hpp"
 #include "core/trace.hpp"
 #include "harness/point.hpp"
 #include "harness/sweep.hpp"
@@ -37,6 +38,8 @@ struct CommonConfig {
   int jobs{0};            ///< 0 = auto (host thread budget, capped at 16)
   bool cache{true};       ///< false with --no-cache
   std::string cache_dir;  ///< JSONL result cache location
+  /// Program lane engine (--lanes); also installed as the process default.
+  rt::LaneMode lanes{rt::LaneMode::Auto};
 };
 
 [[nodiscard]] CommonConfig read_common_flags(const support::ArgParser& args);

@@ -6,10 +6,12 @@
 // (BENCH_harness.json) plus a human-readable table. The grid is the same
 // shape the figure regenerators submit, so points/sec here is the unit the
 // regen pipeline's wall-clock is made of.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algos/samplesort.hpp"
@@ -110,6 +112,11 @@ int run(int argc, const char* const* argv) {
   }
   std::filesystem::remove_all(scratch);
 
+  // Scaling claims only mean something against the hardware they ran on:
+  // record the core count and mark curve points that oversubscribe it.
+  const int host_cores =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+
   support::TextTable table({"run", "jobs", "seconds", "points/sec",
                             "speedup vs cold-1"});
   table.set_precision(2, 4);
@@ -119,12 +126,21 @@ int run(int argc, const char* const* argv) {
                  points / cold.seconds, 1.0});
   table.add_row({std::string("warm"), 1LL, warm.seconds,
                  points / warm.seconds, cold.seconds / warm.seconds});
+  bool any_oversubscribed = false;
   for (const auto& cp : curve_results) {
-    table.add_row({"cold", static_cast<long long>(cp.jobs),
+    const bool over = cp.jobs > host_cores;
+    any_oversubscribed = any_oversubscribed || over;
+    table.add_row({over ? "cold*" : "cold", static_cast<long long>(cp.jobs),
                    cp.timing.seconds, points / cp.timing.seconds,
                    cold.seconds / cp.timing.seconds});
   }
   bench::emit(table, cfg);
+  if (any_oversubscribed) {
+    std::printf(
+        "* jobs exceeds the %d host core%s: those rows measure scheduling "
+        "overhead under oversubscription, not parallel speedup.\n\n",
+        host_cores, host_cores == 1 ? "" : "s");
+  }
 
   if (warm.computed != 0) {
     std::fprintf(stderr, "warm run recomputed %zu points!\n", warm.computed);
@@ -144,6 +160,8 @@ int run(int argc, const char* const* argv) {
   json.value(static_cast<std::uint64_t>(n));
   json.key("host_threads");
   json.value(static_cast<std::int64_t>(rt::host_thread_budget()));
+  json.key("host_cores");
+  json.value(static_cast<std::int64_t>(host_cores));
   json.key("cold_serial_seconds");
   json.value(cold.seconds);
   json.key("warm_seconds");
@@ -164,6 +182,8 @@ int run(int argc, const char* const* argv) {
     json.value(cp.timing.seconds);
     json.key("speedup_vs_serial");
     json.value(cold.seconds / cp.timing.seconds);
+    json.key("oversubscribed");
+    json.value(cp.jobs > host_cores);
     json.end_object();
   }
   json.end_array();

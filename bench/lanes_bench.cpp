@@ -1,0 +1,197 @@
+// Lane-engine benchmark: what the cooperative fiber lanes buy.
+//
+// The tentpole claim is host throughput at p >> host cores: with thread
+// lanes, every phase pays p futex sleep/wake pairs at the barrier; with
+// fiber lanes a phase is p user-space context switches on a handful of
+// carriers. This bench runs a barrier-dominated synthetic program (one
+// word exchanged per node per phase — all overhead, no work) at
+// p in {16, 64, 256} under both engines, reports phases/sec, and emits
+// BENCH_lanes.json next to the other machine-readable bench outputs.
+//
+// Both engines must produce the same trace — that is checked here too, and
+// the JSON says so, but the parity *test* suite is the real oracle.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "core/runtime.hpp"
+#include "support/fiber.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace qsm;
+
+struct ModeTiming {
+  double best_seconds{0};
+  std::uint64_t threads_created{0};
+  int carriers{0};
+  rt::RunResult trace;
+};
+
+/// Runs `phases` one-word ring-exchange phases at width p under `lanes`,
+/// `reps` times on one long-lived runtime (pools warm after the first
+/// run), and keeps the best wall-clock.
+ModeTiming time_mode(const machine::MachineConfig& base, int p, int phases,
+                     int reps, std::uint64_t seed, rt::LaneMode lanes) {
+  auto variant = base;
+  variant.p = p;
+  rt::Runtime runtime(variant, rt::Options{.seed = seed, .lanes = lanes});
+  auto a = runtime.alloc<std::int64_t>(static_cast<std::uint64_t>(p),
+                                       rt::Layout::Block);
+  const auto program = [&](rt::Context& ctx) {
+    const auto rank = static_cast<std::uint64_t>(ctx.rank());
+    const auto np = static_cast<std::uint64_t>(ctx.nprocs());
+    for (int ph = 0; ph < phases; ++ph) {
+      ctx.put(a, (rank + 1) % np, static_cast<std::int64_t>(rank + 1));
+      ctx.sync();
+    }
+  };
+
+  ModeTiming t;
+  t.trace = runtime.run(program);  // warm-up: creates lanes/carriers
+  t.best_seconds = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = runtime.run(program);
+    const auto t1 = std::chrono::steady_clock::now();
+    QSM_REQUIRE(r.phases == t.trace.phases, "phase count drifted across reps");
+    t.best_seconds =
+        std::min(t.best_seconds, std::chrono::duration<double>(t1 - t0).count());
+  }
+  t.threads_created = runtime.host_threads_created();
+  t.carriers = runtime.host_carriers();
+  return t;
+}
+
+int run(int argc, const char* const* argv) {
+  support::ArgParser args("bench_lanes",
+                          "thread vs fiber program lanes: phases/sec on a "
+                          "barrier-dominated workload");
+  bench::register_common_flags(args);
+  args.flag_str("procs", "16,64,256", "comma-separated processor counts");
+  args.flag_i64("phases", 100, "sync phases per run");
+  args.flag_str("out", "BENCH_lanes.json", "machine-readable output file");
+  if (!args.parse(argc, argv)) return 0;
+  const auto cfg = bench::read_common_flags(args);
+  const int phases = static_cast<int>(args.i64("phases"));
+  const auto procs = bench::parse_csv_i64(args.str("procs"));
+
+  if (!support::fibers_supported()) {
+    std::printf("no fiber substrate on this platform; nothing to compare.\n");
+    return 0;
+  }
+
+  const int host_cores =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::printf(
+      "== Lane engines (machine %s, %d phases/run, %d reps, %d host "
+      "core%s) ==\n\n",
+      cfg.machine.name.c_str(), phases, cfg.reps, host_cores,
+      host_cores == 1 ? "" : "s");
+
+  struct Row {
+    int p;
+    ModeTiming threads;
+    ModeTiming fibers;
+    bool identical;
+  };
+  std::vector<Row> rows;
+  for (const long long pll : procs) {
+    Row row;
+    row.p = static_cast<int>(pll);
+    row.threads = time_mode(cfg.machine, row.p, phases, cfg.reps, cfg.seed,
+                            rt::LaneMode::Threads);
+    row.fibers = time_mode(cfg.machine, row.p, phases, cfg.reps, cfg.seed,
+                           rt::LaneMode::Fibers);
+    row.identical = row.threads.trace == row.fibers.trace;
+    rows.push_back(row);
+  }
+
+  support::TextTable table({"p", "threads ph/s", "fibers ph/s",
+                            "fiber speedup", "OS threads (thr)",
+                            "OS threads (fib)", "carriers"});
+  table.set_precision(1, 0);
+  table.set_precision(2, 0);
+  table.set_precision(3, 2);
+  for (const Row& row : rows) {
+    table.add_row({static_cast<long long>(row.p),
+                   phases / row.threads.best_seconds,
+                   phases / row.fibers.best_seconds,
+                   row.threads.best_seconds / row.fibers.best_seconds,
+                   static_cast<long long>(row.threads.threads_created),
+                   static_cast<long long>(row.fibers.threads_created),
+                   static_cast<long long>(row.fibers.carriers)});
+  }
+  bench::emit(table, cfg);
+
+  bool all_identical = true;
+  for (const Row& row : rows) all_identical = all_identical && row.identical;
+  std::printf("traces identical across engines: %s\n",
+              all_identical ? "yes" : "NO — determinism bug");
+
+  support::JsonWriter json;
+  json.begin_object();
+  json.key("bench");
+  json.value("lanes");
+  json.key("machine");
+  json.value(cfg.machine.name);
+  json.key("phases_per_run");
+  json.value(static_cast<std::int64_t>(phases));
+  json.key("reps");
+  json.value(static_cast<std::int64_t>(cfg.reps));
+  json.key("host_cores");
+  json.value(static_cast<std::int64_t>(host_cores));
+  json.key("traces_identical");
+  json.value(all_identical);
+  json.key("grid");
+  json.begin_array();
+  for (const Row& row : rows) {
+    json.begin_object();
+    json.key("p");
+    json.value(static_cast<std::int64_t>(row.p));
+    json.key("thread_seconds");
+    json.value(row.threads.best_seconds);
+    json.key("fiber_seconds");
+    json.value(row.fibers.best_seconds);
+    json.key("thread_phases_per_sec");
+    json.value(phases / row.threads.best_seconds);
+    json.key("fiber_phases_per_sec");
+    json.value(phases / row.fibers.best_seconds);
+    json.key("fiber_speedup");
+    json.value(row.threads.best_seconds / row.fibers.best_seconds);
+    json.key("thread_os_threads");
+    json.value(static_cast<std::uint64_t>(row.threads.threads_created));
+    json.key("fiber_os_threads");
+    json.value(static_cast<std::uint64_t>(row.fibers.threads_created));
+    json.key("carriers");
+    json.value(static_cast<std::int64_t>(row.fibers.carriers));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  const std::string out_path = args.str("out");
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "%s\n", json.str().c_str());
+  std::fclose(f);
+  std::printf("(json written to %s)\n", out_path.c_str());
+  std::printf(
+      "expected shape: fiber speedup growing with p once p passes the host "
+      "core count — thread lanes pay p futex round-trips per phase, fiber "
+      "lanes p user-space switches on %d carrier(s).\n",
+      rows.empty() ? 0 : rows.back().fibers.carriers);
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -10,6 +10,7 @@
 // Calibration and predictions are per-p (the barrier cost L and the plan
 // both scale with p), exactly as a designer would redo the analysis for a
 // wider machine.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -30,7 +31,8 @@ int run(int argc, const char* const* argv) {
   bench::register_common_flags(args);
   args.flag_i64("nmin", 1 << 12, "smallest problem size scanned");
   args.flag_i64("nmax", 1 << 18, "largest problem size scanned");
-  args.flag_str("procs", "4,8,16,32", "comma-separated processor counts");
+  args.flag_str("procs", "4,8,16,32,64,128,256,512",
+                "comma-separated processor counts");
   if (!args.parse(argc, argv)) return 0;
   const auto cfg = bench::read_common_flags(args);
 
@@ -47,16 +49,40 @@ int run(int argc, const char* const* argv) {
                         static_cast<std::uint64_t>(args.i64("nmax")),
                         std::sqrt(2.0));
 
+  // Sample sort's precondition (p <= ~sqrt(n / log n), and at least p
+  // elements per node) rules the smallest sizes out at the widest machine
+  // widths, so each p scans only its feasible slice of the grid.
+  const auto feasible = [](int p, std::uint64_t n) {
+    if (p <= 1) return true;
+    const auto up = static_cast<std::uint64_t>(p);
+    const auto lg = static_cast<std::uint64_t>(
+        std::max(1.0, std::ceil(std::log2(static_cast<double>(n)))));
+    return up * up * lg <= 4 * n && n >= up * up;
+  };
+
   // One crossover sweep per machine width, all sharing the "crossover"
   // cache namespace with fig5 / fig6 / table4.
   harness::SweepRunner runner(
       bench::runner_options(cfg, bench::kCrossoverWorkload));
-  std::vector<bench::CrossoverJob> jobs;
+  struct WidthJob {
+    int p;
+    bench::CrossoverJob job;
+  };
+  std::vector<WidthJob> jobs;
   for (const int p : procs) {
+    std::vector<std::uint64_t> slice;
+    for (const std::uint64_t n : sizes) {
+      if (feasible(p, n)) slice.push_back(n);
+    }
+    if (slice.empty()) {
+      std::printf("p=%d: no feasible sizes in [%lld, %lld]; widen --nmax\n",
+                  p, args.i64("nmin"), args.i64("nmax"));
+      continue;
+    }
     auto variant = cfg.machine;
     variant.p = p;
-    jobs.push_back(bench::submit_samplesort_crossover(runner, variant, sizes,
-                                                      cfg.reps, cfg.seed));
+    jobs.push_back({p, bench::submit_samplesort_crossover(
+                           runner, variant, slice, cfg.reps, cfg.seed)});
   }
   const auto results = runner.run_all();
 
@@ -65,14 +91,14 @@ int run(int argc, const char* const* argv) {
   table.set_precision(3, 0);
   std::vector<double> ps;
   std::vector<double> ns;
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    const int p = procs[j];
+  for (const WidthJob& wj : jobs) {
+    const int p = wj.p;
     auto variant = cfg.machine;
     variant.p = p;
     // Calibration and predictions are per-p; the fold prices the cached
     // sort runs against this width's calibration.
     const auto cal = models::calibrate(variant);
-    const auto res = bench::fold_samplesort_crossover(jobs[j], cal, results);
+    const auto res = bench::fold_samplesort_crossover(wj.job, cal, results);
     table.add_row({static_cast<long long>(p),
                    static_cast<long long>(cal.phase_overhead), res.n_star,
                    res.n_star > 0 ? res.n_star / p : -1.0});

@@ -43,7 +43,9 @@ SUMMARY=""
 TOTAL_MS=0
 
 # Every ported binary goes through the scheduler: forward the job count and
-# pin the cache under the chosen outputs dir.
+# pin the cache under the chosen outputs dir. --lanes auto lets each runtime
+# pick fiber lanes whenever its simulated width exceeds the host thread
+# budget (a host-throughput knob only; simulated numbers are identical).
 run() {
   local name="$1"
   shift
@@ -51,7 +53,7 @@ run() {
   local t0 t1 dt
   t0=$(now_ms)
   "$BUILD/bench/$name" --csv "$OUT/$name.csv" \
-    --jobs "$JOBS" --cache-dir "$CACHE" "$@" | tee "$OUT/$name.txt"
+    --jobs "$JOBS" --cache-dir "$CACHE" --lanes auto "$@" | tee "$OUT/$name.txt"
   t1=$(now_ms)
   dt=$((t1 - t0))
   TOTAL_MS=$((TOTAL_MS + dt))
@@ -97,6 +99,8 @@ if [ "$QUICK" = 1 ]; then
   run bench_sweep_p --nmin 4096 --nmax 32768 --reps 1 --procs 4,8
   run bench_harness --points 4 --n 4096 --jobs-curve "1,$JOBS" \
     --out "$OUT/BENCH_harness.json" --scratch "$OUT/.bench_harness_scratch"
+  run bench_lanes --procs 8,32 --phases 20 --reps 1 \
+    --out "$OUT/BENCH_lanes.json"
 else
   run bench_table3_network
   run bench_fig1_prefix
@@ -124,6 +128,9 @@ else
   # Scheduler benchmark: cold/warm points-per-second and the --jobs curve.
   run bench_harness --out "$OUT/BENCH_harness.json" \
     --scratch "$OUT/.bench_harness_scratch"
+
+  # Lane-engine benchmark: thread vs fiber phases/sec at p >> host cores.
+  run bench_lanes --out "$OUT/BENCH_lanes.json"
 
   run_raw bench_micro_host --benchmark_min_time=0.05
 fi

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "support/contract.hpp"
+#include "support/fiber.hpp"
 
 namespace qsm::rt {
 
@@ -12,6 +14,8 @@ namespace {
 
 /// 0 = no explicit budget installed; fall back to hardware concurrency.
 std::atomic<int> g_thread_budget{0};
+
+std::atomic<LaneMode> g_default_lane_mode{LaneMode::Auto};
 
 int hardware_threads() {
   const auto hw = static_cast<int>(std::thread::hardware_concurrency());
@@ -26,6 +30,30 @@ int default_phase_workers(int nprocs) {
   return std::clamp(std::min(nprocs, host_thread_budget()), 1, 8);
 }
 
+LaneMode resolve_lane_mode(LaneMode requested, int nprocs) {
+  if (requested == LaneMode::Auto) requested = default_lane_mode();
+  if (requested == LaneMode::Auto) {
+    // The policy: p thread lanes beyond the host budget buy nothing but
+    // kernel context switches at every phase barrier.
+    requested = nprocs > host_thread_budget() ? LaneMode::Fibers
+                                              : LaneMode::Threads;
+  }
+  if (requested == LaneMode::Fibers && !support::fibers_supported()) {
+    requested = LaneMode::Threads;  // guarded platform fallback
+  }
+  return requested;
+}
+
+/// Per-lane parking slot. Lives in the carrier's lane table; exposed to
+/// the lane itself (lane_wait runs on the fiber, which shares the carrier's
+/// OS thread) through tl_park.
+struct LanePark {
+  bool parked{false};
+  std::uint64_t park_gen{0};
+};
+
+thread_local LanePark* tl_park = nullptr;
+
 }  // namespace
 
 int host_thread_budget() {
@@ -38,14 +66,87 @@ void set_host_thread_budget(int threads) {
                         std::memory_order_relaxed);
 }
 
-Executor::Executor(int nprocs, int phase_workers)
-    : nprocs_(nprocs),
-      phase_workers_(phase_workers > 0 ? phase_workers
-                                       : default_phase_workers(nprocs)) {
-  QSM_REQUIRE(nprocs_ >= 1, "executor needs at least one program lane");
+LaneMode default_lane_mode() {
+  return g_default_lane_mode.load(std::memory_order_relaxed);
 }
 
+void set_default_lane_mode(LaneMode mode) {
+  g_default_lane_mode.store(mode, std::memory_order_relaxed);
+}
+
+LaneMode lane_mode_from_string(const std::string& name) {
+  if (name == "auto") return LaneMode::Auto;
+  if (name == "threads") return LaneMode::Threads;
+  if (name == "fibers") return LaneMode::Fibers;
+  throw support::ContractViolation(
+      "unknown lane mode '" + name + "' (expected auto, threads, or fibers)",
+      std::source_location::current());
+}
+
+const char* lane_mode_name(LaneMode mode) {
+  switch (mode) {
+    case LaneMode::Auto: return "auto";
+    case LaneMode::Threads: return "threads";
+    case LaneMode::Fibers: return "fibers";
+  }
+  return "?";
+}
+
+/// Fiber parking/wakeup state shared by one executor's carriers and lanes.
+///
+/// The protocol is the user-space mirror of a condition variable: a lane
+/// that must wait snapshots the notify generation *while still holding the
+/// caller's mutex* (so no pred-changing transition can slip between the
+/// check and the snapshot), parks, and its carrier skips it until the
+/// generation moves past the snapshot. lane_notify_all() bumps the
+/// generation and wakes any carrier that ran out of runnable lanes and fell
+/// asleep in the kernel — the only kernel involvement in steady state is
+/// that cross-carrier edge; a single carrier switches phases entirely in
+/// user space.
+struct Executor::LaneSched {
+  std::mutex m;
+  std::condition_variable cv;
+  std::atomic<std::uint64_t> gen{0};
+
+  void notify_all() {
+    {
+      // The lock pairs with sleeping carriers' cv predicate re-check so a
+      // bump between their scan and their wait is never lost.
+      std::lock_guard lk(m);
+      gen.fetch_add(1, std::memory_order_release);
+    }
+    cv.notify_all();
+  }
+
+  void wait_past(std::uint64_t stale) {
+    std::unique_lock lk(m);
+    cv.wait(lk, [&] {
+      return gen.load(std::memory_order_acquire) != stale;
+    });
+  }
+};
+
+Executor::Executor(int nprocs, int phase_workers, LaneMode lanes)
+    : nprocs_(nprocs),
+      phase_workers_(phase_workers > 0 ? phase_workers
+                                       : default_phase_workers(nprocs)),
+      lane_mode_(resolve_lane_mode(lanes, nprocs)) {
+  QSM_REQUIRE(nprocs_ >= 1, "executor needs at least one program lane");
+  if (lane_mode_ == LaneMode::Fibers) {
+    // Carriers are compute resources like phase workers: sized from the
+    // host budget, never from p.
+    carriers_ = std::clamp(std::min(nprocs_, host_thread_budget()), 1, 16);
+    sched_ = std::make_unique<LaneSched>();
+  }
+}
+
+Executor::~Executor() = default;
+
 void Executor::run_program(const std::function<void(int)>& fn) {
+  if (lane_mode_ == LaneMode::Fibers) {
+    run_fiber_program(fn);
+    return;
+  }
   if (!lanes_) {
     lanes_ = std::make_unique<support::WorkerPool>(nprocs_);
   }
@@ -53,6 +154,85 @@ void Executor::run_program(const std::function<void(int)>& fn) {
                        [&fn](std::size_t rank) {
                          fn(static_cast<int>(rank));
                        });
+}
+
+void Executor::run_fiber_program(const std::function<void(int)>& fn) {
+  if (!carrier_pool_) {
+    carrier_pool_ = std::make_unique<support::WorkerPool>(carriers_);
+  }
+  carrier_pool_->parallel_for(static_cast<std::size_t>(carriers_),
+                              [this, &fn](std::size_t c) {
+                                run_carrier(static_cast<int>(c), fn);
+                              });
+}
+
+void Executor::run_carrier(int carrier, const std::function<void(int)>& fn) {
+  // This carrier owns ranks {carrier, carrier + C, ...}: the same static
+  // striding as thread lanes, so lane-to-host placement is deterministic.
+  struct Lane {
+    std::unique_ptr<support::Fiber> fiber;
+    LanePark park;
+  };
+  std::vector<Lane> lanes;
+  lanes.reserve(static_cast<std::size_t>(
+      (nprocs_ - carrier + carriers_ - 1) / carriers_));
+  for (int rank = carrier; rank < nprocs_; rank += carriers_) {
+    lanes.emplace_back();
+    lanes.back().fiber = std::make_unique<support::Fiber>(
+        [&fn, rank] { fn(rank); });
+  }
+
+  std::size_t live = lanes.size();
+  while (live > 0) {
+    // Snapshot before scanning: a notify that lands mid-scan makes the
+    // fall-asleep check below return immediately instead of being lost.
+    const std::uint64_t stale = sched_->gen.load(std::memory_order_acquire);
+    bool progressed = false;
+    for (Lane& lane : lanes) {
+      if (lane.fiber->finished()) continue;
+      if (lane.park.parked &&
+          sched_->gen.load(std::memory_order_acquire) == lane.park.park_gen) {
+        continue;  // still waiting on the same generation
+      }
+      lane.park.parked = false;
+      tl_park = &lane.park;
+      lane.fiber->resume();
+      tl_park = nullptr;
+      progressed = true;
+      if (lane.fiber->finished()) --live;
+    }
+    if (live > 0 && !progressed) {
+      // Every live lane is parked on the current generation: this carrier
+      // has nothing to run until another carrier's lane notifies.
+      sched_->wait_past(stale);
+    }
+  }
+}
+
+void Executor::lane_wait(std::unique_lock<std::mutex>& lk,
+                         const std::function<bool()>& pred) {
+  if (lane_mode_ == LaneMode::Fibers && support::Fiber::in_fiber()) {
+    while (!pred()) {
+      // Order matters: snapshot the generation while the caller's mutex is
+      // still held. Any transition that makes pred() true also bumps the
+      // generation under that same mutex, so it must come after this read
+      // and the carrier will see gen != park_gen.
+      LanePark* park = tl_park;
+      QSM_REQUIRE(park != nullptr, "fiber lane has no parking slot");
+      park->parked = true;
+      park->park_gen = sched_->gen.load(std::memory_order_acquire);
+      lk.unlock();
+      support::Fiber::yield();
+      lk.lock();
+    }
+    return;
+  }
+  lane_cv_.wait(lk, [&] { return pred(); });
+}
+
+void Executor::lane_notify_all() {
+  if (sched_) sched_->notify_all();
+  lane_cv_.notify_all();
 }
 
 void Executor::parallel(std::size_t tasks, bool spread,
@@ -69,6 +249,7 @@ void Executor::parallel(std::size_t tasks, bool spread,
 
 std::uint64_t Executor::host_threads_created() const {
   return (lanes_ ? lanes_->threads_created() : 0) +
+         (carrier_pool_ ? carrier_pool_->threads_created() : 0) +
          (phase_pool_ ? phase_pool_->threads_created() : 0);
 }
 

@@ -1,25 +1,36 @@
 // Host-side execution layer of the runtime.
 //
 // The Executor owns every OS thread the runtime uses and reuses them across
-// run() calls:
-//   - p persistent "program lanes", one per simulated processor. The old
-//     runtime spawned p fresh OS threads inside every run(), so
-//     repeated-run harnesses (sweep_p, table4_nmin, long-lived services)
-//     paid thread-creation cost per data point.
-//   - an optional pool of phase workers that the PhasePipeline uses to
-//     parallelize classification and data movement inside the barrier.
-//     Phase workers are sized independently of p (simulated processors are
-//     a model parameter; host workers are a hardware resource) and are only
-//     spawned when the host actually has spare cores or the caller forces a
-//     count.
+// run() calls. Simulated processors execute on "program lanes", and the
+// lane engine has two interchangeable implementations:
 //
-// Everything here is host machinery: no simulated cycles are charged and no
-// choice of worker count may change a single simulated number.
+//   - Thread lanes: p persistent OS threads, one per simulated processor.
+//     Every rank may block in the kernel at the phase barrier; simple, but
+//     a p=256 run pays 256 futex sleeps/wakes per phase.
+//   - Fiber lanes: p stackful fibers (support/fiber) multiplexed onto a
+//     small set of carrier threads. A lane blocked at the phase barrier
+//     parks with a user-space context switch; the kernel is only involved
+//     when a whole carrier runs out of runnable lanes. This is what makes
+//     p >> host cores simulations run at full speed, and it bounds
+//     host_threads_created() by the carrier count instead of p.
+//
+// The lane mode is a host-throughput knob like the phase-worker count: the
+// determinism guarantee (DESIGN.md §4) means no mode choice may change a
+// single simulated number — the GoldenDeterminism and lane-parity suites
+// pin exactly that.
+//
+// The executor also owns an optional pool of phase workers that the
+// PhasePipeline uses to parallelize classification and data movement inside
+// the barrier. Phase workers are sized independently of p (simulated
+// processors are a model parameter; host workers are a hardware resource).
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 
 #include "support/worker_pool.hpp"
 
@@ -34,10 +45,10 @@ namespace qsm::rt {
 /// scheduler divides the budget among its jobs and lowers the process
 /// budget to the per-job share while its workers run; every Executor built
 /// with `phase_workers <= 0` sizes its pool from the budget *at
-/// construction time* (min(nprocs, budget, 8)). Program lanes are exempt —
-/// a p-processor program semantically needs p blockable threads no matter
-/// the budget. No budget value may change a simulated number; this is
-/// purely a host-throughput knob.
+/// construction time* (min(nprocs, budget, 8)). Fiber carriers follow the
+/// same rule, and LaneMode::Auto consults the budget to decide when p
+/// thread lanes would oversubscribe the host. No budget value may change a
+/// simulated number; this is purely a host-throughput knob.
 ///
 /// Returns the hardware concurrency (>= 1) until set_host_thread_budget()
 /// installs an explicit value.
@@ -47,20 +58,54 @@ namespace qsm::rt {
 /// default.
 void set_host_thread_budget(int threads);
 
+/// How program lanes map onto OS threads.
+enum class LaneMode {
+  Auto,     ///< fibers when p exceeds the host thread budget, else threads
+  Threads,  ///< one OS thread per simulated processor
+  Fibers,   ///< cooperative fibers on carrier threads (thread fallback when
+            ///< the platform has no fiber substrate)
+};
+
+/// Process-wide default that LaneMode::Auto resolves through before the
+/// p-vs-budget policy — the hook for the benches' `--lanes=` flag. Auto
+/// (the initial value) defers to the policy; Threads/Fibers force a mode
+/// for every Executor whose own option is Auto.
+[[nodiscard]] LaneMode default_lane_mode();
+void set_default_lane_mode(LaneMode mode);
+
+/// "auto" / "threads" / "fibers" (flag spelling); throws on anything else.
+[[nodiscard]] LaneMode lane_mode_from_string(const std::string& name);
+[[nodiscard]] const char* lane_mode_name(LaneMode mode);
+
 class Executor {
  public:
   /// `nprocs` program lanes; `phase_workers` <= 0 picks a host-sized
   /// default (min(nprocs, hardware cores, 8)), 1 disables phase
-  /// parallelism.
-  Executor(int nprocs, int phase_workers);
+  /// parallelism. `lanes` is resolved here, once: Auto consults
+  /// default_lane_mode(), then picks fibers iff they are supported and
+  /// nprocs exceeds the host thread budget.
+  Executor(int nprocs, int phase_workers, LaneMode lanes = LaneMode::Auto);
+  ~Executor();
 
   Executor(const Executor&) = delete;
   Executor& operator=(const Executor&) = delete;
 
   /// Runs fn(rank) for every rank on the persistent program lanes; blocks
-  /// until all lanes finish. Lanes may block on each other (the phase
-  /// barrier): every rank is guaranteed its own OS thread.
+  /// until all lanes finish. Lanes may block on each other through
+  /// lane_wait() (the phase barrier): thread lanes give every rank its own
+  /// OS thread, fiber lanes park cooperatively on their carrier.
   void run_program(const std::function<void(int)>& fn);
+
+  /// Blocks the calling program lane until pred() holds; must be called
+  /// with `lk` locked, and pred changes must be announced with
+  /// lane_notify_all() (condition-variable discipline). On thread lanes
+  /// this is a cv wait; on fiber lanes the lane parks in user space and
+  /// its carrier runs sibling lanes instead.
+  void lane_wait(std::unique_lock<std::mutex>& lk,
+                 const std::function<bool()>& pred);
+
+  /// Wakes every lane parked in lane_wait() to re-evaluate its predicate.
+  void lane_notify_all();
 
   /// Runs fn(t) for t in [0, tasks). Executes inline on the calling thread
   /// unless `spread` is true and phase workers exist; either way the work
@@ -72,18 +117,35 @@ class Executor {
   [[nodiscard]] int phase_workers() const { return phase_workers_; }
   [[nodiscard]] bool parallel_enabled() const { return phase_workers_ > 1; }
 
+  /// Resolved lane engine: Threads or Fibers, never Auto.
+  [[nodiscard]] LaneMode lane_mode() const { return lane_mode_; }
+  /// Carrier threads multiplexing the fiber lanes (0 in thread mode).
+  [[nodiscard]] int carriers() const { return carriers_; }
+
   /// Total OS threads this executor has ever created. Stable across
-  /// repeated run_program() calls once both pools exist — the executor
-  /// reuse tests assert exactly that.
+  /// repeated run_program() calls once the pools exist — the executor
+  /// reuse tests assert exactly that. In fiber mode the program-lane
+  /// contribution is the carrier count, not p.
   [[nodiscard]] std::uint64_t host_threads_created() const;
 
  private:
+  struct LaneSched;  // fiber parking/wakeup state, defined in exec.cpp
+
+  void run_fiber_program(const std::function<void(int)>& fn);
+  void run_carrier(int carrier, const std::function<void(int)>& fn);
+
   int nprocs_;
   int phase_workers_;
+  LaneMode lane_mode_;
+  int carriers_{0};
   /// Lazily built so host-only Runtime use (alloc/host_fill/host_read)
   /// never spawns a thread.
   std::unique_ptr<support::WorkerPool> lanes_;
+  std::unique_ptr<support::WorkerPool> carrier_pool_;
   std::unique_ptr<support::WorkerPool> phase_pool_;
+  /// Thread-lane wait/notify; fiber lanes use sched_ instead.
+  std::condition_variable lane_cv_;
+  std::unique_ptr<LaneSched> sched_;
 };
 
 }  // namespace qsm::rt

@@ -49,6 +49,7 @@ PhasePipeline::PhasePipeline(SharedStore& store, const msg::Comm& comm,
   hashed_put_owners_.resize(up);
   bytes1_.resize(up * up);
   bytes2_.resize(up * up);
+  recv_w_.resize(up);
   t_ready_.resize(up);
   t_done_.resize(up);
 }
@@ -284,15 +285,30 @@ void PhasePipeline::price(std::vector<NodeState>& nodes, PhaseStats& ps) {
   const auto up = static_cast<std::size_t>(p);
   const auto& sw = comm_.config().sw;
 
+  // One fused pass over the p x p word matrices: per-row stats, the round-1
+  // wire-byte matrix, and the per-owner received-word column sums. The
+  // matrices dominate pricing's cache traffic at large p, so they are read
+  // exactly once. Pure reassociation of exact integer sums — every derived
+  // number is identical to the separate-pass computation.
   std::uint64_t total_get_words = 0;
   std::uint64_t total_remote = 0;
+  bool any1 = false;
+  std::fill(recv_w_.begin(), recv_w_.end(), 0);
   for (std::size_t i = 0; i < up; ++i) {
     std::uint64_t put_i = 0;
     std::uint64_t get_i = 0;
     for (std::size_t j = 0; j < up; ++j) {
-      put_i += put_w_[i * up + j];
-      get_i += get_w_[i * up + j];
-      total_get_words += get_w_[i * up + j];
+      const std::uint64_t pw = put_w_[i * up + j];
+      const std::uint64_t gw = get_w_[i * up + j];
+      put_i += pw;
+      get_i += gw;
+      total_get_words += gw;
+      recv_w_[j] += pw + gw;
+      const std::int64_t b1 =
+          static_cast<std::int64_t>(pw) * sw.put_record_bytes +
+          static_cast<std::int64_t>(gw) * sw.get_request_bytes;
+      bytes1_[i * up + j] = b1;
+      any1 = any1 || b1 > 0;
     }
     total_remote += put_i + get_i;
     ps.m_rw_max = std::max(ps.m_rw_max, put_i + get_i);
@@ -326,18 +342,8 @@ void PhasePipeline::price(std::vector<NodeState>& nodes, PhaseStats& ps) {
     std::vector<cycles_t> t_plan(up);
     for (std::size_t i = 0; i < up; ++i) t_plan[i] = plan.nodes[i].finish;
 
-    // Round 1: put data and get requests.
-    bool any1 = false;
-    for (std::size_t i = 0; i < up; ++i) {
-      for (std::size_t j = 0; j < up; ++j) {
-        bytes1_[i * up + j] =
-            static_cast<std::int64_t>(put_w_[i * up + j]) *
-                sw.put_record_bytes +
-            static_cast<std::int64_t>(get_w_[i * up + j]) *
-                sw.get_request_bytes;
-        any1 = any1 || bytes1_[i * up + j] > 0;
-      }
-    }
+    // Round 1: put data and get requests (bytes1_ was filled by the fused
+    // pass above).
     std::vector<cycles_t> t1 = t_plan;
     if (any1) {
       const auto r1 = comm_.alltoallv_flat(t_plan, bytes1_);
@@ -346,14 +352,11 @@ void PhasePipeline::price(std::vector<NodeState>& nodes, PhaseStats& ps) {
       for (std::size_t i = 0; i < up; ++i) t1[i] = r1.nodes[i].finish;
     }
 
-    // Owners apply received puts and service received get requests.
+    // Owners apply received puts and service received get requests
+    // (recv_w_ holds the column sums from the fused pass).
     std::vector<cycles_t> t2 = t1;
     for (std::size_t j = 0; j < up; ++j) {
-      std::uint64_t recv = 0;
-      for (std::size_t i = 0; i < up; ++i) {
-        recv += put_w_[i * up + j] + get_w_[i * up + j];
-      }
-      t2[j] += static_cast<cycles_t>(recv) * sw.per_apply_cpu;
+      t2[j] += static_cast<cycles_t>(recv_w_[j]) * sw.per_apply_cpu;
     }
 
     // Round 2: get replies travel back.

@@ -108,6 +108,7 @@ class PhasePipeline {
   std::vector<std::vector<int>> hashed_put_owners_;
   std::vector<std::int64_t> bytes1_;  ///< p x p wire bytes, round 1
   std::vector<std::int64_t> bytes2_;  ///< p x p wire bytes, round 2
+  std::vector<std::uint64_t> recv_w_;  ///< per-owner received words
   std::vector<cycles_t> t_ready_;
   std::vector<cycles_t> t_done_;
 };

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <condition_variable>
 #include <mutex>
 #include <utility>
 
@@ -15,12 +14,21 @@ static_assert(std::endian::native == std::endian::little,
 
 /// Cyclic barrier whose last arriver runs the phase-processing completion
 /// function. Exceptions thrown by the completion (e.g. bulk-synchrony rule
-/// violations) are captured and rethrown on *every* participating thread so
+/// violations) are captured and rethrown on *every* participating lane so
 /// program lanes unwind instead of deadlocking; a lane that dies outside
 /// the barrier calls abort_with() to wake the others.
+///
+/// Waiting goes through Executor::lane_wait/lane_notify_all rather than a
+/// condition variable of its own: on thread lanes that is exactly a cv
+/// wait, on fiber lanes the blocked lane parks in user space and its
+/// carrier keeps running sibling lanes. Every pred-changing transition
+/// below notifies under `m`, which is what the fiber parking protocol
+/// needs to never lose a wakeup.
 struct Runtime::Barrier {
+  explicit Barrier(Executor& e) : exec(e) {}
+
+  Executor& exec;
   std::mutex m;
-  std::condition_variable cv;
   int initial{0};       ///< participants at reset()
   int participants{0};  ///< still-running program lanes
   int waiting{0};
@@ -52,7 +60,7 @@ struct Runtime::Barrier {
       // Some lane already finished its program but this one wants
       // another phase: the program is not bulk-synchronous.
       error = mismatch_error();
-      cv.notify_all();
+      exec.lane_notify_all();
       std::rethrow_exception(error);
     }
     const std::uint64_t gen = generation;
@@ -65,10 +73,11 @@ struct Runtime::Barrier {
       }
       waiting = 0;
       ++generation;
-      cv.notify_all();
+      exec.lane_notify_all();
       if (error) std::rethrow_exception(error);
     } else {
-      cv.wait(lk, [&] { return generation != gen || error != nullptr; });
+      exec.lane_wait(lk,
+                     [&] { return generation != gen || error != nullptr; });
       if (error) std::rethrow_exception(error);
     }
   }
@@ -80,7 +89,7 @@ struct Runtime::Barrier {
     if (waiting > 0 && !error) {
       // Other lanes are blocked at a sync this lane never reached.
       error = mismatch_error();
-      cv.notify_all();
+      exec.lane_notify_all();
     }
   }
 
@@ -89,7 +98,7 @@ struct Runtime::Barrier {
     std::lock_guard lk(m);
     if (!error) error = std::move(e);
     --participants;
-    cv.notify_all();
+    exec.lane_notify_all();
   }
 
   std::exception_ptr take_error() {
@@ -139,10 +148,10 @@ Runtime::Runtime(machine::MachineConfig cfg, Options opts)
     : comm_(std::move(cfg)),
       opts_(opts),
       store_(opts.seed, comm_.nprocs()),
-      exec_(comm_.nprocs(), opts.host_workers),
+      exec_(comm_.nprocs(), opts.host_workers, opts.lanes),
       pipeline_(store_, comm_, exec_, opts.check_rules, opts.track_kappa),
       nodes_(static_cast<std::size_t>(comm_.nprocs())),
-      barrier_(std::make_unique<Barrier>()) {
+      barrier_(std::make_unique<Barrier>(exec_)) {
   reset_clocks();
 }
 

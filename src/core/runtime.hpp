@@ -78,6 +78,12 @@ struct Options {
   /// the host's core count, 1 forces serial phase processing. Purely a
   /// host-throughput knob — simulated timing is identical for any value.
   int host_workers{0};
+  /// Program-lane engine: threads (one OS thread per simulated processor),
+  /// fibers (cooperative lanes on carrier threads), or Auto, which defers
+  /// to rt::default_lane_mode() and then picks fibers whenever p exceeds
+  /// the host thread budget. Like host_workers, a pure host-throughput
+  /// knob: every mode produces bit-identical traces.
+  LaneMode lanes{LaneMode::Auto};
 };
 
 class Runtime;
@@ -198,6 +204,10 @@ class Runtime {
   [[nodiscard]] int host_phase_workers() const {
     return exec_.phase_workers();
   }
+  /// Resolved program-lane engine (never LaneMode::Auto).
+  [[nodiscard]] LaneMode lane_mode() const { return exec_.lane_mode(); }
+  /// Carrier threads multiplexing fiber lanes (0 in thread mode).
+  [[nodiscard]] int host_carriers() const { return exec_.carriers(); }
 
  private:
   friend class Context;
@@ -259,9 +269,27 @@ void Context::get_range(GlobalArray<T> a, std::uint64_t start,
   auto& s = rt_->store_.slot(a.id, a.gen);
   QSM_REQUIRE(start < s.n && count <= s.n - start, "get_range out of bounds");
   auto& node = rt_->nodes_[static_cast<std::size_t>(rank_)];
-  node.gets.push_back(GetReq{a.id, static_cast<std::uint32_t>(sizeof(T)),
-                             start, count,
-                             reinterpret_cast<std::byte*>(dest)});
+  // Run merging: programs that walk an array element by element (get(i),
+  // get(i+1), ...) would otherwise build one request entry per word. When
+  // the new request extends the tail entry — same array, contiguous
+  // locations, contiguous destination — grow it in place instead. Every
+  // simulated quantity (m_rw, kappa, messages, the trace hash) is derived
+  // from word counts and location spans, never from entry counts, so this
+  // is purely a host-memory/-time optimization.
+  auto* dst = reinterpret_cast<std::byte*>(dest);
+  if (!node.gets.empty()) {
+    GetReq& tail = node.gets.back();
+    if (tail.array == a.id && tail.elem_size == sizeof(T) &&
+        tail.start + tail.count == start &&
+        tail.dest + tail.count * sizeof(T) == dst) {
+      tail.count += count;
+      dst = nullptr;  // merged
+    }
+  }
+  if (dst != nullptr) {
+    node.gets.push_back(GetReq{a.id, static_cast<std::uint32_t>(sizeof(T)),
+                               start, count, dst});
+  }
   node.enq_words += count;
   // Enqueueing is local CPU work done during the phase ("get() and put()
   // calls merely enqueue requests on the local node").
@@ -288,7 +316,24 @@ void Context::put_range(GlobalArray<T> a, std::uint64_t start,
       node.put_buf.push_back(Runtime::to_word(src[k]));
     }
   }
-  node.puts.push_back(PutReq{a.id, start, count, off});
+  // Run merging, mirroring get_range: the tail entry grows when the new
+  // request extends it. The packed words always land at the end of
+  // put_buf, so buffer contiguity (tail.buf_offset + tail.count == off)
+  // holds exactly when the tail was the previous enqueue. Merging never
+  // spans distinct locations' write order, so last-writer-wins replay is
+  // untouched.
+  bool merged = false;
+  if (!node.puts.empty()) {
+    PutReq& tail = node.puts.back();
+    if (tail.array == a.id && tail.start + tail.count == start &&
+        tail.buf_offset + tail.count == off) {
+      tail.count += count;
+      merged = true;
+    }
+  }
+  if (!merged) {
+    node.puts.push_back(PutReq{a.id, start, count, off});
+  }
   node.enq_words += count;
   charge_cycles(static_cast<cycles_t>(count) *
                 rt_->machine().sw.per_request_cpu);

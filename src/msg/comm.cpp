@@ -1,8 +1,33 @@
 #include "msg/comm.hpp"
 
+#include <algorithm>
+#include <utility>
+
 #include "support/contract.hpp"
 
 namespace qsm::msg {
+
+namespace {
+
+/// Replays a canonical-time (min start == 0) exchange result at absolute
+/// time `base`. Only the completion times move; busy cycles, message and
+/// byte totals are durations and stay put.
+net::ExchangeResult shift_result(net::ExchangeResult r, cycles_t base) {
+  r.finish += base;
+  for (auto& node : r.nodes) node.finish += base;
+  return r;
+}
+
+/// Memo entries are ~p words of key plus ~4p words of result; at the cap
+/// the cache tops out around a few MB even at p = 512. A full clear (not
+/// LRU) keeps hits O(1) and is invisible to results — only to speed.
+constexpr std::size_t kPlanCacheCap = 512;
+
+/// Total words (keys + results) the alltoallv memo may hold before a full
+/// clear — ~32 MB. Entries are sized per pattern, so the bound is on words.
+constexpr std::size_t kXferCacheWordCap = std::size_t{4} << 20;
+
+}  // namespace
 
 net::ExchangeResult Comm::allgather(const std::vector<cycles_t>& start,
                                     std::int64_t bytes_per_node,
@@ -11,16 +36,39 @@ net::ExchangeResult Comm::allgather(const std::vector<cycles_t>& start,
   const int p = cfg_.p;
   QSM_REQUIRE(start.size() == static_cast<std::size_t>(p),
               "start times must cover every node");
+  cycles_t base = start[0];
+  for (const cycles_t s : start) {
+    QSM_REQUIRE(s >= 0, "start times must be non-negative");
+    base = std::min(base, s);
+  }
+
+  PlanKey key;
+  key.rel_start.reserve(start.size());
+  for (const cycles_t s : start) key.rel_start.push_back(s - base);
+  key.bytes = bytes_per_node;
+  key.control = control;
+
+  {
+    std::lock_guard<std::mutex> lk(plan_mu_);
+    const auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) return shift_result(it->second, base);
+  }
+
   net::ExchangeSpec spec;
   spec.p = p;
-  spec.start = start;
+  spec.start = key.rel_start;  // canonical time: earliest node at 0
   spec.control = control;
   for (int i = 0; i < p; ++i) {
     for (int j = 0; j < p; ++j) {
       if (i != j) spec.transfers.push_back({i, j, bytes_per_node});
     }
   }
-  return net::simulate_exchange(cfg_.net, cfg_.sw, spec);
+  auto canonical = net::simulate_exchange(cfg_.net, cfg_.sw, spec);
+
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  if (plan_cache_.size() >= kPlanCacheCap) plan_cache_.clear();
+  plan_cache_.emplace(std::move(key), canonical);
+  return shift_result(std::move(canonical), base);
 }
 
 net::ExchangeResult Comm::alltoallv_flat(
@@ -30,19 +78,55 @@ net::ExchangeResult Comm::alltoallv_flat(
   const auto up = static_cast<std::size_t>(p);
   QSM_REQUIRE(start.size() == up, "start times must cover every node");
   QSM_REQUIRE(bytes.size() == up * up, "bytes matrix must be p x p");
-  net::ExchangeSpec spec;
-  spec.p = p;
-  spec.start = start;
-  // Same transfer order as simulate_alltoallv: source-major, destination
+  cycles_t base = start[0];
+  for (const cycles_t s : start) {
+    QSM_REQUIRE(s >= 0, "start times must be non-negative");
+    base = std::min(base, s);
+  }
+
+  XferKey key;
+  key.rel_start.reserve(up);
+  for (const cycles_t s : start) key.rel_start.push_back(s - base);
+  // Same traffic order as simulate_alltoallv: source-major, destination
   // ascending, zero entries dropped.
-  for (int i = 0; i < p; ++i) {
-    for (int j = 0; j < p; ++j) {
-      const std::int64_t b =
-          bytes[static_cast<std::size_t>(i) * up + static_cast<std::size_t>(j)];
-      if (i != j && b > 0) spec.transfers.push_back({i, j, b});
+  for (std::size_t i = 0; i < up; ++i) {
+    for (std::size_t j = 0; j < up; ++j) {
+      const std::int64_t b = bytes[i * up + j];
+      if (i != j && b > 0) {
+        key.traffic.emplace_back(static_cast<std::int64_t>(i * up + j), b);
+      }
     }
   }
-  return net::simulate_exchange(cfg_.net, cfg_.sw, spec);
+
+  {
+    std::lock_guard<std::mutex> lk(plan_mu_);
+    const auto it = xfer_cache_.find(key);
+    if (it != xfer_cache_.end()) return shift_result(it->second, base);
+  }
+
+  net::ExchangeSpec spec;
+  spec.p = p;
+  spec.start = key.rel_start;  // canonical time: earliest node at 0
+  spec.transfers.reserve(key.traffic.size());
+  for (const auto& [idx, b] : key.traffic) {
+    spec.transfers.push_back({static_cast<int>(idx / p),
+                              static_cast<int>(idx % p), b});
+  }
+  auto canonical = net::simulate_exchange(cfg_.net, cfg_.sw, spec);
+
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  // Entries vary wildly in size (a ring keys in O(p), a dense all-to-all in
+  // O(p^2)), so the bound is on total stored words, not entry count.
+  const std::size_t entry_words = key.rel_start.size() +
+                                  2 * key.traffic.size() +
+                                  4 * canonical.nodes.size() + 8;
+  if (xfer_cache_words_ + entry_words > kXferCacheWordCap) {
+    xfer_cache_.clear();
+    xfer_cache_words_ = 0;
+  }
+  xfer_cache_words_ += entry_words;
+  xfer_cache_.emplace(std::move(key), canonical);
+  return shift_result(std::move(canonical), base);
 }
 
 net::ExchangeResult Comm::gather(const std::vector<cycles_t>& start, int root,

@@ -7,7 +7,11 @@
 // barriers — all through the deterministic event-driven network model.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "machine/config.hpp"
@@ -48,7 +52,10 @@ class Comm {
   /// prices two exchanges per sync() into reusable flat scratch; this
   /// overload avoids rebuilding a vector-of-vectors every phase. Produces
   /// the identical message set (and therefore identical timing) as the
-  /// nested-matrix form.
+  /// nested-matrix form. Memoized by (relative arrival pattern, nonzero
+  /// traffic triples) via the same time-translation argument as
+  /// allgather(); iterative algorithms whose phases repeat a traffic shape
+  /// pay the event simulation once.
   [[nodiscard]] net::ExchangeResult alltoallv_flat(
       const std::vector<cycles_t>& start,
       const std::vector<std::int64_t>& bytes) const;
@@ -56,6 +63,17 @@ class Comm {
   /// Allgather: every node broadcasts `bytes_per_node` payload to all
   /// others (the communication-plan distribution during sync()). Set
   /// `control` for fast-path control traffic such as the plan counts.
+  ///
+  /// This is the one p*(p-1)-message exchange every phase pays, so it is
+  /// memoized: simulate_exchange is exactly time-translation invariant
+  /// (every resource grant and event time shifts with the start times, and
+  /// busy/message/byte totals do not move at all), so the result for a
+  /// given *relative* arrival pattern is simulated once in canonical time
+  /// (min start == 0) and replayed by adding the base offset back. Phases
+  /// with repeating arrival shapes — the common case in bulk-synchronous
+  /// programs — skip the event simulation entirely. Bit-identical to the
+  /// unmemoized computation by construction; the golden-determinism suite
+  /// is the oracle.
   [[nodiscard]] net::ExchangeResult allgather(
       const std::vector<cycles_t>& start, std::int64_t bytes_per_node,
       bool control = false) const;
@@ -71,7 +89,67 @@ class Comm {
   }
 
  private:
+  /// Canonical-time allgather memo key: arrival pattern relative to the
+  /// earliest node, payload size, and control-path flag. Equality is exact
+  /// (full vector compare) — a hash collision may cost a lookup, never a
+  /// wrong simulated number.
+  struct PlanKey {
+    std::vector<cycles_t> rel_start;
+    std::int64_t bytes{0};
+    bool control{false};
+    bool operator==(const PlanKey&) const = default;
+  };
+  struct PlanKeyHash {
+    std::size_t operator()(const PlanKey& k) const {
+      std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+      const auto mix = [&h](std::uint64_t v) {
+        h = (h ^ v) * 1099511628211ULL;
+      };
+      mix(static_cast<std::uint64_t>(k.bytes));
+      mix(k.control ? 1 : 0);
+      for (const cycles_t s : k.rel_start) {
+        mix(static_cast<std::uint64_t>(s));
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  /// Canonical-time alltoallv memo key: arrival pattern relative to the
+  /// earliest node plus the nonzero (flat index, bytes) traffic triples in
+  /// row-major order. Sparse so a ring pattern keys in O(p), not O(p^2).
+  struct XferKey {
+    std::vector<cycles_t> rel_start;
+    std::vector<std::pair<std::int64_t, std::int64_t>> traffic;
+    bool operator==(const XferKey&) const = default;
+  };
+  struct XferKeyHash {
+    std::size_t operator()(const XferKey& k) const {
+      std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+      const auto mix = [&h](std::uint64_t v) {
+        h = (h ^ v) * 1099511628211ULL;
+      };
+      for (const cycles_t s : k.rel_start) {
+        mix(static_cast<std::uint64_t>(s));
+      }
+      mix(k.traffic.size());
+      for (const auto& [idx, b] : k.traffic) {
+        mix(static_cast<std::uint64_t>(idx));
+        mix(static_cast<std::uint64_t>(b));
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   machine::MachineConfig cfg_;
+  // Pricing runs serially inside a runtime's phase completion, but distinct
+  // harness jobs could in principle share a Comm; the lock is uncontended
+  // in every current caller.
+  mutable std::mutex plan_mu_;
+  mutable std::unordered_map<PlanKey, net::ExchangeResult, PlanKeyHash>
+      plan_cache_;
+  mutable std::unordered_map<XferKey, net::ExchangeResult, XferKeyHash>
+      xfer_cache_;
+  mutable std::size_t xfer_cache_words_{0};  ///< memory bound, see .cpp
 };
 
 }  // namespace qsm::msg

@@ -19,6 +19,101 @@ int round_of(int src, int dst, int p) {
   return r;
 }
 
+/// Per-message pipeline state machine. Each stage is one engine event whose
+/// closure captures only {ExchangeSim*, message index} — small and trivially
+/// copyable, so std::function stores it inline and an exchange of m messages
+/// schedules ~4m events with zero per-event heap allocation. The stages
+/// request resources and schedule follow-ups in exactly the order the
+/// original nested-lambda formulation did, so the (time, seq) event order —
+/// and with it every simulated number — is unchanged.
+struct ExchangeSim {
+  const NetworkParams& hw;
+  const SoftwareParams& sw;
+  MsgCost cost;
+  int p;
+  bool control;
+  std::vector<Transfer> sends;
+  std::vector<cycles_t> flight;  ///< per message, filled by send_stage
+
+  sim::Engine engine;
+  std::vector<sim::Resource> cpu;
+  std::vector<sim::Resource> tx;
+  std::vector<sim::Resource> rx;
+  sim::Resource fabric{"fabric"};  // used only when hw.fabric_links > 0
+
+  ExchangeResult result;
+
+  ExchangeSim(const NetworkParams& hw_in, const SoftwareParams& sw_in,
+              int p_in, bool control_in, std::vector<Transfer> sends_in)
+      : hw(hw_in),
+        sw(sw_in),
+        cost{hw_in, sw_in},
+        p(p_in),
+        control(control_in),
+        sends(std::move(sends_in)),
+        flight(sends.size(), 0),
+        cpu(static_cast<std::size_t>(p_in)),
+        tx(static_cast<std::size_t>(p_in)),
+        rx(static_cast<std::size_t>(p_in)) {}
+
+  void note_finish(int node, cycles_t t) {
+    auto& f = result.nodes[static_cast<std::size_t>(node)].finish;
+    f = std::max(f, t);
+  }
+
+  /// Sender CPU builds the message.
+  void send_stage(std::uint32_t i) {
+    const Transfer& t = sends[i];
+    const auto send_grant = cpu[static_cast<std::size_t>(t.src)].serve(
+        engine.now(), control ? cost.control_cpu() : cost.send_cpu(t.bytes));
+    note_finish(t.src, send_grant.end);
+    result.messages++;
+    result.wire_bytes += t.bytes + sw.msg_header_bytes;
+    // Distance-dependent latency: hops * l (1 hop when fully connected).
+    flight[i] = hw.latency * hops(hw.topology, t.src, t.dst, p);
+    engine.schedule(send_grant.end, [s = this, i] { s->tx_stage(i); });
+  }
+
+  /// Sender NIC serializes onto the wire.
+  void tx_stage(std::uint32_t i) {
+    const Transfer& t = sends[i];
+    const auto tx_grant = tx[static_cast<std::size_t>(t.src)].serve(
+        engine.now(), cost.wire_time(t.bytes));
+    note_finish(t.src, tx_grant.end);
+    // With congestion modeling on, the message also streams through the
+    // shared fabric before crossing the wire. The fabric serve happens in
+    // its own event so resource requests stay in time order.
+    if (hw.fabric_links > 0) {
+      engine.schedule(tx_grant.end, [s = this, i] { s->fabric_stage(i); });
+      return;
+    }
+    engine.schedule(tx_grant.end + flight[i],
+                    [s = this, i] { s->rx_stage(i); });
+  }
+
+  void fabric_stage(std::uint32_t i) {
+    const auto fab =
+        fabric.serve(engine.now(), cost.fabric_time(sends[i].bytes));
+    engine.schedule(fab.end + flight[i], [s = this, i] { s->rx_stage(i); });
+  }
+
+  /// Receiver NIC pulls the message off the wire.
+  void rx_stage(std::uint32_t i) {
+    const Transfer& t = sends[i];
+    const auto rx_grant = rx[static_cast<std::size_t>(t.dst)].serve(
+        engine.now(), cost.wire_time(t.bytes));
+    engine.schedule(rx_grant.end, [s = this, i] { s->recv_stage(i); });
+  }
+
+  /// Receiver CPU consumes the message.
+  void recv_stage(std::uint32_t i) {
+    const Transfer& t = sends[i];
+    const auto recv_grant = cpu[static_cast<std::size_t>(t.dst)].serve(
+        engine.now(), control ? cost.control_cpu() : cost.recv_cpu(t.bytes));
+    note_finish(t.dst, recv_grant.end);
+  }
+};
+
 }  // namespace
 
 ExchangeResult simulate_exchange(const NetworkParams& hw,
@@ -33,8 +128,6 @@ ExchangeResult simulate_exchange(const NetworkParams& hw,
   for (cycles_t s : spec.start) {
     QSM_REQUIRE(s >= 0, "start times must be non-negative");
   }
-
-  const MsgCost cost{hw, sw};
 
   // Order each node's sends by round-robin partner round, stably, so the
   // schedule is deterministic and staggered.
@@ -62,95 +155,34 @@ ExchangeResult simulate_exchange(const NetworkParams& hw,
                      });
   }
 
-  sim::Engine engine;
-  std::vector<sim::Resource> cpu(static_cast<std::size_t>(p));
-  std::vector<sim::Resource> tx(static_cast<std::size_t>(p));
-  std::vector<sim::Resource> rx(static_cast<std::size_t>(p));
-  sim::Resource fabric("fabric");  // used only when hw.fabric_links > 0
-
-  ExchangeResult result;
-  result.nodes.assign(static_cast<std::size_t>(p), NodeTimings{});
+  ExchangeSim sim(hw, sw, p, spec.control, std::move(sends));
+  sim.result.nodes.assign(static_cast<std::size_t>(p), NodeTimings{});
   // Every node is at least "finished" at its own start time (a node with no
   // traffic is done when it arrives).
   for (int i = 0; i < p; ++i) {
-    result.nodes[static_cast<std::size_t>(i)].finish =
+    sim.result.nodes[static_cast<std::size_t>(i)].finish =
         spec.start[static_cast<std::size_t>(i)];
   }
 
-  auto note_finish = [&result](int node, cycles_t t) {
-    auto& f = result.nodes[static_cast<std::size_t>(node)].finish;
-    f = std::max(f, t);
-  };
-
   // Kick off each node's send chain. Each send event claims the node CPU;
-  // the NIC hand-off, wire flight, receive NIC, and receive CPU are chained
-  // events. Resource::serve() calls always happen inside engine events, so
-  // request times are nondecreasing and the FIFO analytic bookkeeping is
-  // causally valid.
-  const bool control = spec.control;
-  for (const Transfer& t : sends) {
-    const auto s = static_cast<std::size_t>(t.src);
-    engine.schedule(spec.start[s], [&, t, control] {
-      const auto src = static_cast<std::size_t>(t.src);
-      const auto dst = static_cast<std::size_t>(t.dst);
-      const auto send_grant = cpu[src].serve(
-          engine.now(),
-          control ? cost.control_cpu() : cost.send_cpu(t.bytes));
-      note_finish(t.src, send_grant.end);
-      result.messages++;
-      result.wire_bytes += t.bytes + sw.msg_header_bytes;
-      // Capture `control` by value at every level: each lambda object dies
-      // once its event fires, so a by-reference capture of an enclosing
-      // lambda's copy would dangle.
-      // Distance-dependent latency: hops * l (1 hop when fully connected).
-      const cycles_t flight =
-          hw.latency * hops(hw.topology, t.src, t.dst, p);
-      engine.schedule(send_grant.end, [&, t, src, dst, control, flight] {
-        const auto tx_grant =
-            tx[src].serve(engine.now(), cost.wire_time(t.bytes));
-        note_finish(t.src, tx_grant.end);
-        // With congestion modeling on, the message also streams through
-        // the shared fabric before crossing the wire. The fabric serve
-        // happens in its own event so resource requests stay in time order.
-        cycles_t arrival = tx_grant.end + flight;
-        if (hw.fabric_links > 0) {
-          engine.schedule(tx_grant.end, [&, t, dst, control, flight] {
-            const auto fab =
-                fabric.serve(engine.now(), cost.fabric_time(t.bytes));
-            engine.schedule(fab.end + flight, [&, t, dst, control] {
-              const auto rx_grant =
-                  rx[dst].serve(engine.now(), cost.wire_time(t.bytes));
-              engine.schedule(rx_grant.end, [&, t, dst, control] {
-                const auto recv_grant = cpu[dst].serve(
-                    engine.now(),
-                    control ? cost.control_cpu() : cost.recv_cpu(t.bytes));
-                note_finish(t.dst, recv_grant.end);
-              });
-            });
-          });
-          return;
-        }
-        engine.schedule(arrival, [&, t, dst, control] {
-          const auto rx_grant =
-              rx[dst].serve(engine.now(), cost.wire_time(t.bytes));
-          engine.schedule(rx_grant.end, [&, t, dst, control] {
-            const auto recv_grant = cpu[dst].serve(
-                engine.now(),
-                control ? cost.control_cpu() : cost.recv_cpu(t.bytes));
-            note_finish(t.dst, recv_grant.end);
-          });
-        });
-      });
-    });
+  // the NIC hand-off, wire flight, receive NIC, and receive CPU are the
+  // chained stage events. Resource::serve() calls always happen inside
+  // engine events, so request times are nondecreasing and the FIFO analytic
+  // bookkeeping is causally valid.
+  for (std::uint32_t i = 0; i < sim.sends.size(); ++i) {
+    const auto s = static_cast<std::size_t>(sim.sends[i].src);
+    sim.engine.schedule(spec.start[s],
+                        [sp = &sim, i] { sp->send_stage(i); });
   }
 
-  engine.run();
+  sim.engine.run();
 
+  ExchangeResult result = std::move(sim.result);
   for (int i = 0; i < p; ++i) {
     const auto u = static_cast<std::size_t>(i);
-    result.nodes[u].cpu_busy = cpu[u].busy_cycles();
-    result.nodes[u].tx_busy = tx[u].busy_cycles();
-    result.nodes[u].rx_busy = rx[u].busy_cycles();
+    result.nodes[u].cpu_busy = sim.cpu[u].busy_cycles();
+    result.nodes[u].tx_busy = sim.tx[u].busy_cycles();
+    result.nodes[u].rx_busy = sim.rx[u].busy_cycles();
     result.finish = std::max(result.finish, result.nodes[u].finish);
   }
   return result;

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "support/contract.hpp"
@@ -48,9 +49,10 @@ class Engine {
   /// Executes exactly one event; returns false if the queue was empty.
   bool step() {
     if (queue_.empty()) return false;
-    // std::priority_queue::top() is const&; we need to move the action out,
-    // so store events in a small struct with a mutable action.
-    Event ev = queue_.top();
+    // std::priority_queue::top() is const&, but the event is popped before
+    // anything else can observe it, so moving out from under the const is
+    // safe and spares a copy of the action (which may own captured state).
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
     queue_.pop();
     QSM_ASSERT(ev.at >= now_, "event queue went backwards");
     now_ = ev.at;

@@ -6,12 +6,14 @@
 // — and the phase-worker count is invisible to program results.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdint>
 #include <numeric>
 #include <vector>
 
 #include "core/runtime.hpp"
 #include "machine/presets.hpp"
+#include "support/fiber.hpp"
 
 namespace qsm {
 namespace {
@@ -34,7 +36,9 @@ void exchange_program(rt::Runtime& runtime, rt::GlobalArray<std::int64_t> a,
 }
 
 TEST(Executor, RepeatedRunsCreateNoNewThreads) {
-  rt::Runtime runtime(machine::default_sim(8));
+  rt::Runtime runtime(machine::default_sim(8),
+                      rt::Options{.lanes = rt::LaneMode::Threads});
+  ASSERT_EQ(runtime.lane_mode(), rt::LaneMode::Threads);
   auto a = runtime.alloc<std::int64_t>(1024, rt::Layout::Cyclic);
 
   exchange_program(runtime, a, 1024 / 8);
@@ -49,8 +53,9 @@ TEST(Executor, RepeatedRunsCreateNoNewThreads) {
 }
 
 TEST(Executor, ForcedPhaseWorkersCreateNoNewThreadsAcrossRuns) {
-  rt::Runtime runtime(machine::default_sim(8),
-                      rt::Options{.host_workers = 4});
+  rt::Runtime runtime(
+      machine::default_sim(8),
+      rt::Options{.host_workers = 4, .lanes = rt::LaneMode::Threads});
   EXPECT_EQ(runtime.host_phase_workers(), 4);
   auto a = runtime.alloc<std::int64_t>(1 << 16, rt::Layout::Cyclic);
 
@@ -62,6 +67,91 @@ TEST(Executor, ForcedPhaseWorkersCreateNoNewThreadsAcrossRuns) {
     exchange_program(runtime, a, (1u << 16) / 8);
     EXPECT_EQ(runtime.host_threads_created(), after_first);
   }
+}
+
+TEST(Executor, FiberLanesBoundHostThreadsByCarriersNotP) {
+  if (!support::fibers_supported()) GTEST_SKIP() << "no fiber substrate";
+  // p = 64 simulated processors must not cost 64 OS threads: the fiber
+  // engine multiplexes them onto carriers sized from the host budget.
+  rt::Runtime runtime(
+      machine::default_sim(64),
+      rt::Options{.host_workers = 1, .lanes = rt::LaneMode::Fibers});
+  ASSERT_EQ(runtime.lane_mode(), rt::LaneMode::Fibers);
+  EXPECT_GE(runtime.host_carriers(), 1);
+  EXPECT_LE(runtime.host_carriers(), 16);
+  auto a = runtime.alloc<std::int64_t>(1024, rt::Layout::Cyclic);
+
+  exchange_program(runtime, a, 1024 / 64);
+  const std::uint64_t after_first = runtime.host_threads_created();
+  EXPECT_EQ(after_first,
+            static_cast<std::uint64_t>(runtime.host_carriers()));
+  EXPECT_LT(after_first, 64u);
+
+  for (int rep = 0; rep < 3; ++rep) {
+    exchange_program(runtime, a, 1024 / 64);
+    EXPECT_EQ(runtime.host_threads_created(), after_first)
+        << "rep " << rep << " spawned fresh OS threads";
+  }
+}
+
+TEST(Executor, AutoLanePolicyPicksFibersBeyondBudgetThreadsWithin) {
+  if (!support::fibers_supported()) GTEST_SKIP() << "no fiber substrate";
+  ASSERT_EQ(rt::default_lane_mode(), rt::LaneMode::Auto);
+  const int budget = rt::host_thread_budget();
+  {
+    rt::Runtime over(machine::default_sim(
+        static_cast<int>(std::bit_ceil(static_cast<unsigned>(budget) * 2))));
+    EXPECT_EQ(over.lane_mode(), rt::LaneMode::Fibers);
+  }
+  if (budget >= 1) {
+    rt::Runtime within(machine::default_sim(1));
+    EXPECT_EQ(within.lane_mode(), rt::LaneMode::Threads);
+  }
+}
+
+TEST(Executor, LaneModeDoesNotChangeResultsOrTiming) {
+  // The tentpole's oracle in miniature: thread lanes and fiber lanes must
+  // produce identical array contents and identical simulated timing.
+  if (!support::fibers_supported()) GTEST_SKIP() << "no fiber substrate";
+  const std::uint64_t n = 1 << 14;
+  std::vector<std::int64_t> contents[2];
+  rt::RunResult timing[2];
+  const rt::LaneMode modes[2] = {rt::LaneMode::Threads, rt::LaneMode::Fibers};
+  for (int w = 0; w < 2; ++w) {
+    rt::Runtime runtime(machine::default_sim(8),
+                        rt::Options{.seed = 11,
+                                    .check_rules = true,
+                                    .track_kappa = true,
+                                    .lanes = modes[w]});
+    ASSERT_EQ(runtime.lane_mode(), modes[w]);
+    auto a = runtime.alloc<std::int64_t>(n, rt::Layout::Cyclic);
+    timing[w] = runtime.run([&](rt::Context& ctx) {
+      const auto rank = static_cast<std::uint64_t>(ctx.rank());
+      const auto p = static_cast<std::uint64_t>(ctx.nprocs());
+      const std::uint64_t per = n / p;
+      std::vector<std::int64_t> out(per);
+      for (std::uint64_t k = 0; k < per; ++k) {
+        out[k] = static_cast<std::int64_t>((rank * per + k) * 7 + 5);
+      }
+      ctx.put_range(a, rank * per, per, out.data());
+      ctx.sync();
+      std::vector<std::int64_t> in(per);
+      ctx.get_range(a, ((rank + 5) % p) * per, per, in.data());
+      ctx.sync();
+    });
+    contents[w] = runtime.host_read(a);
+  }
+  EXPECT_EQ(contents[0], contents[1]);
+  EXPECT_EQ(timing[0], timing[1]);  // full trace, phase by phase
+}
+
+TEST(Executor, LaneModeStringRoundTrip) {
+  EXPECT_EQ(rt::lane_mode_from_string("auto"), rt::LaneMode::Auto);
+  EXPECT_EQ(rt::lane_mode_from_string("threads"), rt::LaneMode::Threads);
+  EXPECT_EQ(rt::lane_mode_from_string("fibers"), rt::LaneMode::Fibers);
+  EXPECT_STREQ(rt::lane_mode_name(rt::LaneMode::Fibers), "fibers");
+  EXPECT_THROW((void)rt::lane_mode_from_string("green-threads"),
+               support::ContractViolation);
 }
 
 TEST(Executor, HostOnlyUseSpawnsNoThreads) {

@@ -11,6 +11,7 @@
 
 #include "core/runtime.hpp"
 #include "machine/presets.hpp"
+#include "support/fiber.hpp"
 #include "support/rng.hpp"
 
 namespace qsm {
@@ -119,11 +120,8 @@ Reference run_reference(const ChaosPlan& plan) {
   return ref;
 }
 
-class ChaosSweep
-    : public ::testing::TestWithParam<std::tuple<int, int, rt::Layout>> {};
-
-TEST_P(ChaosSweep, RuntimeMatchesReferenceModel) {
-  const auto [p, seed, layout] = GetParam();
+/// One full differential run; shared by the lane-mode variants below.
+void run_chaos(int p, int seed, rt::Layout layout, rt::LaneMode lanes) {
   const int phases = 8;
   const auto plan = make_plan(p, phases, static_cast<std::uint64_t>(seed));
   const auto ref = run_reference(plan);
@@ -131,7 +129,8 @@ TEST_P(ChaosSweep, RuntimeMatchesReferenceModel) {
   rt::Runtime runtime(machine::default_sim(p),
                       rt::Options{.seed = static_cast<std::uint64_t>(seed),
                                   .check_rules = true,
-                                  .track_kappa = true});
+                                  .track_kappa = true,
+                                  .lanes = lanes});
   std::vector<rt::GlobalArray<std::int64_t>> arrays;
   for (const std::uint64_t n : plan.array_sizes) {
     arrays.push_back(runtime.alloc<std::int64_t>(n, layout));
@@ -182,10 +181,38 @@ TEST_P(ChaosSweep, RuntimeMatchesReferenceModel) {
   }
 }
 
+class ChaosSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, rt::Layout>> {};
+
+TEST_P(ChaosSweep, RuntimeMatchesReferenceModel) {
+  const auto [p, seed, layout] = GetParam();
+  run_chaos(p, seed, layout, rt::LaneMode::Auto);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Seeds, ChaosSweep,
     ::testing::Combine(::testing::Values(1, 2, 4, 7),
                        ::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(rt::Layout::Block,
+                                         rt::Layout::Hashed,
+                                         rt::Layout::Cyclic)));
+
+// The same differential check with fiber lanes forced: memory semantics
+// (not just timing) must be independent of the lane engine. A subset of
+// the seed grid keeps the fiber pass cheap.
+class ChaosFiberSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, rt::Layout>> {};
+
+TEST_P(ChaosFiberSweep, RuntimeMatchesReferenceModelOnFiberLanes) {
+  if (!support::fibers_supported()) GTEST_SKIP() << "no fiber substrate";
+  const auto [p, seed, layout] = GetParam();
+  run_chaos(p, seed, layout, rt::LaneMode::Fibers);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ChaosFiberSweep,
+    ::testing::Combine(::testing::Values(4, 7),
+                       ::testing::Values(1, 5),
                        ::testing::Values(rt::Layout::Block,
                                          rt::Layout::Hashed,
                                          rt::Layout::Cyclic)));

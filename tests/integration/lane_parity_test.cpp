@@ -1,0 +1,150 @@
+// Lane-engine parity: the tentpole's equivalence oracle.
+//
+// Thread lanes and fiber lanes are two implementations of the same program
+// lane abstraction, and the runtime's determinism contract says the choice
+// may not change one simulated number. This suite runs the three paper
+// algorithms across seeds and machine sizes — including p = 64, far past
+// any host's per-run thread appetite — in both modes and demands
+// bit-identical results: full RunResult equality (every PhaseStats field of
+// every phase), matching per-phase FNV-1a hashes for a readable failure
+// digest, and identical output data.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algos/listrank.hpp"
+#include "algos/prefix.hpp"
+#include "algos/samplesort.hpp"
+#include "machine/presets.hpp"
+#include "support/fiber.hpp"
+#include "support/rng.hpp"
+
+namespace qsm {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {42, 1234};
+constexpr int kProcs[] = {4, 16, 64};
+
+/// FNV-1a over one phase's stats; per-phase hashes point a failure at the
+/// first diverging phase instead of a wall of field diffs.
+std::uint64_t phase_hash(const rt::PhaseStats& ps) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(ps.arrival_spread));
+  mix(static_cast<std::uint64_t>(ps.exchange_cycles));
+  mix(static_cast<std::uint64_t>(ps.barrier_cycles));
+  mix(static_cast<std::uint64_t>(ps.m_op_max));
+  mix(ps.m_rw_max);
+  mix(ps.max_put_words);
+  mix(ps.max_get_words);
+  mix(ps.rw_total);
+  mix(ps.local_words);
+  mix(ps.kappa);
+  mix(ps.messages);
+  mix(static_cast<std::uint64_t>(ps.wire_bytes));
+  return h;
+}
+
+/// Aggregate hash over the whole trace (same scheme as the golden suite).
+std::uint64_t trace_hash(const rt::RunResult& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& ps : r.trace) {
+    h ^= phase_hash(ps);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct ModeRun {
+  rt::RunResult timing;
+  std::vector<std::int64_t> output;
+};
+
+void expect_parity(const ModeRun& threads, const ModeRun& fibers,
+                   const std::string& what) {
+  ASSERT_EQ(threads.timing.phases, fibers.timing.phases) << what;
+  for (std::size_t i = 0; i < threads.timing.trace.size(); ++i) {
+    EXPECT_EQ(phase_hash(threads.timing.trace[i]),
+              phase_hash(fibers.timing.trace[i]))
+        << what << ": phase " << i << " diverged";
+  }
+  EXPECT_EQ(trace_hash(threads.timing), trace_hash(fibers.timing)) << what;
+  // The hashes locate a diff; full field-by-field equality is the claim.
+  EXPECT_EQ(threads.timing, fibers.timing) << what;
+  EXPECT_EQ(threads.output, fibers.output) << what;
+}
+
+rt::Options parity_options(std::uint64_t seed, rt::LaneMode lanes) {
+  return rt::Options{.seed = seed,
+                     .check_rules = true,
+                     .track_kappa = true,
+                     .lanes = lanes};
+}
+
+std::vector<std::int64_t> random_values(std::uint64_t n, std::uint64_t seed) {
+  support::Xoshiro256 rng(seed);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = static_cast<std::int64_t>(rng() >> 1);
+  return v;
+}
+
+ModeRun run_prefix(int p, std::uint64_t seed, rt::LaneMode lanes) {
+  rt::Runtime runtime(machine::default_sim(p), parity_options(seed, lanes));
+  auto data = runtime.alloc<std::int64_t>(1 << 15);
+  runtime.host_fill(data, random_values(1 << 15, seed ^ 3));
+  auto timing = algos::parallel_prefix(runtime, data).timing;
+  return {std::move(timing), runtime.host_read(data)};
+}
+
+ModeRun run_samplesort(int p, std::uint64_t seed, rt::LaneMode lanes) {
+  // n must satisfy the algorithm's p^2 log n <= n requirement at p = 64.
+  constexpr std::uint64_t n = 1 << 17;
+  rt::Runtime runtime(machine::default_sim(p), parity_options(seed, lanes));
+  auto data = runtime.alloc<std::int64_t>(n);
+  runtime.host_fill(data, random_values(n, seed ^ 7));
+  auto timing = algos::sample_sort(runtime, data).timing;
+  return {std::move(timing), runtime.host_read(data)};
+}
+
+ModeRun run_listrank(int p, std::uint64_t seed, rt::LaneMode lanes) {
+  const auto list = algos::make_random_list(1 << 13, seed ^ 5);
+  rt::Runtime runtime(machine::default_sim(p), parity_options(seed, lanes));
+  auto ranks = runtime.alloc<std::int64_t>(1 << 13);
+  auto timing = algos::list_rank(runtime, list, ranks).timing;
+  return {std::move(timing), runtime.host_read(ranks)};
+}
+
+template <typename RunFn>
+void parity_sweep(const char* algo, RunFn run) {
+  if (!support::fibers_supported()) GTEST_SKIP() << "no fiber substrate";
+  for (const std::uint64_t seed : kSeeds) {
+    for (const int p : kProcs) {
+      const std::string what = std::string(algo) + " p=" + std::to_string(p) +
+                               " seed=" + std::to_string(seed);
+      SCOPED_TRACE(what);
+      const ModeRun threads = run(p, seed, rt::LaneMode::Threads);
+      const ModeRun fibers = run(p, seed, rt::LaneMode::Fibers);
+      expect_parity(threads, fibers, what);
+    }
+  }
+}
+
+TEST(LaneParity, PrefixBitIdenticalAcrossLaneModes) {
+  parity_sweep("prefix", run_prefix);
+}
+
+TEST(LaneParity, SamplesortBitIdenticalAcrossLaneModes) {
+  parity_sweep("samplesort", run_samplesort);
+}
+
+TEST(LaneParity, ListrankBitIdenticalAcrossLaneModes) {
+  parity_sweep("listrank", run_listrank);
+}
+
+}  // namespace
+}  // namespace qsm

@@ -77,6 +77,9 @@ int run(int argc, const char* const* argv) {
   args.flag_i64("n", 1 << 14, "sample-sort size per grid point");
   args.flag_str("jobs-curve", "1,2,4,8",
                 "comma-separated job counts for the scaling curve");
+  args.flag_bool("allow-oversubscribe", false,
+                 "run jobs-curve entries above the host thread budget "
+                 "instead of clamping them");
   args.flag_str("out", "BENCH_harness.json", "machine-readable output file");
   args.flag_str("scratch", "outputs/.bench_harness_scratch",
                 "scratch directory for throwaway cache files");
@@ -97,25 +100,34 @@ int run(int argc, const char* const* argv) {
   const auto cold = run_grid(cfg, points, 1, n, serial_dir);
   const auto warm = run_grid(cfg, points, 1, n, serial_dir);
 
-  // Cold scaling curve, one fresh cache per job count.
+  // Scaling claims only mean something against the hardware they ran on:
+  // by default every curve entry is clamped to the host thread budget, so
+  // the curve measures parallel speedup, never scheduling overhead under
+  // oversubscription. --allow-oversubscribe restores the raw behavior.
+  const bool allow_oversubscribe = args.boolean("allow-oversubscribe");
+  const int budget = rt::host_thread_budget();
+  const int host_cores =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+
+  // Cold scaling curve, one fresh cache per requested job count.
   struct CurvePoint {
+    int requested{1};
     int jobs{1};
+    bool clamped{false};
     GridTiming timing;
   };
   std::vector<CurvePoint> curve_results;
   for (const long long jobs : curve) {
     const std::string dir = scratch + "/jobs" + std::to_string(jobs);
     CurvePoint cp;
-    cp.jobs = static_cast<int>(jobs);
+    cp.requested = static_cast<int>(jobs);
+    cp.jobs = allow_oversubscribe ? cp.requested
+                                  : std::min(cp.requested, budget);
+    cp.clamped = cp.jobs != cp.requested;
     cp.timing = run_grid(cfg, points, cp.jobs, n, dir);
     curve_results.push_back(cp);
   }
   std::filesystem::remove_all(scratch);
-
-  // Scaling claims only mean something against the hardware they ran on:
-  // record the core count and mark curve points that oversubscribe it.
-  const int host_cores =
-      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
 
   support::TextTable table({"run", "jobs", "seconds", "points/sec",
                             "speedup vs cold-1"});
@@ -126,15 +138,24 @@ int run(int argc, const char* const* argv) {
                  points / cold.seconds, 1.0});
   table.add_row({std::string("warm"), 1LL, warm.seconds,
                  points / warm.seconds, cold.seconds / warm.seconds});
+  bool any_clamped = false;
   bool any_oversubscribed = false;
   for (const auto& cp : curve_results) {
     const bool over = cp.jobs > host_cores;
+    any_clamped = any_clamped || cp.clamped;
     any_oversubscribed = any_oversubscribed || over;
-    table.add_row({over ? "cold*" : "cold", static_cast<long long>(cp.jobs),
-                   cp.timing.seconds, points / cp.timing.seconds,
+    table.add_row({cp.clamped ? "cold^" : (over ? "cold*" : "cold"),
+                   static_cast<long long>(cp.jobs), cp.timing.seconds,
+                   points / cp.timing.seconds,
                    cold.seconds / cp.timing.seconds});
   }
   bench::emit(table, cfg);
+  if (any_clamped) {
+    std::printf(
+        "^ requested jobs clamped to the host thread budget (%d); pass "
+        "--allow-oversubscribe to run them anyway.\n\n",
+        budget);
+  }
   if (any_oversubscribed) {
     std::printf(
         "* jobs exceeds the %d host core%s: those rows measure scheduling "
@@ -176,8 +197,12 @@ int run(int argc, const char* const* argv) {
   json.begin_array();
   for (const auto& cp : curve_results) {
     json.begin_object();
+    json.key("requested_jobs");
+    json.value(static_cast<std::int64_t>(cp.requested));
     json.key("jobs");
     json.value(static_cast<std::int64_t>(cp.jobs));
+    json.key("clamped");
+    json.value(cp.clamped);
     json.key("seconds");
     json.value(cp.timing.seconds);
     json.key("speedup_vs_serial");

@@ -31,7 +31,7 @@ int run(int argc, const char* const* argv) {
   bench::register_common_flags(args);
   args.flag_i64("nmin", 1 << 12, "smallest problem size scanned");
   args.flag_i64("nmax", 1 << 18, "largest problem size scanned");
-  args.flag_str("procs", "4,8,16,32,64,128,256,512",
+  args.flag_str("procs", "4,8,16,32,64,128,256,512,1024,2048,4096",
                 "comma-separated processor counts");
   if (!args.parse(argc, argv)) return 0;
   const auto cfg = bench::read_common_flags(args);
@@ -75,9 +75,23 @@ int run(int argc, const char* const* argv) {
       if (feasible(p, n)) slice.push_back(n);
     }
     if (slice.empty()) {
-      std::printf("p=%d: no feasible sizes in [%lld, %lld]; widen --nmax\n",
-                  p, args.i64("nmin"), args.i64("nmax"));
-      continue;
+      // Per-p n-windowing: at the widest machine widths the feasibility
+      // floor sits above the whole global [nmin, nmax] scan, so slide a
+      // short window up to the floor instead of skipping the width. The
+      // window stays on a power-of-two anchor (floor rounded up), so
+      // repeated runs and explicitly-windowed runs share cache keys.
+      // Note the memory cost is the algorithm's, not the harness's: the
+      // sample matrix alone is p^2 * 4*ceil(lg n) words (~15 GB at
+      // p = 4096), so the widest widths want a large-memory host.
+      std::uint64_t floor_n = 1;
+      while (!feasible(p, floor_n)) floor_n <<= 1;
+      slice = bench::size_sweep(floor_n, 2 * floor_n, std::sqrt(2.0));
+      std::printf(
+          "p=%d: [%lld, %lld] is below this width's feasibility floor; "
+          "window slid to [%llu, %llu]\n",
+          p, args.i64("nmin"), args.i64("nmax"),
+          static_cast<unsigned long long>(slice.front()),
+          static_cast<unsigned long long>(slice.back()));
     }
     auto variant = cfg.machine;
     variant.p = p;

@@ -235,6 +235,10 @@ void Executor::lane_notify_all() {
   lane_cv_.notify_all();
 }
 
+// Tasks are whatever the caller enumerates — the sparse phase pipeline
+// passes its *active* source/owner lists here, so a phase's host work
+// shards over the nodes that actually have traffic, not all p. Striding
+// (task t on worker t % phase_workers) keeps the worker_shard() contract.
 void Executor::parallel(std::size_t tasks, bool spread,
                         const std::function<void(std::size_t)>& fn) {
   if (spread && parallel_enabled() && tasks > 1) {

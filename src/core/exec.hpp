@@ -26,6 +26,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -116,6 +117,17 @@ class Executor {
   [[nodiscard]] int nprocs() const { return nprocs_; }
   [[nodiscard]] int phase_workers() const { return phase_workers_; }
   [[nodiscard]] bool parallel_enabled() const { return phase_workers_ > 1; }
+
+  /// Worker slot that parallel() statically assigns task t to (the pool
+  /// hands out tasks by striding: task t runs on worker t % phase_workers,
+  /// and tasks sharing a worker run sequentially). Lets callers keep
+  /// per-slot scratch — the sparse classifier's owner counters — without
+  /// locks: two tasks with the same shard never run concurrently, whether
+  /// the call spreads over the pool or executes inline on one thread.
+  [[nodiscard]] int worker_shard(std::size_t task) const {
+    const int w = phase_workers_ > 0 ? phase_workers_ : 1;
+    return static_cast<int>(task % static_cast<std::size_t>(w));
+  }
 
   /// Resolved lane engine: Threads or Fibers, never Auto.
   [[nodiscard]] LaneMode lane_mode() const { return lane_mode_; }

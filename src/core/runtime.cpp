@@ -149,7 +149,8 @@ Runtime::Runtime(machine::MachineConfig cfg, Options opts)
       opts_(opts),
       store_(opts.seed, comm_.nprocs()),
       exec_(comm_.nprocs(), opts.host_workers, opts.lanes),
-      pipeline_(store_, comm_, exec_, opts.check_rules, opts.track_kappa),
+      pipeline_(store_, comm_, exec_, opts.check_rules, opts.track_kappa,
+                opts.traffic),
       nodes_(static_cast<std::size_t>(comm_.nprocs())),
       barrier_(std::make_unique<Barrier>(exec_)) {
   reset_clocks();

@@ -21,6 +21,7 @@
 // to the pre-layering runtime, which never recycled slots.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -116,10 +117,32 @@ class SharedStore {
                                std::uint64_t count,
                                std::uint64_t* counts) const;
 
+  /// Upper bound on the distinct owners of [start, start + count), in O(1).
+  /// Exact for Block (ownership is contiguous, so owners == runs ==
+  /// last_owner - first_owner + 1); min(count, p) for Cyclic and Hashed.
+  /// The phase pipeline's traffic-density pre-pass sums these to decide
+  /// sparse vs dense classification without touching any word.
+  [[nodiscard]] std::uint64_t owner_span_bound(const ArraySlot& s,
+                                               std::uint64_t start,
+                                               std::uint64_t count) const {
+    QSM_ASSERT(count > 0, "empty span has no owners");
+    if (s.layout == Layout::Block) {
+      return (start + count - 1) / s.chunk - start / s.chunk + 1;
+    }
+    return std::min<std::uint64_t>(count,
+                                   static_cast<std::uint64_t>(nprocs_));
+  }
+
+  /// True while any live slot uses Layout::Hashed. Lets the phase pipeline
+  /// skip the per-word hashed-owner bookkeeping entirely for the common
+  /// all-Block/Cyclic program.
+  [[nodiscard]] bool has_hashed() const { return hashed_live_ > 0; }
+
  private:
   std::uint64_t seed_;
   int nprocs_;
   std::uint64_t alloc_seq_{0};
+  std::uint64_t hashed_live_{0};  ///< live Hashed-layout slots, see has_hashed
   std::vector<ArraySlot> slots_;
   std::vector<std::uint32_t> free_ids_;
 };

@@ -24,8 +24,17 @@ net::ExchangeResult shift_result(net::ExchangeResult r, cycles_t base) {
 constexpr std::size_t kPlanCacheCap = 512;
 
 /// Total words (keys + results) the alltoallv memo may hold before a full
-/// clear — ~32 MB. Entries are sized per pattern, so the bound is on words.
-constexpr std::size_t kXferCacheWordCap = std::size_t{4} << 20;
+/// clear — ~256 MB, sized so a full listrank run at p = 4096 (a few
+/// thousand active pairs per round, plus a handful of all-pairs setup
+/// patterns) stays memoized end to end. Entries vary wildly in size, so
+/// the bound is on words, not entry count.
+constexpr std::size_t kXferCacheWordCap = std::size_t{32} << 20;
+
+/// Entries beyond this size (~128 MB) are simulated but never stored: a
+/// fully dense p x p pattern at p = 4096 (~34M words) would otherwise
+/// flush the whole cache — including every memoized sparse round — for a
+/// single pattern. Everything through p = 2048 all-pairs (~8M words) fits.
+constexpr std::size_t kXferEntryWordCap = std::size_t{16} << 20;
 
 }  // namespace
 
@@ -54,16 +63,28 @@ net::ExchangeResult Comm::allgather(const std::vector<cycles_t>& start,
     if (it != plan_cache_.end()) return shift_result(it->second, base);
   }
 
-  net::ExchangeSpec spec;
-  spec.p = p;
-  spec.start = key.rel_start;  // canonical time: earliest node at 0
-  spec.control = control;
-  for (int i = 0; i < p; ++i) {
-    for (int j = 0; j < p; ++j) {
-      if (i != j) spec.transfers.push_back({i, j, bytes_per_node});
+  net::ExchangeResult canonical;
+  if (control && cfg_.net.topology == net::Topology::FullyConnected &&
+      cfg_.net.fabric_links == 0) {
+    // The per-phase plan exchange: evaluate the complete graph of identical
+    // control messages in closed form — bit-identical to the event
+    // simulation (see simulate_control_allgather) at O(p^2) arithmetic
+    // instead of O(p^2) heap events, so phases with unique arrival patterns
+    // (which can never hit the memo) stay affordable at large p.
+    canonical = net::simulate_control_allgather(cfg_.net, cfg_.sw,
+                                                key.rel_start, bytes_per_node);
+  } else {
+    net::ExchangeSpec spec;
+    spec.p = p;
+    spec.start = key.rel_start;  // canonical time: earliest node at 0
+    spec.control = control;
+    for (int i = 0; i < p; ++i) {
+      for (int j = 0; j < p; ++j) {
+        if (i != j) spec.transfers.push_back({i, j, bytes_per_node});
+      }
     }
+    canonical = net::simulate_exchange(cfg_.net, cfg_.sw, spec);
   }
-  auto canonical = net::simulate_exchange(cfg_.net, cfg_.sw, spec);
 
   std::lock_guard<std::mutex> lk(plan_mu_);
   if (plan_cache_.size() >= kPlanCacheCap) plan_cache_.clear();
@@ -98,21 +119,71 @@ net::ExchangeResult Comm::alltoallv_flat(
     }
   }
 
+  return xfer_lookup_or_simulate(std::move(key), base);
+}
+
+net::ExchangeResult Comm::alltoallv_sparse(
+    const std::vector<cycles_t>& start,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic) const {
+  const int p = cfg_.p;
+  const auto up = static_cast<std::size_t>(p);
+  QSM_REQUIRE(start.size() == up, "start times must cover every node");
+  cycles_t base = start[0];
+  for (const cycles_t s : start) {
+    QSM_REQUIRE(s >= 0, "start times must be non-negative");
+    base = std::min(base, s);
+  }
+
+  // The caller supplies exactly the nonzero entries alltoallv_flat would
+  // extract: flat index ascending (row-major), positive bytes, no
+  // diagonal. Enforcing that here keeps the two entry points' memo keys —
+  // and therefore their results — byte-identical by construction. The
+  // ascending walk lets the row tracking advance instead of dividing.
+  std::int64_t prev_idx = -1;
+  std::int64_t row = 0;
+  std::int64_t row_base = 0;
+  for (const auto& [idx, b] : traffic) {
+    QSM_REQUIRE(idx > prev_idx, "sparse traffic must ascend in flat index");
+    QSM_REQUIRE(idx < static_cast<std::int64_t>(up * up),
+                "sparse traffic index out of range");
+    while (idx >= row_base + p) {
+      row_base += p;
+      ++row;
+    }
+    QSM_REQUIRE(idx - row_base != row, "self-transfer is not network traffic");
+    QSM_REQUIRE(b > 0, "sparse traffic entries must be positive");
+    prev_idx = idx;
+  }
+
+  // Probe the memo with borrowed vectors — the hot path (a phase pattern
+  // seen before) copies nothing.
+  thread_local std::vector<cycles_t> rel_scratch;
+  rel_scratch.clear();
+  rel_scratch.reserve(up);
+  for (const cycles_t s : start) rel_scratch.push_back(s - base);
+  {
+    std::lock_guard<std::mutex> lk(plan_mu_);
+    const auto it = xfer_cache_.find(XferKeyView{rel_scratch, traffic});
+    if (it != xfer_cache_.end()) return shift_result(it->second, base);
+  }
+
+  XferKey key;
+  key.rel_start = rel_scratch;
+  key.traffic = traffic;
+  return xfer_lookup_or_simulate(std::move(key), base);
+}
+
+net::ExchangeResult Comm::xfer_lookup_or_simulate(XferKey key,
+                                                  cycles_t base) const {
   {
     std::lock_guard<std::mutex> lk(plan_mu_);
     const auto it = xfer_cache_.find(key);
     if (it != xfer_cache_.end()) return shift_result(it->second, base);
   }
 
-  net::ExchangeSpec spec;
-  spec.p = p;
-  spec.start = key.rel_start;  // canonical time: earliest node at 0
-  spec.transfers.reserve(key.traffic.size());
-  for (const auto& [idx, b] : key.traffic) {
-    spec.transfers.push_back({static_cast<int>(idx / p),
-                              static_cast<int>(idx % p), b});
-  }
-  auto canonical = net::simulate_exchange(cfg_.net, cfg_.sw, spec);
+  auto canonical =
+      net::simulate_alltoallv_sparse(cfg_.net, cfg_.sw, key.rel_start,
+                                     key.traffic);
 
   std::lock_guard<std::mutex> lk(plan_mu_);
   // Entries vary wildly in size (a ring keys in O(p), a dense all-to-all in
@@ -120,6 +191,9 @@ net::ExchangeResult Comm::alltoallv_flat(
   const std::size_t entry_words = key.rel_start.size() +
                                   2 * key.traffic.size() +
                                   4 * canonical.nodes.size() + 8;
+  if (entry_words > kXferEntryWordCap) {
+    return shift_result(std::move(canonical), base);
+  }
   if (xfer_cache_words_ + entry_words > kXferCacheWordCap) {
     xfer_cache_.clear();
     xfer_cache_words_ = 0;

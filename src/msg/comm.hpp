@@ -60,6 +60,17 @@ class Comm {
       const std::vector<cycles_t>& start,
       const std::vector<std::int64_t>& bytes) const;
 
+  /// Sparse form of the same exchange: `traffic` lists only the active
+  /// messages as (src * p + dst, bytes) pairs, ascending in flat index,
+  /// with bytes > 0 and src != dst — exactly the nonzero entries
+  /// alltoallv_flat extracts from its matrix. Both entry points therefore
+  /// build byte-identical memo keys, share cache entries, and return
+  /// bit-identical results; this one costs O(active pairs), not O(p^2).
+  [[nodiscard]] net::ExchangeResult alltoallv_sparse(
+      const std::vector<cycles_t>& start,
+      const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic)
+      const;
+
   /// Allgather: every node broadcasts `bytes_per_node` payload to all
   /// others (the communication-plan distribution during sync()). Set
   /// `control` for fast-path control traffic such as the plan counts.
@@ -122,8 +133,18 @@ class Comm {
     std::vector<std::pair<std::int64_t, std::int64_t>> traffic;
     bool operator==(const XferKey&) const = default;
   };
+  /// Borrowed view of an XferKey for heterogeneous cache lookup: the hot
+  /// path (a memoized phase pattern) probes with the caller's traffic list
+  /// and a scratch rel_start, copying neither; only a miss materializes the
+  /// owning key for storage.
+  struct XferKeyView {
+    const std::vector<cycles_t>& rel_start;
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic;
+  };
   struct XferKeyHash {
-    std::size_t operator()(const XferKey& k) const {
+    using is_transparent = void;
+    template <typename Key>  // XferKey or XferKeyView
+    std::size_t operator()(const Key& k) const {
       std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
       const auto mix = [&h](std::uint64_t v) {
         h = (h ^ v) * 1099511628211ULL;
@@ -139,6 +160,18 @@ class Comm {
       return static_cast<std::size_t>(h);
     }
   };
+  struct XferKeyEq {
+    using is_transparent = void;
+    template <typename A, typename B>  // any mix of XferKey / XferKeyView
+    bool operator()(const A& a, const B& b) const {
+      return a.rel_start == b.rel_start && a.traffic == b.traffic;
+    }
+  };
+
+  /// Shared miss/lookup path behind both alltoallv entry points: `key`
+  /// already holds the canonical arrival pattern and sparse traffic.
+  [[nodiscard]] net::ExchangeResult xfer_lookup_or_simulate(
+      XferKey key, cycles_t base) const;
 
   machine::MachineConfig cfg_;
   // Pricing runs serially inside a runtime's phase completion, but distinct
@@ -147,7 +180,8 @@ class Comm {
   mutable std::mutex plan_mu_;
   mutable std::unordered_map<PlanKey, net::ExchangeResult, PlanKeyHash>
       plan_cache_;
-  mutable std::unordered_map<XferKey, net::ExchangeResult, XferKeyHash>
+  mutable std::unordered_map<XferKey, net::ExchangeResult, XferKeyHash,
+                             XferKeyEq>
       xfer_cache_;
   mutable std::size_t xfer_cache_words_{0};  ///< memory bound, see .cpp
 };

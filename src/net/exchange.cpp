@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "sim/engine.hpp"
 #include "sim/resource.hpp"
 #include "support/contract.hpp"
 
@@ -19,13 +18,31 @@ int round_of(int src, int dst, int p) {
   return r;
 }
 
-/// Per-message pipeline state machine. Each stage is one engine event whose
-/// closure captures only {ExchangeSim*, message index} — small and trivially
-/// copyable, so std::function stores it inline and an exchange of m messages
-/// schedules ~4m events with zero per-event heap allocation. The stages
-/// request resources and schedule follow-ups in exactly the order the
-/// original nested-lambda formulation did, so the (time, seq) event order —
-/// and with it every simulated number — is unchanged.
+/// Per-message pipeline stage, dispatched by the flat event loop below.
+enum class Stage : std::uint8_t { Send, Tx, Fabric, Rx, Recv };
+
+/// A pending event: plain data, 24 bytes. The heap pops events in
+/// (time, seq) order — the exact order the generic sim::Engine executes
+/// them — and (time, seq) pairs are unique, so swapping the closure-based
+/// queue for this POD heap cannot change the execution order, and with it
+/// cannot change any simulated number. It just removes the std::function
+/// dispatch and the 64-byte element moves from every heap sift.
+struct Event {
+  cycles_t at;
+  std::uint64_t seq;
+  std::uint32_t msg;
+  Stage stage;
+
+  // Min-heap by (time, seq): earlier times first, FIFO among equal times.
+  bool operator<(const Event& other) const {
+    if (at != other.at) return at > other.at;
+    return seq > other.seq;
+  }
+};
+
+/// Per-message pipeline state machine over FIFO resources. Stages request
+/// resources and schedule follow-ups in exactly the order the sim::Engine
+/// formulation did; see Event for why the flat queue is result-identical.
 struct ExchangeSim {
   const NetworkParams& hw;
   const SoftwareParams& sw;
@@ -35,7 +52,9 @@ struct ExchangeSim {
   std::vector<Transfer> sends;
   std::vector<cycles_t> flight;  ///< per message, filled by send_stage
 
-  sim::Engine engine;
+  std::vector<Event> heap;
+  std::uint64_t next_seq{0};
+  cycles_t now{0};
   std::vector<sim::Resource> cpu;
   std::vector<sim::Resource> tx;
   std::vector<sim::Resource> rx;
@@ -56,6 +75,39 @@ struct ExchangeSim {
         tx(static_cast<std::size_t>(p_in)),
         rx(static_cast<std::size_t>(p_in)) {}
 
+  void schedule(cycles_t at, Stage stage, std::uint32_t msg) {
+    QSM_REQUIRE(at >= now, "cannot schedule an event in the past");
+    heap.push_back(Event{at, next_seq++, msg, stage});
+    std::push_heap(heap.begin(), heap.end());
+  }
+
+  void run() {
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end());
+      const Event ev = heap.back();
+      heap.pop_back();
+      QSM_ASSERT(ev.at >= now, "event queue went backwards");
+      now = ev.at;
+      switch (ev.stage) {
+        case Stage::Send:
+          send_stage(ev.msg);
+          break;
+        case Stage::Tx:
+          tx_stage(ev.msg);
+          break;
+        case Stage::Fabric:
+          fabric_stage(ev.msg);
+          break;
+        case Stage::Rx:
+          rx_stage(ev.msg);
+          break;
+        case Stage::Recv:
+          recv_stage(ev.msg);
+          break;
+      }
+    }
+  }
+
   void note_finish(int node, cycles_t t) {
     auto& f = result.nodes[static_cast<std::size_t>(node)].finish;
     f = std::max(f, t);
@@ -65,51 +117,49 @@ struct ExchangeSim {
   void send_stage(std::uint32_t i) {
     const Transfer& t = sends[i];
     const auto send_grant = cpu[static_cast<std::size_t>(t.src)].serve(
-        engine.now(), control ? cost.control_cpu() : cost.send_cpu(t.bytes));
+        now, control ? cost.control_cpu() : cost.send_cpu(t.bytes));
     note_finish(t.src, send_grant.end);
     result.messages++;
     result.wire_bytes += t.bytes + sw.msg_header_bytes;
     // Distance-dependent latency: hops * l (1 hop when fully connected).
     flight[i] = hw.latency * hops(hw.topology, t.src, t.dst, p);
-    engine.schedule(send_grant.end, [s = this, i] { s->tx_stage(i); });
+    schedule(send_grant.end, Stage::Tx, i);
   }
 
   /// Sender NIC serializes onto the wire.
   void tx_stage(std::uint32_t i) {
     const Transfer& t = sends[i];
-    const auto tx_grant = tx[static_cast<std::size_t>(t.src)].serve(
-        engine.now(), cost.wire_time(t.bytes));
+    const auto tx_grant =
+        tx[static_cast<std::size_t>(t.src)].serve(now, cost.wire_time(t.bytes));
     note_finish(t.src, tx_grant.end);
     // With congestion modeling on, the message also streams through the
     // shared fabric before crossing the wire. The fabric serve happens in
     // its own event so resource requests stay in time order.
     if (hw.fabric_links > 0) {
-      engine.schedule(tx_grant.end, [s = this, i] { s->fabric_stage(i); });
+      schedule(tx_grant.end, Stage::Fabric, i);
       return;
     }
-    engine.schedule(tx_grant.end + flight[i],
-                    [s = this, i] { s->rx_stage(i); });
+    schedule(tx_grant.end + flight[i], Stage::Rx, i);
   }
 
   void fabric_stage(std::uint32_t i) {
-    const auto fab =
-        fabric.serve(engine.now(), cost.fabric_time(sends[i].bytes));
-    engine.schedule(fab.end + flight[i], [s = this, i] { s->rx_stage(i); });
+    const auto fab = fabric.serve(now, cost.fabric_time(sends[i].bytes));
+    schedule(fab.end + flight[i], Stage::Rx, i);
   }
 
   /// Receiver NIC pulls the message off the wire.
   void rx_stage(std::uint32_t i) {
     const Transfer& t = sends[i];
-    const auto rx_grant = rx[static_cast<std::size_t>(t.dst)].serve(
-        engine.now(), cost.wire_time(t.bytes));
-    engine.schedule(rx_grant.end, [s = this, i] { s->recv_stage(i); });
+    const auto rx_grant =
+        rx[static_cast<std::size_t>(t.dst)].serve(now, cost.wire_time(t.bytes));
+    schedule(rx_grant.end, Stage::Recv, i);
   }
 
   /// Receiver CPU consumes the message.
   void recv_stage(std::uint32_t i) {
     const Transfer& t = sends[i];
     const auto recv_grant = cpu[static_cast<std::size_t>(t.dst)].serve(
-        engine.now(), control ? cost.control_cpu() : cost.recv_cpu(t.bytes));
+        now, control ? cost.control_cpu() : cost.recv_cpu(t.bytes));
     note_finish(t.dst, recv_grant.end);
   }
 };
@@ -167,15 +217,15 @@ ExchangeResult simulate_exchange(const NetworkParams& hw,
   // Kick off each node's send chain. Each send event claims the node CPU;
   // the NIC hand-off, wire flight, receive NIC, and receive CPU are the
   // chained stage events. Resource::serve() calls always happen inside
-  // engine events, so request times are nondecreasing and the FIFO analytic
+  // events, so request times are nondecreasing and the FIFO analytic
   // bookkeeping is causally valid.
+  sim.heap.reserve(sim.sends.size() + static_cast<std::size_t>(p));
   for (std::uint32_t i = 0; i < sim.sends.size(); ++i) {
     const auto s = static_cast<std::size_t>(sim.sends[i].src);
-    sim.engine.schedule(spec.start[s],
-                        [sp = &sim, i] { sp->send_stage(i); });
+    sim.schedule(spec.start[s], Stage::Send, i);
   }
 
-  sim.engine.run();
+  sim.run();
 
   ExchangeResult result = std::move(sim.result);
   for (int i = 0; i < p; ++i) {
@@ -208,6 +258,255 @@ ExchangeResult simulate_alltoallv(
     }
   }
   return simulate_exchange(hw, sw, spec);
+}
+
+ExchangeResult simulate_alltoallv_sparse(
+    const NetworkParams& hw, const SoftwareParams& sw,
+    const std::vector<cycles_t>& start,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic) {
+  const int p = static_cast<int>(start.size());
+  ExchangeSpec spec;
+  spec.p = p;
+  spec.start = start;
+  spec.transfers.reserve(traffic.size());
+  for (const auto& [idx, b] : traffic) {
+    QSM_REQUIRE(idx >= 0 && idx < static_cast<std::int64_t>(p) * p,
+                "sparse traffic index out of range");
+    const int src = static_cast<int>(idx / p);
+    const int dst = static_cast<int>(idx % p);
+    QSM_REQUIRE(b > 0, "sparse traffic entries must be positive");
+    spec.transfers.push_back(Transfer{src, dst, b});
+  }
+  return simulate_exchange(hw, sw, spec);
+}
+
+ExchangeResult simulate_control_allgather(const NetworkParams& hw,
+                                          const SoftwareParams& sw,
+                                          const std::vector<cycles_t>& start,
+                                          std::int64_t bytes_per_node) {
+  hw.validate();
+  sw.validate();
+  QSM_REQUIRE(hw.topology == Topology::FullyConnected && hw.fabric_links == 0,
+              "analytic allgather requires a fully connected, "
+              "contention-free fabric");
+  QSM_REQUIRE(bytes_per_node >= 0, "negative allgather payload");
+  const int p = static_cast<int>(start.size());
+  QSM_REQUIRE(p >= 1, "exchange needs at least one node");
+  for (cycles_t s : start) {
+    QSM_REQUIRE(s >= 0, "start times must be non-negative");
+  }
+
+  const auto up = static_cast<std::size_t>(p);
+  ExchangeResult result;
+  result.nodes.assign(up, NodeTimings{});
+  for (std::size_t i = 0; i < up; ++i) result.nodes[i].finish = start[i];
+  if (p == 1) {
+    result.finish = start[0];
+    return result;
+  }
+
+  // Complete graph of p*(p-1) identical control messages. Because every
+  // service duration on a given resource is the same (control_cpu on CPUs,
+  // one wire_time on NICs), the FIFO grant-END sequence of each resource
+  // depends only on the multiset of request times — never on how the DES
+  // breaks ties among equal requests — so the schedule below, which mirrors
+  // the event order of simulate_exchange up to such ties, reproduces its
+  // results exactly. See DESIGN.md §4 for the full argument.
+  const MsgCost cost{hw, sw};
+  const cycles_t c = cost.control_cpu();
+  const cycles_t w = cost.wire_time(bytes_per_node);
+  const cycles_t L = hw.latency;
+  const cycles_t u = std::max(c, w);  // tx departure spacing per sender
+  const std::int64_t n_sends = static_cast<std::int64_t>(p) * (p - 1);
+  result.messages = static_cast<std::uint64_t>(n_sends);
+  result.wire_bytes = (bytes_per_node + sw.msg_header_bytes) * n_sends;
+  for (std::size_t i = 0; i < up; ++i) {
+    result.nodes[i].cpu_busy = 2 * static_cast<cycles_t>(p - 1) * c;
+    result.nodes[i].tx_busy = static_cast<cycles_t>(p - 1) * w;
+    result.nodes[i].rx_busy = static_cast<cycles_t>(p - 1) * w;
+  }
+
+  // All of node s's send events execute back-to-back at time start[s] (they
+  // carry the lowest sequence numbers at that instant), so its CPU send
+  // block is contiguous: [T0, T0 + (p-1)c) with T0 = max(start[s], end of
+  // the receive grants requested strictly before start[s]). The tx NIC then
+  // serves only sends, requested exactly c apart, giving the closed-form
+  // departure of round r (1-based): T0 + c + w + (r-1)*u.
+  std::vector<cycles_t> t0(start.begin(), start.end());
+  cycles_t smin = start[0];
+  cycles_t smax = start[0];
+  for (cycles_t s : start) {
+    smin = std::min(smin, s);
+    smax = std::max(smax, s);
+  }
+  // A receive can only delay a node's send block if some message's rx grant
+  // ends before that node starts; the earliest rx end anywhere is
+  // min_start + c + 2w + L.
+  const bool no_interference = smax <= smin + c + 2 * w + L;
+
+  // O(p) collapse of the receive folds. When w >= c the tx spacing u equals
+  // the rx service time w, so the rx FIFO unrolls exactly:
+  //   rx_end_r = max_{j<=r}(a_j + (r-j+1)w)  with  a_j = t0[s_j] + c + L + jw
+  //            = (r+1)w + c + L + max_{j<=r} t0[s_j],
+  // provided arrivals ascend in round order (adjacent-pair start spread
+  // <= u guarantees it for every receiver at once). No interference puts
+  // the send block first on every CPU (rx_end_1 >= smin + c + 2w + L >=
+  // smax >= start[d]), and rx ends are then spaced >= w >= c apart so the
+  // receive-CPU chain never queues on itself — only behind the block:
+  //   last_recv_end = max(rx_end_last + c, block_end + (p-1)c).
+  // Each receiver therefore needs only max_{s != d} start[s], which the
+  // global max and second max provide. Bit-identical to the folds below —
+  // this is the same arithmetic with the maxes taken in closed form.
+  if (no_interference && w >= c && p >= 2) {
+    bool adjacent_ok = true;
+    for (std::size_t s = 0; s < up; ++s) {
+      const std::size_t before = (s + up - 1) % up;
+      if (start[s] - start[before] > u) {
+        adjacent_ok = false;
+        break;
+      }
+    }
+    if (adjacent_ok) {
+      cycles_t m1 = start[0];
+      cycles_t m2 = -1;
+      int m1_count = 1;
+      for (std::size_t s = 1; s < up; ++s) {
+        const cycles_t v = start[s];
+        if (v > m1) {
+          m2 = m1;
+          m1 = v;
+          m1_count = 1;
+        } else if (v == m1) {
+          ++m1_count;
+        } else if (v > m2) {
+          m2 = v;
+        }
+      }
+      const cycles_t block_len = static_cast<cycles_t>(p - 1) * c;
+      cycles_t global_finish = 0;
+      for (std::size_t d = 0; d < up; ++d) {
+        const cycles_t others_max =
+            (start[d] == m1 && m1_count == 1) ? m2 : m1;
+        const cycles_t rx_last =
+            static_cast<cycles_t>(p) * w + c + L + others_max;
+        const cycles_t block_end = start[d] + block_len;
+        const cycles_t last_recv_end =
+            std::max(rx_last + c, block_end + block_len);
+        const cycles_t last_tx =
+            start[d] + c + w + static_cast<cycles_t>(p - 2) * u;
+        cycles_t fin = std::max(start[d], block_end);
+        fin = std::max(fin, last_tx);
+        fin = std::max(fin, last_recv_end);
+        result.nodes[d].finish = fin;
+        global_finish = std::max(global_finish, fin);
+      }
+      result.finish = global_finish;
+      return result;
+    }
+  }
+
+  if (!no_interference) {
+    std::vector<int> order(up);
+    for (std::size_t i = 0; i < up; ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return start[static_cast<std::size_t>(a)] <
+             start[static_cast<std::size_t>(b)];
+    });
+    // arr[d] accumulates arrival times at d from already-processed senders.
+    // Any arrival from a later-starting sender lands at or after its start
+    // (>= start[s'] + c + w + L), so when node s is processed in ascending
+    // start order, every arrival that could precede start[s] is present.
+    std::vector<std::vector<cycles_t>> arr(up);
+    std::vector<cycles_t> pre;
+    for (const int si : order) {
+      const auto s = static_cast<std::size_t>(si);
+      pre.clear();
+      for (const cycles_t a : arr[s]) {
+        if (a < start[s]) pre.push_back(a);
+      }
+      if (!pre.empty()) {
+        std::sort(pre.begin(), pre.end());
+        // rx FIFO over the early arrivals, then the receive-CPU grants they
+        // request strictly before start[s]; later arrivals cannot change
+        // these grants.
+        cycles_t rx_nf = 0;
+        cycles_t cpu_nf = 0;
+        for (const cycles_t a : pre) {
+          const cycles_t rx_end = std::max(a, rx_nf) + w;
+          rx_nf = rx_end;
+          if (rx_end < start[s]) cpu_nf = std::max(rx_end, cpu_nf) + c;
+        }
+        t0[s] = std::max(start[s], cpu_nf);
+      }
+      const cycles_t dep0 = t0[s] + c + w;
+      for (int r = 1; r < p; ++r) {
+        const int d = (si + r) % p;
+        arr[static_cast<std::size_t>(d)].push_back(
+            dep0 + static_cast<cycles_t>(r - 1) * u + L);
+      }
+    }
+  }
+
+  // Per node: last send-CPU grant, last tx grant, and the receive fold —
+  // rx FIFO over arrivals in time order feeding the CPU, with the send
+  // block inserted before any receive requested at or after start[d].
+  std::vector<cycles_t> sorted;
+  cycles_t global_finish = 0;
+  for (int d = 0; d < p; ++d) {
+    const auto ud = static_cast<std::size_t>(d);
+    cycles_t fin = start[ud];
+    const cycles_t block_req = start[ud];
+    const cycles_t block_len = static_cast<cycles_t>(p - 1) * c;
+    // Arrivals at d in round order r: from s = d - r (mod p), at
+    // t0[s] + c + w + (r-1)u + L — usually already nondecreasing (the
+    // spacing u dominates the start spread); fall back to a sort when not.
+    bool sorted_ok = true;
+    cycles_t prev = 0;
+    sorted.clear();
+    for (int r = 1; r < p; ++r) {
+      const auto s = static_cast<std::size_t>(((d - r) % p + p) % p);
+      const cycles_t a = t0[s] + c + w + static_cast<cycles_t>(r - 1) * u + L;
+      if (r > 1 && a < prev) sorted_ok = false;
+      prev = a;
+      sorted.push_back(a);
+    }
+    if (!sorted_ok) std::sort(sorted.begin(), sorted.end());
+
+    cycles_t rx_nf = 0;
+    cycles_t cpu_nf = 0;
+    bool block_done = false;
+    cycles_t block_start = 0;
+    cycles_t last_recv_end = 0;
+    for (const cycles_t a : sorted) {
+      const cycles_t rx_end = std::max(a, rx_nf) + w;
+      rx_nf = rx_end;
+      if (!block_done && rx_end >= block_req) {
+        block_start = std::max(block_req, cpu_nf);
+        cpu_nf = block_start + block_len;
+        block_done = true;
+      }
+      last_recv_end = std::max(rx_end, cpu_nf) + c;
+      cpu_nf = last_recv_end;
+    }
+    if (!block_done) {
+      block_start = std::max(block_req, cpu_nf);
+      cpu_nf = block_start + block_len;
+    }
+    // The fold just recomputed the send-block start from the receive grants;
+    // it must agree with the interference pass (or with start[d] when that
+    // pass was skipped).
+    QSM_ASSERT(block_start == t0[ud], "send block fold mismatch");
+
+    const cycles_t send_end = t0[ud] + block_len;
+    const cycles_t last_tx = t0[ud] + c + w + static_cast<cycles_t>(p - 2) * u;
+    fin = std::max(fin, send_end);
+    fin = std::max(fin, last_tx);
+    fin = std::max(fin, last_recv_end);
+    result.nodes[ud].finish = fin;
+    global_finish = std::max(global_finish, fin);
+  }
+  result.finish = global_finish;
+  return result;
 }
 
 }  // namespace qsm::net

@@ -70,4 +70,26 @@ struct ExchangeResult {
     const std::vector<cycles_t>& start,
     const std::vector<std::vector<std::int64_t>>& bytes);
 
+/// Sparse all-to-all entry point: `traffic` lists only the active messages
+/// as (src * p + dst, bytes) pairs with bytes > 0 and src != dst. Schedules
+/// exactly those messages — identical to simulate_alltoallv on the matrix
+/// whose nonzero entries are `traffic`, without ever materializing the p x p
+/// matrix. p is taken from start.size().
+[[nodiscard]] ExchangeResult simulate_alltoallv_sparse(
+    const NetworkParams& hw, const SoftwareParams& sw,
+    const std::vector<cycles_t>& start,
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic);
+
+/// Exact closed-form/fold evaluation of the complete-graph control
+/// allgather (every node sends `bytes_per_node` to every other, control
+/// costs, staggered order) — bit-identical to simulate_exchange on the same
+/// spec, without the event heap. Because every service duration on a given
+/// resource is equal, FIFO grant ends depend only on request-time multisets,
+/// never on tie order, which is what makes the analytic schedule exact.
+/// Requires a fully connected topology and no fabric congestion; callers
+/// fall back to simulate_exchange otherwise.
+[[nodiscard]] ExchangeResult simulate_control_allgather(
+    const NetworkParams& hw, const SoftwareParams& sw,
+    const std::vector<cycles_t>& start, std::int64_t bytes_per_node);
+
 }  // namespace qsm::net

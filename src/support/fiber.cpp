@@ -32,6 +32,23 @@
 #endif
 #endif
 
+// Steady-state switches avoid swapcontext where we can: glibc's
+// swapcontext saves and restores the signal mask with a sigprocmask
+// syscall on *every* switch (~1us), which at two switches per lane per
+// phase dominates the whole simulator at large p. The fast path enters a
+// fiber's fresh stack once via setcontext, then switches with
+// _setjmp/_longjmp — register save/restore only, no kernel involvement.
+// Sanitizer builds keep the swapcontext path: the TSan/ASan fiber hooks
+// are placed around it, and those builds measure correctness, not phases
+// per second. Fortified builds also keep it (- _FORTIFY_SOURCE's longjmp
+// check rejects cross-stack jumps).
+#if defined(QSM_FIBERS_UCONTEXT) && defined(__linux__) && \
+    !defined(QSM_FIBER_TSAN) && !defined(QSM_FIBER_ASAN) && \
+    !defined(_FORTIFY_SOURCE)
+#define QSM_FIBER_FAST_SWITCH 1
+#include <setjmp.h>
+#endif
+
 #if defined(QSM_FIBER_TSAN)
 #if __has_include(<sanitizer/tsan_interface.h>)
 #include <sanitizer/tsan_interface.h>
@@ -82,9 +99,15 @@ struct Fiber::Impl {
   /// the fiber actually grows into them.
   std::unique_ptr<char[]> stack;
   std::size_t stack_bytes{0};
-  ucontext_t ctx{};      ///< the fiber's suspended state
-  ucontext_t carrier{};  ///< where resume() was called from
+  ucontext_t ctx{};      ///< the fiber's initial state (entered once)
+  ucontext_t carrier{};  ///< where resume() was called from (slow path)
   bool finished{false};
+
+#if defined(QSM_FIBER_FAST_SWITCH)
+  jmp_buf carrier_jmp;  ///< carrier state at the last switch_in
+  jmp_buf fiber_jmp;    ///< fiber state at the last switch_out
+  bool entered{false};  ///< fiber stack live: _longjmp instead of setcontext
+#endif
 
   // --- sanitizer bookkeeping, unused (but harmless) in plain builds ------
   void* tsan_fiber{nullptr};        ///< this fiber's TSan state
@@ -105,7 +128,17 @@ struct Fiber::Impl {
     __sanitizer_start_switch_fiber(&asan_carrier_fake, stack.get(),
                                    stack_bytes);
 #endif
+#if defined(QSM_FIBER_FAST_SWITCH)
+    if (_setjmp(carrier_jmp) == 0) {
+      if (entered) {
+        _longjmp(fiber_jmp, 1);
+      }
+      entered = true;
+      setcontext(&ctx);  // one-way jump onto the fresh fiber stack
+    }
+#else
     swapcontext(&carrier, &ctx);
+#endif
     // Back on the carrier: the fiber yielded or finished.
 #if defined(QSM_FIBER_ASAN)
     __sanitizer_finish_switch_fiber(asan_carrier_fake, nullptr, nullptr);
@@ -123,7 +156,13 @@ struct Fiber::Impl {
     __sanitizer_start_switch_fiber(final ? nullptr : &asan_fiber_fake,
                                    carrier_stack_bottom, carrier_stack_size);
 #endif
+#if defined(QSM_FIBER_FAST_SWITCH)
+    if (final || _setjmp(fiber_jmp) == 0) {
+      _longjmp(carrier_jmp, 1);
+    }
+#else
     swapcontext(&ctx, &carrier);
+#endif
     // Resumed again (never reached when final).
 #if defined(QSM_FIBER_ASAN)
     __sanitizer_finish_switch_fiber(asan_fiber_fake, &carrier_stack_bottom,

@@ -1,0 +1,236 @@
+// Sparse/dense traffic-representation parity: the tentpole's equivalence
+// oracle.
+//
+// The phase pipeline carries per-(source, owner) traffic in one of two
+// host-side forms — CSR-style sparse lists or the classic p x p matrices —
+// and the determinism contract says the choice may not change one simulated
+// number. This suite sweeps a synthetic program's communication density
+// from one partner per node to all-to-all, across seeds and machine sizes
+// and all three layouts, and demands bit-identical results between
+// forced-sparse, forced-dense, and auto: per-phase FNV-1a hashes (a
+// readable failure digest), full RunResult equality, and identical array
+// contents. A spread variant pushes the same program through the
+// phase-worker pool, pinning the sharded sparse classifier too.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "machine/presets.hpp"
+
+namespace qsm {
+namespace {
+
+constexpr std::uint64_t kSeeds[] = {1, 42, 1234};
+constexpr int kProcs[] = {16, 64, 256};
+
+std::uint64_t phase_hash(const rt::PhaseStats& ps) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(static_cast<std::uint64_t>(ps.arrival_spread));
+  mix(static_cast<std::uint64_t>(ps.exchange_cycles));
+  mix(static_cast<std::uint64_t>(ps.barrier_cycles));
+  mix(static_cast<std::uint64_t>(ps.m_op_max));
+  mix(ps.m_rw_max);
+  mix(ps.max_put_words);
+  mix(ps.max_get_words);
+  mix(ps.rw_total);
+  mix(ps.local_words);
+  mix(ps.kappa);
+  mix(ps.messages);
+  mix(static_cast<std::uint64_t>(ps.wire_bytes));
+  return h;
+}
+
+struct ModeRun {
+  rt::RunResult timing;
+  std::vector<std::int64_t> block_data;
+  std::vector<std::int64_t> cyclic_data;
+  std::vector<std::int64_t> hashed_data;
+  std::uint64_t sparse_phases{0};
+  std::uint64_t dense_phases{0};
+};
+
+/// Four-phase synthetic program with a tunable partner count per node:
+///   1. Block puts into `partners` pseudo-random partners' chunks plus one
+///      locally-owned put (local_w_ coverage);
+///   2. Block gets from the same partners plus a Cyclic put that fans each
+///      source over min(region, p) owners;
+///   3. Hashed puts derived from the phase-2 get results (data flows
+///      through the pipeline, so content divergence would surface) plus
+///      Cyclic gets;
+///   4. a straggler phase where only every fourth node sends one word —
+///      the active-source list at its sparsest.
+/// The partner stride 11 is coprime to p - 1 for every p in kProcs, so the
+/// k-th partner offsets are distinct and requests never merge into one run.
+ModeRun run_density(int p, std::uint64_t seed, rt::TrafficMode mode,
+                    int partners, std::uint64_t region,
+                    int host_workers = 1) {
+  partners = std::clamp(partners, 1, p - 1);
+  rt::Options opts;
+  opts.seed = seed;
+  opts.check_rules = true;
+  opts.track_kappa = true;
+  opts.host_workers = host_workers;
+  opts.traffic = mode;
+  rt::Runtime runtime(machine::default_sim(p), opts);
+  const std::uint64_t n = static_cast<std::uint64_t>(p) * region;
+  auto a = runtime.alloc<std::int64_t>(n, rt::Layout::Block, "a");
+  auto c = runtime.alloc<std::int64_t>(n, rt::Layout::Cyclic, "c");
+  auto h = runtime.alloc<std::int64_t>(n, rt::Layout::Hashed, "h");
+
+  auto timing = runtime.run([&](rt::Context& ctx) {
+    const int i = ctx.rank();
+    const auto base = static_cast<std::uint64_t>(i) * region;
+    const auto partner = [&](int k) {
+      return (i + 1 + (k * 11) % (p - 1)) % p;
+    };
+    std::vector<std::int64_t> buf(region);
+    std::vector<std::int64_t> in(region *
+                                 static_cast<std::uint64_t>(partners));
+
+    for (int k = 0; k < partners; ++k) {
+      const auto j = static_cast<std::uint64_t>(partner(k));
+      for (std::uint64_t t = 0; t < region; ++t) {
+        buf[t] = static_cast<std::int64_t>(
+            (seed ^ (j * region + t)) * 1000003 + static_cast<unsigned>(i));
+      }
+      ctx.put_range(a, j * region, region, buf.data());
+    }
+    for (std::uint64_t t = 0; t < region; ++t) {
+      buf[t] = static_cast<std::int64_t>(base + t);
+    }
+    ctx.put_range(a, base, region, buf.data());
+    ctx.sync();
+
+    for (int k = 0; k < partners; ++k) {
+      ctx.get_range(a, static_cast<std::uint64_t>(partner(k)) * region,
+                    region, in.data() + static_cast<std::uint64_t>(k) * region);
+    }
+    for (std::uint64_t t = 0; t < region; ++t) {
+      buf[t] = static_cast<std::int64_t>(base * 31 + t * 7);
+    }
+    ctx.put_range(c, base, region, buf.data());
+    ctx.sync();
+
+    for (std::uint64_t t = 0; t < region; ++t) {
+      buf[t] = in[t % in.size()] + static_cast<std::int64_t>(t);
+    }
+    ctx.put_range(h, base, region, buf.data());
+    ctx.get_range(c, static_cast<std::uint64_t>((i + 1) % p) * region,
+                  region, in.data());
+    ctx.sync();
+
+    if (i % 4 == 0) {
+      const std::int64_t one = i;
+      ctx.put_range(a, static_cast<std::uint64_t>(partner(0)) * region, 1,
+                    &one);
+    }
+    ctx.sync();
+  });
+
+  ModeRun out;
+  out.timing = std::move(timing);
+  out.block_data = runtime.host_read(a);
+  out.cyclic_data = runtime.host_read(c);
+  out.hashed_data = runtime.host_read(h);
+  out.sparse_phases = runtime.host_sparse_phases();
+  out.dense_phases = runtime.host_dense_phases();
+  return out;
+}
+
+void expect_parity(const ModeRun& want, const ModeRun& got,
+                   const std::string& what) {
+  ASSERT_EQ(want.timing.phases, got.timing.phases) << what;
+  for (std::size_t i = 0; i < want.timing.trace.size(); ++i) {
+    EXPECT_EQ(phase_hash(want.timing.trace[i]),
+              phase_hash(got.timing.trace[i]))
+        << what << ": phase " << i << " diverged";
+  }
+  EXPECT_EQ(want.timing, got.timing) << what;
+  EXPECT_EQ(want.block_data, got.block_data) << what;
+  EXPECT_EQ(want.cyclic_data, got.cyclic_data) << what;
+  EXPECT_EQ(want.hashed_data, got.hashed_data) << what;
+}
+
+TEST(SparseParity, DensitySweepBitIdenticalAcrossTrafficModes) {
+  for (const std::uint64_t seed : kSeeds) {
+    for (const int p : kProcs) {
+      for (const int partners : {1, 4, p / 8, p / 2, p - 1}) {
+        const std::string what = "p=" + std::to_string(p) +
+                                 " partners=" + std::to_string(partners) +
+                                 " seed=" + std::to_string(seed);
+        SCOPED_TRACE(what);
+        const ModeRun dense =
+            run_density(p, seed, rt::TrafficMode::Dense, partners, 8);
+        const ModeRun sparse =
+            run_density(p, seed, rt::TrafficMode::Sparse, partners, 8);
+        const ModeRun autop =
+            run_density(p, seed, rt::TrafficMode::Auto, partners, 8);
+        expect_parity(dense, sparse, what + " [sparse]");
+        expect_parity(dense, autop, what + " [auto]");
+
+        // Forced modes must actually force: these counters are host-side
+        // introspection, never part of the compared traces.
+        EXPECT_EQ(dense.sparse_phases, 0u) << what;
+        EXPECT_EQ(sparse.dense_phases, 0u) << what;
+        EXPECT_EQ(autop.sparse_phases + autop.dense_phases,
+                  autop.timing.trace.size())
+            << what;
+      }
+    }
+  }
+}
+
+TEST(SparseParity, AutoPicksSparseForSparseTraffic) {
+  // One partner per node at p = 64: a few active pairs per source against
+  // a p^2/4 = 1024 budget. Auto must route at least the put phase through
+  // the sparse representation.
+  const ModeRun r = run_density(64, 42, rt::TrafficMode::Auto, 1, 8);
+  EXPECT_GE(r.sparse_phases, 1u);
+}
+
+TEST(SparseParity, AutoPicksDenseForAllToAllTraffic) {
+  // All-to-all at p = 16: every source touches every owner, far past the
+  // density threshold — the request-count shortcut must bail to dense.
+  const ModeRun r = run_density(16, 42, rt::TrafficMode::Dense, 15, 8);
+  const ModeRun a = run_density(16, 42, rt::TrafficMode::Auto, 15, 8);
+  expect_parity(r, a, "all-to-all auto");
+  EXPECT_GE(a.dense_phases, 1u);
+}
+
+TEST(SparseParity, SpreadPhasesBitIdenticalAcrossTrafficModes) {
+  // Enough queued words (16 * 5 * 512 = 40960 >= the spread threshold)
+  // that classify and move run on the phase-worker pool, exercising the
+  // sharded sparse counters and the owner-partitioned sparse move.
+  for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{42}}) {
+    const std::string what = "spread seed=" + std::to_string(seed);
+    SCOPED_TRACE(what);
+    const ModeRun dense =
+        run_density(16, seed, rt::TrafficMode::Dense, 4, 512, 2);
+    const ModeRun sparse =
+        run_density(16, seed, rt::TrafficMode::Sparse, 4, 512, 2);
+    const ModeRun autop =
+        run_density(16, seed, rt::TrafficMode::Auto, 4, 512, 2);
+    expect_parity(dense, sparse, what + " [sparse]");
+    expect_parity(dense, autop, what + " [auto]");
+  }
+}
+
+TEST(SparseParity, TrafficModeSpellingsRoundTrip) {
+  EXPECT_EQ(rt::traffic_mode_from_string("auto"), rt::TrafficMode::Auto);
+  EXPECT_EQ(rt::traffic_mode_from_string("sparse"), rt::TrafficMode::Sparse);
+  EXPECT_EQ(rt::traffic_mode_from_string("dense"), rt::TrafficMode::Dense);
+  EXPECT_STREQ(rt::traffic_mode_name(rt::TrafficMode::Sparse), "sparse");
+  EXPECT_THROW((void)rt::traffic_mode_from_string("csr"),
+               support::ContractViolation);
+}
+
+}  // namespace
+}  // namespace qsm

@@ -84,6 +84,54 @@ TEST(Comm, ControlAllgatherIsCheaperThanDataAllgather) {
   EXPECT_EQ(control.messages, data.messages);
 }
 
+TEST(Comm, SparseAlltoallvMatchesFlat) {
+  // The two entry points must build byte-identical memo keys: the sparse
+  // caller supplies exactly the nonzeros the flat form extracts, so the
+  // results — and the cache entries behind them — are shared.
+  const auto c = default_comm(6);
+  const std::size_t p = 6;
+  std::vector<std::int64_t> flat(p * p, 0);
+  std::vector<std::pair<std::int64_t, std::int64_t>> traffic;
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t j = 0; j < p; ++j) {
+      if (i == j || (i + j) % 3 != 0) continue;
+      const auto b = static_cast<std::int64_t>(128 + 8 * (i * p + j));
+      flat[i * p + j] = b;
+      traffic.emplace_back(static_cast<std::int64_t>(i * p + j), b);
+    }
+  }
+  std::vector<support::cycles_t> start(p);
+  for (std::size_t i = 0; i < p; ++i) {
+    start[i] = static_cast<support::cycles_t>((i * 53) % 4) * 250;
+  }
+  const auto dense = c.alltoallv_flat(start, flat);
+  const auto sparse = c.alltoallv_sparse(start, traffic);
+  EXPECT_EQ(dense.finish, sparse.finish);
+  EXPECT_EQ(dense.messages, sparse.messages);
+  EXPECT_EQ(dense.wire_bytes, sparse.wire_bytes);
+  for (std::size_t i = 0; i < p; ++i) {
+    EXPECT_EQ(dense.nodes[i].finish, sparse.nodes[i].finish);
+  }
+}
+
+TEST(Comm, SparseAlltoallvRejectsMalformedTraffic) {
+  const auto c = default_comm(4);
+  const std::vector<support::cycles_t> start(4, 0);
+  using Traffic = std::vector<std::pair<std::int64_t, std::int64_t>>;
+  // Descending flat index.
+  EXPECT_THROW((void)c.alltoallv_sparse(start, Traffic{{6, 8}, {1, 8}}),
+               support::ContractViolation);
+  // Diagonal entry (5 = 1*4 + 1).
+  EXPECT_THROW((void)c.alltoallv_sparse(start, Traffic{{5, 8}}),
+               support::ContractViolation);
+  // Zero bytes.
+  EXPECT_THROW((void)c.alltoallv_sparse(start, Traffic{{1, 0}}),
+               support::ContractViolation);
+  // Index out of range.
+  EXPECT_THROW((void)c.alltoallv_sparse(start, Traffic{{16, 8}}),
+               support::ContractViolation);
+}
+
 TEST(Comm, BiggerMachineHasCostlierBarrier) {
   EXPECT_GT(default_comm(64).barrier_cost(), default_comm(4).barrier_cost());
 }

@@ -141,6 +141,107 @@ TEST(Exchange, MoreBytesNeverFinishEarlier) {
   }
 }
 
+TEST(Exchange, SparseAlltoallvMatchesDenseMatrix) {
+  const auto hw = default_hw();
+  const auto sw = default_sw();
+  // A handful of patterns from near-empty to full: the sparse entry point
+  // must schedule exactly the messages the matrix form extracts.
+  for (const int fill : {1, 3, 7}) {
+    const std::size_t p = 8;
+    std::vector<std::vector<std::int64_t>> bytes(
+        p, std::vector<std::int64_t>(p, 0));
+    std::vector<std::pair<std::int64_t, std::int64_t>> traffic;
+    for (std::size_t i = 0; i < p; ++i) {
+      for (std::size_t j = 0; j < p; ++j) {
+        if (i == j || (i * p + j) % static_cast<std::size_t>(fill + 1) != 0) {
+          continue;
+        }
+        const auto b = static_cast<std::int64_t>(64 * (i + 2 * j + 1));
+        bytes[i][j] = b;
+        traffic.emplace_back(static_cast<std::int64_t>(i * p + j), b);
+      }
+    }
+    std::vector<support::cycles_t> start(p);
+    for (std::size_t i = 0; i < p; ++i) {
+      start[i] = static_cast<support::cycles_t>((i * 37) % 5) * 100;
+    }
+    const auto dense = simulate_alltoallv(hw, sw, start, bytes);
+    const auto sparse = simulate_alltoallv_sparse(hw, sw, start, traffic);
+    ASSERT_EQ(dense.nodes.size(), sparse.nodes.size()) << "fill=" << fill;
+    EXPECT_EQ(dense.finish, sparse.finish) << "fill=" << fill;
+    EXPECT_EQ(dense.messages, sparse.messages) << "fill=" << fill;
+    EXPECT_EQ(dense.wire_bytes, sparse.wire_bytes) << "fill=" << fill;
+    for (std::size_t i = 0; i < p; ++i) {
+      EXPECT_EQ(dense.nodes[i].finish, sparse.nodes[i].finish);
+      EXPECT_EQ(dense.nodes[i].cpu_busy, sparse.nodes[i].cpu_busy);
+      EXPECT_EQ(dense.nodes[i].tx_busy, sparse.nodes[i].tx_busy);
+      EXPECT_EQ(dense.nodes[i].rx_busy, sparse.nodes[i].rx_busy);
+    }
+  }
+}
+
+// The analytic control allgather replaces the event heap for the per-phase
+// plan exchange; simulate_exchange on the same complete graph is its
+// oracle. The arrival patterns below drive every evaluation strategy: all
+// branches of the analytic ladder (the O(p) collapsed schedule for sorted
+// low-jitter arrivals, the O(p^2) FIFO fold for unsorted ones, the
+// interference pass for wide spreads) must stay bit-identical to the DES.
+TEST(ControlAllgather, MatchesEventSimulationAcrossArrivalPatterns) {
+  const auto hw = default_hw();
+  const auto sw = default_sw();
+  for (const int p : {2, 3, 4, 8, 16, 33}) {
+    const std::int64_t bytes = 16 * p;
+    const auto up = static_cast<std::size_t>(p);
+    std::vector<std::vector<support::cycles_t>> patterns;
+    const auto ramp = [&](support::cycles_t step) {
+      std::vector<support::cycles_t> s(up);
+      for (std::size_t i = 0; i < up; ++i) {
+        s[i] = static_cast<support::cycles_t>(i) * step;
+      }
+      return s;
+    };
+    patterns.push_back(std::vector<support::cycles_t>(up, 0));  // ties
+    patterns.push_back(ramp(100));    // sorted, tight: collapsed schedule
+    patterns.push_back(ramp(450));    // adjacent gaps near the u boundary
+    patterns.push_back(ramp(5000));   // wide spread: interference pass
+    std::vector<support::cycles_t> spikes(up, 0);
+    for (std::size_t i = 1; i < up; i += 2) spikes[i] = 1900;  // unsorted
+    patterns.push_back(std::move(spikes));
+    std::vector<support::cycles_t> straggler(up, 0);
+    straggler[up - 1] = 50'000;  // one late node past the window
+    patterns.push_back(std::move(straggler));
+    std::vector<support::cycles_t> jitter(up);
+    for (std::size_t i = 0; i < up; ++i) {
+      jitter[i] = static_cast<support::cycles_t>((i * 929) % 1400);
+    }
+    patterns.push_back(std::move(jitter));
+
+    for (std::size_t pat = 0; pat < patterns.size(); ++pat) {
+      ExchangeSpec spec;
+      spec.p = p;
+      spec.start = patterns[pat];
+      spec.control = true;
+      for (int i = 0; i < p; ++i) {
+        for (int j = 0; j < p; ++j) {
+          if (i != j) spec.transfers.push_back({i, j, bytes});
+        }
+      }
+      const auto des = simulate_exchange(hw, sw, spec);
+      const auto fast =
+          simulate_control_allgather(hw, sw, patterns[pat], bytes);
+      ASSERT_EQ(des.nodes.size(), fast.nodes.size());
+      EXPECT_EQ(des.finish, fast.finish)
+          << "p=" << p << " pattern=" << pat;
+      EXPECT_EQ(des.messages, fast.messages);
+      EXPECT_EQ(des.wire_bytes, fast.wire_bytes);
+      for (std::size_t i = 0; i < static_cast<std::size_t>(p); ++i) {
+        EXPECT_EQ(des.nodes[i].finish, fast.nodes[i].finish)
+            << "p=" << p << " pattern=" << pat << " node=" << i;
+      }
+    }
+  }
+}
+
 struct SweepParam {
   double gap;
   support::cycles_t overhead;

@@ -27,6 +27,33 @@ void register_common_flags(support::ArgParser& args) {
   args.flag_str("lanes", "auto",
                 "program lane engine: auto, threads, or fibers (host "
                 "throughput only; traces are identical)");
+  // Fault injection (all off by default; any nonzero probability changes
+  // the cache keys, so fault-free caches are untouched).
+  args.flag_f64("fault-drop", 0, "per-message drop probability");
+  args.flag_f64("fault-dup", 0, "per-message duplication probability");
+  args.flag_f64("fault-delay", 0, "per-message delay-spike probability");
+  args.flag_i64("fault-delay-spike", 20000, "delay-spike size in cycles");
+  args.flag_f64("fault-stall", 0, "per-node per-phase stall probability");
+  args.flag_i64("fault-stall-cycles", 50000, "stall size in cycles");
+  args.flag_f64("fault-slow", 0, "per-node per-phase slowdown probability");
+  args.flag_f64("fault-slow-factor", 2.0,
+                "compute multiplier for a slowed node (>= 1)");
+  args.flag_f64("fault-node-fail", 0,
+                "per-node per-phase failure probability (triggers replay)");
+  args.flag_i64("fault-timeout", 8000, "ack timeout before retransmit, cycles");
+  args.flag_f64("fault-backoff", 2.0, "retransmit backoff multiplier (>= 1)");
+  args.flag_i64("fault-attempts", 8, "delivery attempts per message (1..62)");
+  args.flag_i64("fault-seed", 1, "fault-draw seed (independent of --seed)");
+  // Per-point robustness guards and crash recovery.
+  args.flag_f64("point-timeout", 0,
+                "host seconds per grid point before the watchdog fails it "
+                "(0 = off)");
+  args.flag_i64("point-rss-mb", 0,
+                "process RSS budget in MB while a point runs (0 = off)");
+  args.flag_bool("tolerate-failures", false,
+                 "record throwing points as failure rows and keep sweeping");
+  args.flag_bool("resume", false,
+                 "accept cached failure rows instead of retrying them");
 }
 
 CommonConfig read_common_flags(const support::ArgParser& args) {
@@ -49,6 +76,29 @@ CommonConfig read_common_flags(const support::ArgParser& args) {
   // leave `lanes` at Auto) resolves through this default. Not part of any
   // cache key — lane mode cannot change a simulated number.
   rt::set_default_lane_mode(cfg.lanes);
+
+  net::FaultParams& fault = cfg.machine.net.fault;
+  fault.drop_prob = args.f64("fault-drop");
+  fault.dup_prob = args.f64("fault-dup");
+  fault.delay_prob = args.f64("fault-delay");
+  fault.delay_cycles = args.i64("fault-delay-spike");
+  fault.stall_prob = args.f64("fault-stall");
+  fault.stall_cycles = args.i64("fault-stall-cycles");
+  fault.slow_prob = args.f64("fault-slow");
+  fault.slow_factor = args.f64("fault-slow-factor");
+  fault.node_fail_prob = args.f64("fault-node-fail");
+  fault.ack_timeout = args.i64("fault-timeout");
+  fault.ack_backoff = args.f64("fault-backoff");
+  fault.max_attempts = static_cast<int>(args.i64("fault-attempts"));
+  fault.seed = static_cast<std::uint64_t>(args.i64("fault-seed"));
+  fault.validate();
+
+  cfg.point_timeout_s = args.f64("point-timeout");
+  QSM_REQUIRE(cfg.point_timeout_s >= 0, "--point-timeout must be >= 0");
+  cfg.point_rss_mb = args.i64("point-rss-mb");
+  QSM_REQUIRE(cfg.point_rss_mb >= 0, "--point-rss-mb must be >= 0");
+  cfg.tolerate_failures = args.boolean("tolerate-failures");
+  cfg.resume = args.boolean("resume");
   return cfg;
 }
 
@@ -59,16 +109,20 @@ harness::RunnerOptions runner_options(const CommonConfig& cfg,
   opts.jobs = cfg.jobs;
   opts.cache = cfg.cache;
   opts.cache_dir = cfg.cache_dir;
+  opts.point_timeout_s = cfg.point_timeout_s;
+  opts.point_rss_mb = cfg.point_rss_mb;
+  opts.tolerate_failures = cfg.tolerate_failures;
+  opts.resume = cfg.resume;
   return opts;
 }
 
 void print_runner_stats(const harness::SweepRunner& runner) {
   const harness::RunnerStats& s = runner.stats();
   std::printf(
-      "harness: points=%zu cached=%zu computed=%zu jobs=%d workers/job=%d "
-      "compute=%.3fs cache=%s\n\n",
-      s.points, s.cached, s.computed, s.jobs, s.phase_workers_per_job,
-      s.compute_seconds,
+      "harness: points=%zu cached=%zu computed=%zu failed=%zu resumed=%zu "
+      "jobs=%d workers/job=%d compute=%.3fs cache=%s\n\n",
+      s.points, s.cached, s.computed, s.failed, s.resumed, s.jobs,
+      s.phase_workers_per_job, s.compute_seconds,
       runner.options().cache ? runner.options().cache_dir.c_str() : "off");
 }
 

@@ -40,6 +40,13 @@ struct CommonConfig {
   std::string cache_dir;  ///< JSONL result cache location
   /// Program lane engine (--lanes); also installed as the process default.
   rt::LaneMode lanes{rt::LaneMode::Auto};
+  // Robustness knobs (--point-timeout, --point-rss-mb, --tolerate-failures,
+  // --resume); the fault-injection --fault-* flags land directly in
+  // machine.net.fault.
+  double point_timeout_s{0};
+  std::int64_t point_rss_mb{0};
+  bool tolerate_failures{false};
+  bool resume{false};
 };
 
 [[nodiscard]] CommonConfig read_common_flags(const support::ArgParser& args);

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Crash-safety check for the sweep harness: SIGKILL a sweep mid-run, then
+# prove the surviving cache file resumes it.
+#
+# Run 1 is killed once the cache holds a few records. The file may end in
+# a torn line (the kill can land mid-write); that must not poison run 2,
+# which picks up every record completed before the kill (cached >= lines
+# observed at kill time) and computes exactly the remainder. Run 3 is
+# fully warm and must recompute nothing (computed=0).
+#
+# Usage: chaos_kill.sh <bench_chaos binary> [extra args...]
+set -euo pipefail
+
+bin=$1
+shift
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+args=(--procs 64 --drops 0,0.02,0.05,0.1 --slows 0.25,0.5
+      --n-prefix 16384 --n-list 8192 --jobs 2 --cache-dir "$work/cache"
+      --out "$work/chaos.json" "$@")
+cachefile="$work/cache/chaos.jsonl"
+
+"$bin" "${args[@]}" > "$work/out1.txt" 2>&1 &
+pid=$!
+for _ in $(seq 1 400); do
+  kill -0 "$pid" 2>/dev/null || break
+  lines=$(2>/dev/null wc -l < "$cachefile" || echo 0)
+  [ "$lines" -ge 2 ] && break
+  sleep 0.05
+done
+if ! kill -0 "$pid" 2>/dev/null; then
+  echo "FAIL: sweep finished before the kill (grid too small to test)" >&2
+  exit 1
+fi
+kill -9 "$pid"
+wait "$pid" 2>/dev/null || true
+lines_at_kill=$(2>/dev/null wc -l < "$cachefile" || echo 0)
+if [ "$lines_at_kill" -lt 1 ]; then
+  echo "FAIL: no cache records survived the kill" >&2
+  exit 1
+fi
+
+"$bin" "${args[@]}" --resume > "$work/out2.txt" 2>&1
+stats=$(grep '^harness:' "$work/out2.txt")
+points=$(echo "$stats" | grep -o 'points=[0-9]*' | cut -d= -f2)
+cached=$(echo "$stats" | grep -o 'cached=[0-9]*' | cut -d= -f2)
+computed=$(echo "$stats" | grep -o 'computed=[0-9]*' | cut -d= -f2)
+if [ "$cached" -lt "$lines_at_kill" ]; then
+  echo "FAIL: resume run reused $cached points but $lines_at_kill were on" \
+       "disk at kill time" >&2
+  exit 1
+fi
+if [ "$((cached + computed))" -ne "$points" ]; then
+  echo "FAIL: cached=$cached + computed=$computed != points=$points" >&2
+  exit 1
+fi
+
+"$bin" "${args[@]}" --resume > "$work/out3.txt" 2>&1
+if ! grep -q "computed=0 " "$work/out3.txt"; then
+  echo "FAIL: warm resume recomputed points (expected computed=0):" >&2
+  grep '^harness:' "$work/out3.txt" >&2 || true
+  exit 1
+fi
+
+echo "OK: killed at $lines_at_kill cached records; resume reused $cached," \
+     "computed $computed of $points; warm resume computed=0"

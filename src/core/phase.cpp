@@ -6,6 +6,7 @@
 
 #include "core/exec.hpp"
 #include "net/barrier.hpp"
+#include "net/fault.hpp"
 
 namespace qsm::rt {
 
@@ -674,80 +675,175 @@ void PhasePipeline::price(std::vector<NodeState>& nodes, PhaseStats& ps) {
     max_ready = std::max(max_ready, t_ready_[i]);
   }
 
+  // Fault injection (net/fault.hpp). Everything below is gated so the
+  // fault-free path (the default) executes exactly the pre-fault code:
+  // salts stay 0, no draw ever happens, and the memo keys are unchanged.
+  // Fault draws key on (fingerprint, phase index, attempt, round) — never
+  // on simulated time or host scheduling — which is what keeps faulted
+  // traces bit-identical across lane engines, worker counts, and job
+  // counts. The phase index comes off the node phase counters, which every
+  // lane advances in lockstep.
+  const net::FaultParams& fparams = comm_.config().net.fault;
+  const bool msg_faults = fparams.message_faults_enabled();
+  const bool node_faults = fparams.node_faults_enabled();
+  const std::uint64_t ffp =
+      (msg_faults || node_faults) ? net::fault_fingerprint(fparams) : 0;
+  const std::uint64_t phase_idx = nodes.empty() ? 0 : nodes[0].phase_count;
+  if (node_faults) {
+    // Transient stalls and slowdowns delay the node's arrival at the
+    // exchange. They are applied after max_ready is taken, so the lost
+    // time is charged to exchange_cycles (time the healthy nodes spend
+    // waiting on stragglers) — simulated time, not host time.
+    const net::FaultModel model(fparams);
+    const std::uint64_t nsalt = net::FaultModel::node_salt(ffp, phase_idx, 0);
+    for (std::size_t i = 0; i < up; ++i) {
+      cycles_t delay = model.node_stall(nsalt, static_cast<int>(i));
+      const double mult = model.node_slow_mult(nsalt, static_cast<int>(i));
+      if (mult > 1.0) {
+        const cycles_t phase_compute =
+            nodes[i].compute - nodes[i].compute_at_phase_start;
+        delay += support::ceil_cycles(
+            (mult - 1.0) * static_cast<double>(phase_compute));
+      }
+      t_ready_[i] += delay;
+    }
+  }
 
   t_done_ = t_ready_;
   if (p > 1) {
-    // Communication plan: every node broadcasts its per-destination
-    // put/get counts.
-    const std::int64_t plan_bytes =
-        2 * static_cast<std::int64_t>(p) * sw.plan_entry_bytes;
-    const auto plan = comm_.allgather(t_ready_, plan_bytes, /*control=*/true);
-    ps.messages += plan.messages;
-    ps.wire_bytes += plan.wire_bytes;
-    t_plan_.resize(up);
-    for (std::size_t i = 0; i < up; ++i) t_plan_[i] = plan.nodes[i].finish;
-  
-    // Round 1: put data and get requests. Both forms hand the collective
-    // layer the same nonzero (flat index, bytes) list — the sparse entry
-    // point just skips materializing the matrix — so the memoized results
-    // are shared and identical.
-    t1_ = t_plan_;
-    if (any1) {
-      const auto r1 = sparse_phase_
-                          ? comm_.alltoallv_sparse(t_plan_, traffic1_)
-                          : comm_.alltoallv_flat(t_plan_, bytes1_);
-      ps.messages += r1.messages;
-      ps.wire_bytes += r1.wire_bytes;
-      for (std::size_t i = 0; i < up; ++i) t1_[i] = r1.nodes[i].finish;
-    }
-  
-    // Owners apply received puts and service received get requests
-    // (recv_w_ holds the column sums from the fused pass).
-    t2_ = t1_;
-    for (std::size_t j = 0; j < up; ++j) {
-      t2_[j] += static_cast<cycles_t>(recv_w_[j]) * sw.per_apply_cpu;
-    }
+    // Pricing rounds, wrapped in the phase-replay loop: bulk-synchronous
+    // phases checkpoint at each barrier, so when a node is declared failed
+    // the phase re-prices from the (uniform) post-recovery restart time
+    // with a fresh attempt salt. Replaying costs only pricing — gets read
+    // pre-phase values and puts are last-writer-wins deterministic, so the
+    // memory effects of the phase are idempotent and never rolled back.
+    // Failed attempts' traffic stays in the stats: it really crossed the
+    // wire.
+    const int max_attempts = node_faults ? fparams.max_attempts : 1;
+    for (int attempt = 1;; ++attempt) {
+      const std::uint64_t salt_plan =
+          msg_faults ? net::FaultModel::exchange_salt(
+                           ffp, phase_idx, static_cast<std::uint64_t>(attempt),
+                           1)
+                     : 0;
+      const std::uint64_t salt_r1 =
+          msg_faults ? net::FaultModel::exchange_salt(
+                           ffp, phase_idx, static_cast<std::uint64_t>(attempt),
+                           2)
+                     : 0;
+      const std::uint64_t salt_r2 =
+          msg_faults ? net::FaultModel::exchange_salt(
+                           ffp, phase_idx, static_cast<std::uint64_t>(attempt),
+                           3)
+                     : 0;
 
-    // Round 2: get replies travel back (owner j -> requester i, so the
-    // flat index transposes to j*p + i).
-    t_done_ = t2_;
-    if (total_get_words > 0) {
-      net::ExchangeResult r2;
-      if (sparse_phase_) {
-        traffic2_.clear();
-        for (std::size_t i = 0; i < up; ++i) {
-          for (std::size_t e = row_off_[i]; e < row_off_[i] + row_len_[i];
-               ++e) {
-            const OwnerTraffic& ot = entries_[e];
-            if (ot.get_w == 0) continue;
-            traffic2_.emplace_back(
-                static_cast<std::int64_t>(ot.owner) * p +
-                    static_cast<std::int64_t>(i),
-                static_cast<std::int64_t>(ot.get_w) * sw.get_reply_bytes);
-          }
-        }
-        std::sort(traffic2_.begin(), traffic2_.end());
-        r2 = comm_.alltoallv_sparse(t2_, traffic2_);
-      } else {
-        for (std::size_t i = 0; i < up; ++i) {
-          for (std::size_t j = 0; j < up; ++j) {
-            bytes2_[j * up + i] =
-                static_cast<std::int64_t>(get_w_[i * up + j]) *
-                sw.get_reply_bytes;
-          }
-        }
-        r2 = comm_.alltoallv_flat(t2_, bytes2_);
+      // Communication plan: every node broadcasts its per-destination
+      // put/get counts.
+      const std::int64_t plan_bytes =
+          2 * static_cast<std::int64_t>(p) * sw.plan_entry_bytes;
+      const auto plan =
+          comm_.allgather(t_ready_, plan_bytes, /*control=*/true, salt_plan);
+      ps.messages += plan.messages;
+      ps.wire_bytes += plan.wire_bytes;
+      ps.retries += plan.retries;
+      ps.drops += plan.drops;
+      ps.duplicates += plan.duplicates;
+      t_plan_.resize(up);
+      for (std::size_t i = 0; i < up; ++i) t_plan_[i] = plan.nodes[i].finish;
+
+      // Round 1: put data and get requests. Both forms hand the collective
+      // layer the same nonzero (flat index, bytes) list — the sparse entry
+      // point just skips materializing the matrix — so the memoized results
+      // are shared and identical.
+      t1_ = t_plan_;
+      if (any1) {
+        const auto r1 =
+            sparse_phase_
+                ? comm_.alltoallv_sparse(t_plan_, traffic1_, salt_r1)
+                : comm_.alltoallv_flat(t_plan_, bytes1_, salt_r1);
+        ps.messages += r1.messages;
+        ps.wire_bytes += r1.wire_bytes;
+        ps.retries += r1.retries;
+        ps.drops += r1.drops;
+        ps.duplicates += r1.duplicates;
+        for (std::size_t i = 0; i < up; ++i) t1_[i] = r1.nodes[i].finish;
       }
-      ps.messages += r2.messages;
-      ps.wire_bytes += r2.wire_bytes;
+
+      // Owners apply received puts and service received get requests
+      // (recv_w_ holds the column sums from the fused pass).
+      t2_ = t1_;
+      for (std::size_t j = 0; j < up; ++j) {
+        t2_[j] += static_cast<cycles_t>(recv_w_[j]) * sw.per_apply_cpu;
+      }
+
+      // Round 2: get replies travel back (owner j -> requester i, so the
+      // flat index transposes to j*p + i).
+      t_done_ = t2_;
+      if (total_get_words > 0) {
+        net::ExchangeResult r2;
+        if (sparse_phase_) {
+          traffic2_.clear();
+          for (std::size_t i = 0; i < up; ++i) {
+            for (std::size_t e = row_off_[i]; e < row_off_[i] + row_len_[i];
+                 ++e) {
+              const OwnerTraffic& ot = entries_[e];
+              if (ot.get_w == 0) continue;
+              traffic2_.emplace_back(
+                  static_cast<std::int64_t>(ot.owner) * p +
+                      static_cast<std::int64_t>(i),
+                  static_cast<std::int64_t>(ot.get_w) * sw.get_reply_bytes);
+            }
+          }
+          std::sort(traffic2_.begin(), traffic2_.end());
+          r2 = comm_.alltoallv_sparse(t2_, traffic2_, salt_r2);
+        } else {
+          for (std::size_t i = 0; i < up; ++i) {
+            for (std::size_t j = 0; j < up; ++j) {
+              bytes2_[j * up + i] =
+                  static_cast<std::int64_t>(get_w_[i * up + j]) *
+                  sw.get_reply_bytes;
+            }
+          }
+          r2 = comm_.alltoallv_flat(t2_, bytes2_, salt_r2);
+        }
+        ps.messages += r2.messages;
+        ps.wire_bytes += r2.wire_bytes;
+        ps.retries += r2.retries;
+        ps.drops += r2.drops;
+        ps.duplicates += r2.duplicates;
+        for (std::size_t i = 0; i < up; ++i) {
+          // get_row_ holds each requester's remote get words from the fused
+          // pass (same owner-ascending summation order).
+          t_done_[i] = r2.nodes[i].finish +
+                       static_cast<cycles_t>(get_row_[i]) * sw.per_apply_cpu;
+        }
+      }
+
+      if (!node_faults || attempt >= max_attempts) break;
+      const std::uint64_t fsalt = net::FaultModel::node_salt(
+          ffp, phase_idx, static_cast<std::uint64_t>(attempt));
+      const net::FaultModel model(fparams);
+      std::uint64_t failed = 0;
       for (std::size_t i = 0; i < up; ++i) {
-        // get_row_ holds each requester's remote get words from the fused
-        // pass (same owner-ascending summation order).
-        t_done_[i] = r2.nodes[i].finish +
-                     static_cast<cycles_t>(get_row_[i]) * sw.per_apply_cpu;
+        if (model.node_failed(fsalt, static_cast<int>(i))) ++failed;
       }
+      if (failed == 0) break;
+      // Replay: the failure is detected detect_cycles after the exchange
+      // settles; the checkpoint restore costs recovery_cycles; every node
+      // (including the recovered one — its state replays from the
+      // checkpoint) restarts the phase's pricing from that uniform time.
+      ps.replays += 1;
+      const std::uint64_t survivors = static_cast<std::uint64_t>(p) - failed;
+      ps.p_effective = ps.p_effective == 0
+                           ? survivors
+                           : std::min(ps.p_effective, survivors);
+      cycles_t settle = 0;
+      for (const cycles_t t : t_done_) settle = std::max(settle, t);
+      const cycles_t restart =
+          settle + fparams.detect_cycles + fparams.recovery_cycles;
+      std::fill(t_ready_.begin(), t_ready_.end(), restart);
     }
-    }
+  }
 
   cycles_t finish = 0;
   for (cycles_t t : t_done_) finish = std::max(finish, t);

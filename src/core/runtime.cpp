@@ -152,6 +152,7 @@ Runtime::Runtime(machine::MachineConfig cfg, Options opts)
       pipeline_(store_, comm_, exec_, opts.check_rules, opts.track_kappa,
                 opts.traffic),
       nodes_(static_cast<std::size_t>(comm_.nprocs())),
+      watchdog_(support::pending_watchdog()),
       barrier_(std::make_unique<Barrier>(exec_)) {
   reset_clocks();
 }
@@ -184,10 +185,15 @@ void Runtime::check_queues_empty() const {
 RunResult Runtime::run(const std::function<void(Context&)>& program) {
   QSM_REQUIRE(program != nullptr, "null program");
   run_counter_++;
+  watchdog_.poll("run()");
   reset_clocks();
   result_ = RunResult{};
-  barrier_->reset(nprocs(),
-                  [this] { result_.add_phase(pipeline_.run_phase(nodes_)); });
+  barrier_->reset(nprocs(), [this] {
+    // The completion runs on whichever lane arrives last, serialized by
+    // the barrier — a budget breach here unwinds every program lane.
+    watchdog_.poll("phase");
+    result_.add_phase(pipeline_.run_phase(nodes_));
+  });
 
   exec_.run_program([this, &program](int rank) {
     Context ctx(this, rank);

@@ -45,6 +45,7 @@
 #include "msg/comm.hpp"
 #include "support/contract.hpp"
 #include "support/rng.hpp"
+#include "support/watchdog.hpp"
 
 namespace qsm::rt {
 
@@ -251,6 +252,11 @@ class Runtime {
   std::vector<NodeState> nodes_;
   RunResult result_;  ///< being assembled by the current run()
   std::uint64_t run_counter_{0};
+  /// Captured from the constructing thread's pending policy (the sweep
+  /// harness arms one around each point closure; see support/watchdog.hpp).
+  /// Polled at every phase boundary and at run() entry; breaches throw
+  /// SimError through the barrier's error plumbing.
+  support::Watchdog watchdog_;
 
   struct Barrier;  // internal phase barrier with completion + error plumbing
   std::unique_ptr<Barrier> barrier_;

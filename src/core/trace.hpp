@@ -51,6 +51,17 @@ struct PhaseStats {
   std::uint64_t messages{0};
   std::int64_t wire_bytes{0};
 
+  // Fault accounting (net/fault.hpp). All stay 0 on a fault-free run, so
+  // fault-free PhaseStats — and their serialized cache rows — are identical
+  // to builds that predate the fault layer.
+  std::uint64_t retries{0};     ///< message retransmissions after drops
+  std::uint64_t drops{0};       ///< message attempts lost on the wire
+  std::uint64_t duplicates{0};  ///< extra message copies delivered
+  std::uint64_t replays{0};     ///< phase replays after a node failure
+  /// Surviving node count after the worst failure this phase (0 = no node
+  /// failed; the phase ran at full p).
+  std::uint64_t p_effective{0};
+
   friend bool operator==(const PhaseStats&, const PhaseStats&) = default;
 };
 
@@ -71,6 +82,11 @@ struct RunResult {
   std::uint64_t kappa_max{0};
   std::uint64_t messages{0};
   std::int64_t wire_bytes{0};
+  // Run-level fault aggregates (all 0 fault-free; see PhaseStats).
+  std::uint64_t retries{0};
+  std::uint64_t drops{0};
+  std::uint64_t duplicates{0};
+  std::uint64_t replays{0};
 
   std::vector<PhaseStats> trace;
 
@@ -84,6 +100,10 @@ struct RunResult {
     if (ps.kappa > kappa_max) kappa_max = ps.kappa;
     messages += ps.messages;
     wire_bytes += ps.wire_bytes;
+    retries += ps.retries;
+    drops += ps.drops;
+    duplicates += ps.duplicates;
+    replays += ps.replays;
     trace.push_back(ps);
   }
 };

@@ -1,10 +1,15 @@
 #include "harness/cache.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 namespace qsm::harness {
 
@@ -25,6 +30,10 @@ ResultCache::ResultCache(std::string dir, std::string workload)
   path_ = dir_ + "/" + cache_file_stem(workload) + ".jsonl";
 }
 
+ResultCache::~ResultCache() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
 // ---- serialization --------------------------------------------------------
 
 namespace {
@@ -32,7 +41,11 @@ namespace {
 void write_timing(support::JsonWriter& w, const rt::RunResult& t) {
   // Aggregates in a fixed-order array, then one array per phase. A run
   // with no phases and all-zero aggregates (a metrics-only point) is
-  // omitted entirely by the caller.
+  // omitted entirely by the caller. Fault counters extend the arrays
+  // (9 -> 13 aggregates, 12 -> 17 per phase) only when a fault actually
+  // fired, so fault-free records keep their pre-fault bytes.
+  const bool faults =
+      t.retries + t.drops + t.duplicates + t.replays != 0;
   w.key("t").begin_array();
   w.value(t.total_cycles)
       .value(t.comm_cycles)
@@ -43,6 +56,9 @@ void write_timing(support::JsonWriter& w, const rt::RunResult& t) {
       .value(t.kappa_max)
       .value(t.messages)
       .value(t.wire_bytes);
+  if (faults) {
+    w.value(t.retries).value(t.drops).value(t.duplicates).value(t.replays);
+  }
   w.end_array();
   w.key("ph").begin_array();
   for (const auto& ps : t.trace) {
@@ -59,6 +75,13 @@ void write_timing(support::JsonWriter& w, const rt::RunResult& t) {
         .value(ps.kappa)
         .value(ps.messages)
         .value(ps.wire_bytes);
+    if (faults) {
+      w.value(ps.retries)
+          .value(ps.drops)
+          .value(ps.duplicates)
+          .value(ps.replays)
+          .value(ps.p_effective);
+    }
     w.end_array();
   }
   w.end_array();
@@ -72,7 +95,8 @@ bool read_timing(const support::JsonValue& v, rt::RunResult& out) {
   const auto* t = v.find("t");
   const auto* ph = v.find("ph");
   if (t == nullptr || ph == nullptr ||
-      !t->is(support::JsonValue::Kind::Array) || t->arr.size() != 9 ||
+      !t->is(support::JsonValue::Kind::Array) ||
+      (t->arr.size() != 9 && t->arr.size() != 13) ||
       !ph->is(support::JsonValue::Kind::Array)) {
     return false;
   }
@@ -85,9 +109,16 @@ bool read_timing(const support::JsonValue& v, rt::RunResult& out) {
   out.kappa_max = t->arr[6].as_u64();
   out.messages = t->arr[7].as_u64();
   out.wire_bytes = t->arr[8].as_i64();
+  if (t->arr.size() == 13) {
+    out.retries = t->arr[9].as_u64();
+    out.drops = t->arr[10].as_u64();
+    out.duplicates = t->arr[11].as_u64();
+    out.replays = t->arr[12].as_u64();
+  }
   out.trace.reserve(ph->arr.size());
   for (const auto& row : ph->arr) {
-    if (!row.is(support::JsonValue::Kind::Array) || row.arr.size() != 12) {
+    if (!row.is(support::JsonValue::Kind::Array) ||
+        (row.arr.size() != 12 && row.arr.size() != 17)) {
       return false;
     }
     rt::PhaseStats ps;
@@ -103,6 +134,13 @@ bool read_timing(const support::JsonValue& v, rt::RunResult& out) {
     ps.kappa = row.arr[9].as_u64();
     ps.messages = row.arr[10].as_u64();
     ps.wire_bytes = row.arr[11].as_i64();
+    if (row.arr.size() == 17) {
+      ps.retries = row.arr[12].as_u64();
+      ps.drops = row.arr[13].as_u64();
+      ps.duplicates = row.arr[14].as_u64();
+      ps.replays = row.arr[15].as_u64();
+      ps.p_effective = row.arr[16].as_u64();
+    }
     out.trace.push_back(ps);
   }
   return true;
@@ -119,6 +157,13 @@ std::string ResultCache::serialize(const PointResult& r) {
     for (const auto& [name, value] : r.metrics) {
       w.key(name).value(value);
     }
+    w.end_object();
+  }
+  if (!r.ok()) {
+    w.key("f").begin_object();
+    w.key("status").value(r.status);
+    w.key("reason").value(r.fail_reason);
+    w.key("elapsed_s").value(r.fail_elapsed_s);
     w.end_object();
   }
   w.end_object();
@@ -139,6 +184,21 @@ std::optional<PointResult> ResultCache::deserialize(
       r.metrics.emplace(name, value.as_double());
     }
   }
+  if (const auto* f = v.find("f")) {
+    const auto* status = f->find("status");
+    const auto* reason = f->find("reason");
+    const auto* elapsed = f->find("elapsed_s");
+    if (status == nullptr || reason == nullptr || elapsed == nullptr ||
+        !status->is(support::JsonValue::Kind::String) ||
+        !reason->is(support::JsonValue::Kind::String) ||
+        !elapsed->is(support::JsonValue::Kind::Number) ||
+        status->str.empty()) {
+      return std::nullopt;
+    }
+    r.status = status->str;
+    r.fail_reason = reason->str;
+    r.fail_elapsed_s = elapsed->as_double();
+  }
   return r;
 }
 
@@ -147,22 +207,52 @@ std::optional<PointResult> ResultCache::deserialize(
 void ResultCache::load() {
   if (loaded_) return;
   loaded_ = true;
-  std::ifstream in(path_);
+  std::ifstream in(path_, std::ios::binary);
   if (!in) return;  // no cache yet
-  std::string line;
-  while (std::getline(in, line)) {
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  // A file not ending in '\n' was torn mid-append; the next append must
+  // open a fresh line or it would garble itself onto the fragment.
+  heal_newline_ = !text.empty() && text.back() != '\n';
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const bool terminated = nl != std::string::npos;
+    const std::string_view line(text.data() + pos,
+                                (terminated ? nl : text.size()) - pos);
+    pos = terminated ? nl + 1 : text.size();
     if (line.empty()) continue;
+    // Parse the whole record; any failure on an unterminated final line is
+    // the benign signature of a process killed mid-append (every complete
+    // record is one write() and ends in '\n'), anywhere else it suggests
+    // real corruption. Either way the point just recomputes.
+    const char* reject = nullptr;
     const auto doc = support::parse_json(line);
-    if (!doc) continue;  // torn/corrupt line: just recompute that point
-    const auto* k = doc->find("k");
-    const auto* r = doc->find("r");
-    if (k == nullptr || r == nullptr ||
-        !k->is(support::JsonValue::Kind::String)) {
-      continue;
+    if (!doc) {
+      reject = "unparseable";
+    } else {
+      const auto* k = doc->find("k");
+      const auto* r = doc->find("r");
+      if (k == nullptr || r == nullptr ||
+          !k->is(support::JsonValue::Kind::String)) {
+        reject = "missing k/r";
+      } else if (auto result = deserialize(*r)) {
+        entries_.insert_or_assign(k->str, std::move(*result));
+      } else {
+        reject = "bad result";
+      }
     }
-    auto result = deserialize(*r);
-    if (!result) continue;
-    entries_.insert_or_assign(k->str, std::move(*result));
+    if (reject != nullptr) {
+      if (!terminated) {
+        torn_tail_ = true;
+      } else {
+        corrupt_lines_++;
+      }
+      std::fprintf(stderr,
+                   "warning: result cache %s: skipping %s %s line\n",
+                   path_.c_str(), reject,
+                   terminated ? "mid-file" : "torn trailing");
+    }
   }
 }
 
@@ -171,36 +261,82 @@ std::size_t ResultCache::loaded_entries() {
   return entries_.size();
 }
 
+bool ResultCache::torn_tail() {
+  load();
+  return torn_tail_;
+}
+
+std::size_t ResultCache::corrupt_lines() {
+  load();
+  return corrupt_lines_;
+}
+
 const PointResult* ResultCache::lookup(const PointKey& key) {
   load();
   const auto it = entries_.find(key.text);
   return it == entries_.end() ? nullptr : &it->second;
 }
 
+void ResultCache::append_line(const PointKey& key, const PointResult& result) {
+  // A key already cached with a usable result is not re-appended; a cached
+  // *failure row* is superseded by whatever the caller brings (retry
+  // produced something newer) — the replacement line wins on reload.
+  const auto it = entries_.find(key.text);
+  if (it != entries_.end() && (it->second.ok() || it->second == result)) {
+    return;
+  }
+  if (fd_ < 0) {
+    std::error_code ec;
+    fs::create_directories(dir_, ec);  // best effort; open reports failure
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd_ < 0) {
+      std::fprintf(stderr, "warning: cannot write result cache %s\n",
+                   path_.c_str());
+      return;
+    }
+  }
+  support::JsonWriter w;
+  char hex[24];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(key.hash()));
+  w.begin_object();
+  w.key("h").value(std::string_view(hex));
+  w.key("k").value(key.text);
+  // The whole record goes out in one write() to an O_APPEND descriptor:
+  // a kill between records loses nothing, a kill mid-write can only leave
+  // one unterminated line at the tail.
+  std::string line;
+  if (heal_newline_) {
+    line += '\n';  // terminate a torn fragment left by a previous kill
+    heal_newline_ = false;
+  }
+  line += w.str();
+  line += ",\"r\":";
+  line += serialize(result);
+  line += "}\n";
+  std::size_t off = 0;
+  while (off < line.size()) {
+    const ::ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "warning: short write to result cache %s\n",
+                   path_.c_str());
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  entries_.insert_or_assign(key.text, result);
+}
+
 void ResultCache::store(
     const std::vector<std::pair<PointKey, PointResult>>& batch) {
   load();
-  std::error_code ec;
-  fs::create_directories(dir_, ec);  // best effort; open() reports failure
-  std::ofstream out(path_, std::ios::app);
-  if (!out) {
-    std::fprintf(stderr, "warning: cannot write result cache %s\n",
-                 path_.c_str());
-    return;
-  }
-  for (const auto& [key, result] : batch) {
-    if (entries_.contains(key.text)) continue;
-    support::JsonWriter w;
-    char hex[24];
-    std::snprintf(hex, sizeof hex, "%016llx",
-                  static_cast<unsigned long long>(key.hash()));
-    w.begin_object();
-    w.key("h").value(std::string_view(hex));
-    w.key("k").value(key.text);
-    out << w.str() << ",\"r\":" << serialize(result) << "}\n";
-    entries_.emplace(key.text, result);
-  }
-  out.flush();
+  for (const auto& [key, result] : batch) append_line(key, result);
+}
+
+void ResultCache::store_one(const PointKey& key, const PointResult& result) {
+  load();
+  append_line(key, result);
 }
 
 }  // namespace qsm::harness

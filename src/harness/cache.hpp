@@ -8,9 +8,15 @@
 // doubles bit-exactly (%.17g), which is what lets a warm run regenerate
 // byte-identical tables without executing a single simulation.
 //
-// Robustness contract: unreadable or torn lines are skipped (the points
-// just recompute), and store() appends — concurrent binaries writing the
-// same file at worst duplicate a line, never corrupt the index.
+// Robustness contract: every record is appended with a *single* write()
+// to an O_APPEND descriptor, so a killed process leaves at most one torn
+// line at the end of the file, never a corrupt middle. Reloading skips
+// unreadable lines (the points just recompute) and reports them —
+// torn_tail() distinguishes the benign kill artifact from mid-file
+// corruption (corrupt_lines()). Concurrent binaries writing the same file
+// at worst duplicate a line. Failure rows (PointResult::status set) are
+// cached like results; storing a fresh result for a key whose cached entry
+// is a failure row appends a replacement line (last line wins on reload).
 #pragma once
 
 #include <cstddef>
@@ -29,18 +35,33 @@ class ResultCache {
  public:
   /// `dir` need not exist yet; it is created on the first store().
   ResultCache(std::string dir, std::string workload);
+  ~ResultCache();
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
 
   /// Loads the file on first use, then looks `key` up. Returns nullptr on
   /// a miss. The pointer stays valid until the next store().
   [[nodiscard]] const PointResult* lookup(const PointKey& key);
 
   /// Appends `batch` to the file and the in-memory index, skipping keys
-  /// already present.
+  /// already present (unless the present entry is a failure row — those
+  /// are superseded).
   void store(const std::vector<std::pair<PointKey, PointResult>>& batch);
+
+  /// Appends one record: what the scheduler calls as each point completes,
+  /// so a killed sweep keeps everything finished before the kill.
+  void store_one(const PointKey& key, const PointResult& result);
 
   [[nodiscard]] const std::string& path() const { return path_; }
   /// Entries usable after load (diagnostics).
   [[nodiscard]] std::size_t loaded_entries();
+  /// True when the file ended in an unterminated, unparseable line — the
+  /// signature of a process killed mid-append (or a truncated copy).
+  [[nodiscard]] bool torn_tail();
+  /// Newline-terminated lines that failed to parse on load (these suggest
+  /// real corruption, unlike a torn tail).
+  [[nodiscard]] std::size_t corrupt_lines();
 
   /// JSON object text for one result (stable field order).
   [[nodiscard]] static std::string serialize(const PointResult& r);
@@ -50,10 +71,15 @@ class ResultCache {
 
  private:
   void load();
+  void append_line(const PointKey& key, const PointResult& result);
 
   std::string dir_;
   std::string path_;
   bool loaded_{false};
+  bool torn_tail_{false};
+  bool heal_newline_{false};  ///< file ended without '\n'; fix on append
+  std::size_t corrupt_lines_{0};
+  int fd_{-1};  ///< append descriptor, opened lazily, owned
   std::unordered_map<std::string, PointResult> entries_;
 };
 

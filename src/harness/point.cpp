@@ -1,8 +1,8 @@
 #include "harness/point.hpp"
 
 #include <cstdio>
-#include <stdexcept>
 
+#include "net/fault.hpp"
 #include "net/topology.hpp"
 
 namespace qsm::harness {
@@ -102,6 +102,13 @@ std::string describe(const machine::MachineConfig& m) {
   s += ";getr=" + std::to_string(m.sw.get_reply_bytes);
   s += ";plan=" + std::to_string(m.sw.plan_entry_bytes);
   s += ";word=" + std::to_string(m.sw.word_bytes);
+  // Fault-free machines keep their pre-fault key text (and with it every
+  // existing cache entry); an enabled fault model makes the point a
+  // different experiment and must make it a different key.
+  if (m.net.fault.enabled()) {
+    s += ';';
+    s += net::describe(m.net.fault);
+  }
   return s;
 }
 
@@ -119,8 +126,23 @@ std::string describe(const models::Calibration& cal) {
 double PointResult::metric(std::string_view name) const {
   const auto it = metrics.find(std::string(name));
   if (it == metrics.end()) {
-    throw std::out_of_range("PointResult has no metric '" +
-                            std::string(name) + "'");
+    std::string msg = "grid point has no metric '";
+    msg += name;
+    msg += "'";
+    if (!metrics.empty()) {
+      msg += " (has:";
+      for (const auto& kv : metrics) {
+        msg += ' ';
+        msg += kv.first;
+      }
+      msg += ')';
+    }
+    if (!status.empty()) {
+      msg += "; point failed: " + status +
+             (fail_reason.empty() ? std::string() : " — " + fail_reason);
+    }
+    if (!key_text.empty()) msg += "; key: " + key_text;
+    throw MetricError(std::string(name), key_text, msg);
   }
   return it->second;
 }

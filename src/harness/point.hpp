@@ -16,6 +16,7 @@
 #include "core/trace.hpp"
 #include "machine/config.hpp"
 #include "models/calibration.hpp"
+#include "support/contract.hpp"
 
 namespace qsm::harness {
 
@@ -81,19 +82,61 @@ class KeyBuilder {
 /// part of the cached value).
 [[nodiscard]] std::string describe(const models::Calibration& cal);
 
+/// Thrown by PointResult::metric() when the named metric is absent — a
+/// key-scheme bug. Carries the missing metric name and (when the scheduler
+/// resolved the point) its canonical key text, so the message says *which*
+/// grid point was missing *what* instead of a bare lookup failure.
+class MetricError : public support::SimError {
+ public:
+  MetricError(std::string metric, std::string key_text, std::string message)
+      : support::SimError(std::move(message)),
+        metric_(std::move(metric)),
+        key_text_(std::move(key_text)) {}
+
+  [[nodiscard]] const std::string& metric_name() const { return metric_; }
+  [[nodiscard]] const std::string& key_text() const { return key_text_; }
+
+ private:
+  std::string metric_;
+  std::string key_text_;
+};
+
 /// What one grid point produced. Points that run a bulk-synchronous
 /// program fill `timing` (including the per-phase trace the model
 /// estimators consume); points that measure something else (membench runs,
 /// exchange simulations, calibrations) report named scalars in `metrics`.
+///
+/// A point the scheduler could not compute (watchdog breach, tolerated
+/// exception) is a *failure row*: `status` names what happened ("timeout",
+/// "memory", "error"), `fail_reason` carries the message, and
+/// `fail_elapsed_s` the host seconds spent before giving up. Failure rows
+/// persist to the cache like any result so a resumed sweep can skip or
+/// retry them.
 struct PointResult {
   rt::RunResult timing;
   std::map<std::string, double> metrics;
 
-  /// Looks a metric up; throws std::out_of_range when absent (a key-scheme
+  /// Provenance: the canonical key text, stamped by the scheduler when it
+  /// resolves the point (empty for hand-built results). Not part of the
+  /// cached value or of equality — two results computed under different
+  /// keys can still be the same result.
+  std::string key_text;
+
+  std::string status;       ///< empty = computed normally
+  std::string fail_reason;  ///< what() of the failure, when status is set
+  double fail_elapsed_s{0};
+
+  [[nodiscard]] bool ok() const { return status.empty(); }
+
+  /// Looks a metric up; throws MetricError when absent (a key-scheme
   /// bug, not a recoverable condition).
   [[nodiscard]] double metric(std::string_view name) const;
 
-  friend bool operator==(const PointResult&, const PointResult&) = default;
+  friend bool operator==(const PointResult& a, const PointResult& b) {
+    return a.timing == b.timing && a.metrics == b.metrics &&
+           a.status == b.status && a.fail_reason == b.fail_reason &&
+           a.fail_elapsed_s == b.fail_elapsed_s;
+  }
 };
 
 }  // namespace qsm::harness

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <unordered_map>
 
 #include "core/exec.hpp"
 #include "support/contract.hpp"
+#include "support/watchdog.hpp"
 
 namespace qsm::harness {
 
@@ -64,9 +66,16 @@ std::vector<PointResult> SweepRunner::run_all() {
     const PointKey& key = pending_[i].key;
     if (cache_) {
       if (const PointResult* hit = cache_->lookup(key)) {
-        results[i] = *hit;
-        stats_.cached += 1;
-        continue;
+        // A cached failure row is a hit only when resuming; otherwise the
+        // point is retried (the failure may have been transient) and the
+        // fresh result supersedes the row in the cache file.
+        if (hit->ok() || opts_.resume) {
+          results[i] = *hit;
+          results[i].key_text = key.text;
+          stats_.cached += 1;
+          if (!hit->ok()) stats_.resumed += 1;
+          continue;
+        }
       }
     }
     const auto [it, inserted] = first_seen.emplace(key.text, i);
@@ -82,10 +91,65 @@ std::vector<PointResult> SweepRunner::run_all() {
     // the phase worker pools inside concurrently-running points share the
     // host instead of each assuming they own it.
     BudgetGuard budget(phase_workers_per_job_);
+    const support::WatchdogPolicy guard_policy{
+        opts_.point_timeout_s,
+        opts_.point_rss_mb > 0 ? opts_.point_rss_mb << 20 : 0};
+
+    // Completed points drain to the cache in submission order: a worker
+    // finishing point t appends every finished point up to the first
+    // still-running one. File byte order is therefore the miss-list order
+    // for any --jobs N, and a killed sweep keeps its finished prefix.
+    std::mutex drain_m;
+    std::vector<char> drained_ready(misses.size(), 0);
+    std::size_t drain_cursor = 0;
+    const auto drain = [&](std::size_t t) {
+      if (!cache_) return;
+      const std::lock_guard lk(drain_m);
+      drained_ready[t] = 1;
+      while (drain_cursor < misses.size() && drained_ready[drain_cursor]) {
+        const std::size_t i = misses[drain_cursor];
+        cache_->store_one(pending_[i].key, results[i]);
+        ++drain_cursor;
+      }
+    };
+
     const auto t0 = std::chrono::steady_clock::now();
     const auto compute_one = [&](std::size_t t) {
       const std::size_t i = misses[t];
-      results[i] = pending_[i].compute();
+      const auto p0 = std::chrono::steady_clock::now();
+      const auto elapsed = [&p0] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             p0)
+            .count();
+      };
+      try {
+        const support::WatchdogScope arm(guard_policy);
+        results[i] = pending_[i].compute();
+      } catch (const support::SimError& e) {
+        // Watchdog breaches are always recorded as failure rows — they are
+        // the guard doing its job. Other simulation errors propagate
+        // unless the caller opted into tolerate_failures.
+        if (e.kind() == support::SimError::Kind::Generic &&
+            !opts_.tolerate_failures) {
+          throw;
+        }
+        results[i] = PointResult{};
+        results[i].status = e.kind() == support::SimError::Kind::Timeout
+                                ? "timeout"
+                                : e.kind() == support::SimError::Kind::MemoryBudget
+                                      ? "memory"
+                                      : "error";
+        results[i].fail_reason = e.what();
+        results[i].fail_elapsed_s = elapsed();
+      } catch (const std::exception& e) {
+        if (!opts_.tolerate_failures) throw;
+        results[i] = PointResult{};
+        results[i].status = "error";
+        results[i].fail_reason = e.what();
+        results[i].fail_elapsed_s = elapsed();
+      }
+      results[i].key_text = pending_[i].key.text;
+      drain(t);
     };
     if (jobs_ > 1 && misses.size() > 1) {
       if (!pool_) {
@@ -98,14 +162,8 @@ std::vector<PointResult> SweepRunner::run_all() {
     const auto t1 = std::chrono::steady_clock::now();
     stats_.compute_seconds += std::chrono::duration<double>(t1 - t0).count();
     stats_.computed += misses.size();
-
-    if (cache_) {
-      std::vector<std::pair<PointKey, PointResult>> fresh;
-      fresh.reserve(misses.size());
-      for (const std::size_t i : misses) {
-        fresh.emplace_back(pending_[i].key, results[i]);
-      }
-      cache_->store(fresh);
+    for (const std::size_t i : misses) {
+      if (!results[i].ok()) stats_.failed += 1;
     }
   }
 

@@ -43,12 +43,30 @@ struct RunnerOptions {
   int jobs{0};
   bool cache{true};
   std::string cache_dir{"outputs/.cache"};
+  /// Host wall-clock deadline per point (0 = none). Armed as a watchdog
+  /// around each compute closure; a Runtime built inside the closure polls
+  /// it at every phase boundary, so a runaway point unwinds with a
+  /// structured "timeout" failure row instead of hanging the sweep.
+  double point_timeout_s{0};
+  /// Process RSS budget per point in MB (0 = none; it is a process-wide
+  /// measurement, so with --jobs > 1 the hog and bystanders may all trip).
+  std::int64_t point_rss_mb{0};
+  /// Record *any* throwing point as a failure row and keep sweeping
+  /// instead of propagating the exception. Watchdog breaches are always
+  /// recorded — they are the guard working as intended, not a bug.
+  bool tolerate_failures{false};
+  /// Accept cached failure rows as results. Without this a cached failure
+  /// row is retried (it may have been transient); successful rows always
+  /// hit regardless.
+  bool resume{false};
 };
 
 struct RunnerStats {
   std::size_t points{0};   ///< submitted over the runner's lifetime
   std::size_t cached{0};   ///< resolved from the cache
   std::size_t computed{0}; ///< actually simulated
+  std::size_t failed{0};   ///< computed points that became failure rows
+  std::size_t resumed{0};  ///< cached failure rows accepted via resume
   double compute_seconds{0};  ///< wall-clock spent inside run_all computes
   int jobs{1};
   int phase_workers_per_job{1};
@@ -68,8 +86,12 @@ class SweepRunner {
 
   /// Resolves every pending point (cache, then sharded compute), appends
   /// fresh results to the cache, clears the queue, and returns results in
-  /// submission order. Exceptions from compute closures propagate (the
-  /// first, in shard order) after all in-flight points finish.
+  /// submission order. Each result is appended to the cache as soon as it
+  /// and all its submission-order predecessors are done (so a killed sweep
+  /// keeps its finished prefix, and the cache file's byte order stays
+  /// independent of --jobs). Exceptions from compute closures propagate
+  /// (the first, in shard order) after all in-flight points finish, unless
+  /// Options::tolerate_failures turned them into failure rows.
   std::vector<PointResult> run_all();
 
   [[nodiscard]] const RunnerStats& stats() const { return stats_; }

@@ -39,9 +39,12 @@ constexpr std::size_t kXferEntryWordCap = std::size_t{16} << 20;
 }  // namespace
 
 net::ExchangeResult Comm::allgather(const std::vector<cycles_t>& start,
-                                    std::int64_t bytes_per_node,
-                                    bool control) const {
+                                    std::int64_t bytes_per_node, bool control,
+                                    std::uint64_t fault_salt) const {
   QSM_REQUIRE(bytes_per_node >= 0, "negative allgather payload");
+  // The salt only matters when message faults can actually fire; collapsing
+  // it to 0 otherwise keeps the memo maximally shared.
+  if (!cfg_.net.fault.message_faults_enabled()) fault_salt = 0;
   const int p = cfg_.p;
   QSM_REQUIRE(start.size() == static_cast<std::size_t>(p),
               "start times must cover every node");
@@ -56,6 +59,7 @@ net::ExchangeResult Comm::allgather(const std::vector<cycles_t>& start,
   for (const cycles_t s : start) key.rel_start.push_back(s - base);
   key.bytes = bytes_per_node;
   key.control = control;
+  key.fault_salt = fault_salt;
 
   {
     std::lock_guard<std::mutex> lk(plan_mu_);
@@ -64,7 +68,8 @@ net::ExchangeResult Comm::allgather(const std::vector<cycles_t>& start,
   }
 
   net::ExchangeResult canonical;
-  if (control && cfg_.net.topology == net::Topology::FullyConnected &&
+  if (control && fault_salt == 0 &&
+      cfg_.net.topology == net::Topology::FullyConnected &&
       cfg_.net.fabric_links == 0) {
     // The per-phase plan exchange: evaluate the complete graph of identical
     // control messages in closed form — bit-identical to the event
@@ -78,6 +83,7 @@ net::ExchangeResult Comm::allgather(const std::vector<cycles_t>& start,
     spec.p = p;
     spec.start = key.rel_start;  // canonical time: earliest node at 0
     spec.control = control;
+    spec.fault_salt = fault_salt;
     for (int i = 0; i < p; ++i) {
       for (int j = 0; j < p; ++j) {
         if (i != j) spec.transfers.push_back({i, j, bytes_per_node});
@@ -93,9 +99,10 @@ net::ExchangeResult Comm::allgather(const std::vector<cycles_t>& start,
 }
 
 net::ExchangeResult Comm::alltoallv_flat(
-    const std::vector<cycles_t>& start,
-    const std::vector<std::int64_t>& bytes) const {
+    const std::vector<cycles_t>& start, const std::vector<std::int64_t>& bytes,
+    std::uint64_t fault_salt) const {
   const int p = cfg_.p;
+  if (!cfg_.net.fault.message_faults_enabled()) fault_salt = 0;
   const auto up = static_cast<std::size_t>(p);
   QSM_REQUIRE(start.size() == up, "start times must cover every node");
   QSM_REQUIRE(bytes.size() == up * up, "bytes matrix must be p x p");
@@ -118,14 +125,17 @@ net::ExchangeResult Comm::alltoallv_flat(
       }
     }
   }
+  key.fault_salt = fault_salt;
 
   return xfer_lookup_or_simulate(std::move(key), base);
 }
 
 net::ExchangeResult Comm::alltoallv_sparse(
     const std::vector<cycles_t>& start,
-    const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic) const {
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic,
+    std::uint64_t fault_salt) const {
   const int p = cfg_.p;
+  if (!cfg_.net.fault.message_faults_enabled()) fault_salt = 0;
   const auto up = static_cast<std::size_t>(p);
   QSM_REQUIRE(start.size() == up, "start times must cover every node");
   cycles_t base = start[0];
@@ -163,13 +173,15 @@ net::ExchangeResult Comm::alltoallv_sparse(
   for (const cycles_t s : start) rel_scratch.push_back(s - base);
   {
     std::lock_guard<std::mutex> lk(plan_mu_);
-    const auto it = xfer_cache_.find(XferKeyView{rel_scratch, traffic});
+    const auto it =
+        xfer_cache_.find(XferKeyView{rel_scratch, traffic, fault_salt});
     if (it != xfer_cache_.end()) return shift_result(it->second, base);
   }
 
   XferKey key;
   key.rel_start = rel_scratch;
   key.traffic = traffic;
+  key.fault_salt = fault_salt;
   return xfer_lookup_or_simulate(std::move(key), base);
 }
 
@@ -181,9 +193,8 @@ net::ExchangeResult Comm::xfer_lookup_or_simulate(XferKey key,
     if (it != xfer_cache_.end()) return shift_result(it->second, base);
   }
 
-  auto canonical =
-      net::simulate_alltoallv_sparse(cfg_.net, cfg_.sw, key.rel_start,
-                                     key.traffic);
+  auto canonical = net::simulate_alltoallv_sparse(
+      cfg_.net, cfg_.sw, key.rel_start, key.traffic, key.fault_salt);
 
   std::lock_guard<std::mutex> lk(plan_mu_);
   // Entries vary wildly in size (a ring keys in O(p), a dense all-to-all in

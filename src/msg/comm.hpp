@@ -42,10 +42,14 @@ class Comm {
   }
 
   /// Personalized all-to-all: node i sends bytes[i][j] payload to node j.
+  /// `fault_salt` (see net/fault.hpp) activates message-fault draws for
+  /// this exchange; 0 — the default everywhere — is the fault-free path.
   [[nodiscard]] net::ExchangeResult alltoallv(
       const std::vector<cycles_t>& start,
-      const std::vector<std::vector<std::int64_t>>& bytes) const {
-    return net::simulate_alltoallv(cfg_.net, cfg_.sw, start, bytes);
+      const std::vector<std::vector<std::int64_t>>& bytes,
+      std::uint64_t fault_salt = 0) const {
+    return net::simulate_alltoallv(cfg_.net, cfg_.sw, start, bytes,
+                                   fault_salt);
   }
 
   /// Same exchange over a row-major p*p byte matrix. The phase pipeline
@@ -58,7 +62,8 @@ class Comm {
   /// pay the event simulation once.
   [[nodiscard]] net::ExchangeResult alltoallv_flat(
       const std::vector<cycles_t>& start,
-      const std::vector<std::int64_t>& bytes) const;
+      const std::vector<std::int64_t>& bytes,
+      std::uint64_t fault_salt = 0) const;
 
   /// Sparse form of the same exchange: `traffic` lists only the active
   /// messages as (src * p + dst, bytes) pairs, ascending in flat index,
@@ -68,8 +73,8 @@ class Comm {
   /// bit-identical results; this one costs O(active pairs), not O(p^2).
   [[nodiscard]] net::ExchangeResult alltoallv_sparse(
       const std::vector<cycles_t>& start,
-      const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic)
-      const;
+      const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic,
+      std::uint64_t fault_salt = 0) const;
 
   /// Allgather: every node broadcasts `bytes_per_node` payload to all
   /// others (the communication-plan distribution during sync()). Set
@@ -87,7 +92,7 @@ class Comm {
   /// is the oracle.
   [[nodiscard]] net::ExchangeResult allgather(
       const std::vector<cycles_t>& start, std::int64_t bytes_per_node,
-      bool control = false) const;
+      bool control = false, std::uint64_t fault_salt = 0) const;
 
   /// Gather: every node sends bytes[i] payload to `root`.
   [[nodiscard]] net::ExchangeResult gather(
@@ -108,6 +113,10 @@ class Comm {
     std::vector<cycles_t> rel_start;
     std::int64_t bytes{0};
     bool control{false};
+    /// Fault salt of the exchange (0 on the fault-free path, which keeps
+    /// pre-fault cache entries byte-identical). Faulted draws depend on the
+    /// salt, so it must discriminate entries.
+    std::uint64_t fault_salt{0};
     bool operator==(const PlanKey&) const = default;
   };
   struct PlanKeyHash {
@@ -118,6 +127,7 @@ class Comm {
       };
       mix(static_cast<std::uint64_t>(k.bytes));
       mix(k.control ? 1 : 0);
+      mix(k.fault_salt);
       for (const cycles_t s : k.rel_start) {
         mix(static_cast<std::uint64_t>(s));
       }
@@ -131,6 +141,7 @@ class Comm {
   struct XferKey {
     std::vector<cycles_t> rel_start;
     std::vector<std::pair<std::int64_t, std::int64_t>> traffic;
+    std::uint64_t fault_salt{0};
     bool operator==(const XferKey&) const = default;
   };
   /// Borrowed view of an XferKey for heterogeneous cache lookup: the hot
@@ -140,6 +151,7 @@ class Comm {
   struct XferKeyView {
     const std::vector<cycles_t>& rel_start;
     const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic;
+    std::uint64_t fault_salt{0};
   };
   struct XferKeyHash {
     using is_transparent = void;
@@ -157,6 +169,7 @@ class Comm {
         mix(static_cast<std::uint64_t>(idx));
         mix(static_cast<std::uint64_t>(b));
       }
+      mix(k.fault_salt);
       return static_cast<std::size_t>(h);
     }
   };
@@ -164,7 +177,8 @@ class Comm {
     using is_transparent = void;
     template <typename A, typename B>  // any mix of XferKey / XferKeyView
     bool operator()(const A& a, const B& b) const {
-      return a.rel_start == b.rel_start && a.traffic == b.traffic;
+      return a.fault_salt == b.fault_salt && a.rel_start == b.rel_start &&
+             a.traffic == b.traffic;
     }
   };
 

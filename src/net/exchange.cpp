@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "net/fault.hpp"
 #include "sim/resource.hpp"
 #include "support/contract.hpp"
 
@@ -51,6 +52,15 @@ struct ExchangeSim {
   bool control;
   std::vector<Transfer> sends;
   std::vector<cycles_t> flight;  ///< per message, filled by send_stage
+  // Fault injection (inactive unless the spec carries a nonzero salt AND
+  // hw.fault enables message faults; then every draw is a pure function of
+  // (salt, src, dst, attempt) — never of simulated time, so results stay
+  // time-translation invariant).
+  FaultModel fault;
+  std::uint64_t salt{0};
+  bool faulty{false};
+  std::vector<std::uint8_t> attempt;  ///< 1-based per-message attempt counter
+  std::vector<MsgFate> fate;          ///< fate of the in-flight attempt
 
   std::vector<Event> heap;
   std::uint64_t next_seq{0};
@@ -63,7 +73,8 @@ struct ExchangeSim {
   ExchangeResult result;
 
   ExchangeSim(const NetworkParams& hw_in, const SoftwareParams& sw_in,
-              int p_in, bool control_in, std::vector<Transfer> sends_in)
+              int p_in, bool control_in, std::uint64_t salt_in,
+              std::vector<Transfer> sends_in)
       : hw(hw_in),
         sw(sw_in),
         cost{hw_in, sw_in},
@@ -71,9 +82,17 @@ struct ExchangeSim {
         control(control_in),
         sends(std::move(sends_in)),
         flight(sends.size(), 0),
+        fault(hw_in.fault),
+        salt(salt_in),
+        faulty(salt_in != 0 && hw_in.fault.message_faults_enabled()),
         cpu(static_cast<std::size_t>(p_in)),
         tx(static_cast<std::size_t>(p_in)),
-        rx(static_cast<std::size_t>(p_in)) {}
+        rx(static_cast<std::size_t>(p_in)) {
+    if (faulty) {
+      attempt.assign(sends.size(), 1);
+      fate.assign(sends.size(), MsgFate::Deliver);
+    }
+  }
 
   void schedule(cycles_t at, Stage stage, std::uint32_t msg) {
     QSM_REQUIRE(at >= now, "cannot schedule an event in the past");
@@ -113,7 +132,9 @@ struct ExchangeSim {
     f = std::max(f, t);
   }
 
-  /// Sender CPU builds the message.
+  /// Sender CPU builds the message. Under fault injection this is also the
+  /// retransmission entry point: a retried attempt pays the full send CPU,
+  /// NIC serialization, and wire costs again.
   void send_stage(std::uint32_t i) {
     const Transfer& t = sends[i];
     const auto send_grant = cpu[static_cast<std::size_t>(t.src)].serve(
@@ -123,6 +144,20 @@ struct ExchangeSim {
     result.wire_bytes += t.bytes + sw.msg_header_bytes;
     // Distance-dependent latency: hops * l (1 hop when fully connected).
     flight[i] = hw.latency * hops(hw.topology, t.src, t.dst, p);
+    if (faulty) {
+      fate[i] = fault.message_fate(salt, t.src, t.dst, attempt[i]);
+      if (fate[i] == MsgFate::Delay) {
+        flight[i] += fault.params().delay_cycles;
+      } else if (fate[i] == MsgFate::Duplicate) {
+        // The fabric will deliver two copies; both serialize, fly, and are
+        // ingested. The second copy is its own Tx event right behind the
+        // first, so it queues FIFO on the same NIC.
+        result.duplicates++;
+        result.messages++;
+        result.wire_bytes += t.bytes + sw.msg_header_bytes;
+        schedule(send_grant.end, Stage::Tx, i);
+      }
+    }
     schedule(send_grant.end, Stage::Tx, i);
   }
 
@@ -139,12 +174,32 @@ struct ExchangeSim {
       schedule(tx_grant.end, Stage::Fabric, i);
       return;
     }
-    schedule(tx_grant.end + flight[i], Stage::Rx, i);
+    depart(i, tx_grant.end);
   }
 
   void fabric_stage(std::uint32_t i) {
     const auto fab = fabric.serve(now, cost.fabric_time(sends[i].bytes));
-    schedule(fab.end + flight[i], Stage::Rx, i);
+    depart(i, fab.end);
+  }
+
+  /// The attempt leaves the sender at `end`. Fault-free (and for delayed,
+  /// duplicated, or forcibly delivered attempts) it reaches the receiver
+  /// NIC after the flight time; a dropped attempt vanishes on the wire and
+  /// the sender re-enters Send once the ack timeout (with exponential
+  /// backoff) expires. After max_attempts the delivery is forced — the
+  /// retry protocol models "the network eventually delivers", which keeps
+  /// both the event loop and the pricing replay loop finite.
+  void depart(std::uint32_t i, cycles_t end) {
+    if (faulty && fate[i] == MsgFate::Drop &&
+        attempt[i] < fault.params().max_attempts) {
+      result.drops++;
+      result.retries++;
+      const cycles_t wait = fault.retry_delay(attempt[i]);
+      attempt[i] = static_cast<std::uint8_t>(attempt[i] + 1);
+      schedule(end + flight[i] + wait, Stage::Send, i);
+      return;
+    }
+    schedule(end + flight[i], Stage::Rx, i);
   }
 
   /// Receiver NIC pulls the message off the wire.
@@ -205,7 +260,7 @@ ExchangeResult simulate_exchange(const NetworkParams& hw,
                      });
   }
 
-  ExchangeSim sim(hw, sw, p, spec.control, std::move(sends));
+  ExchangeSim sim(hw, sw, p, spec.control, spec.fault_salt, std::move(sends));
   sim.result.nodes.assign(static_cast<std::size_t>(p), NodeTimings{});
   // Every node is at least "finished" at its own start time (a node with no
   // traffic is done when it arrives).
@@ -241,11 +296,13 @@ ExchangeResult simulate_exchange(const NetworkParams& hw,
 ExchangeResult simulate_alltoallv(
     const NetworkParams& hw, const SoftwareParams& sw,
     const std::vector<cycles_t>& start,
-    const std::vector<std::vector<std::int64_t>>& bytes) {
+    const std::vector<std::vector<std::int64_t>>& bytes,
+    std::uint64_t fault_salt) {
   const int p = static_cast<int>(start.size());
   ExchangeSpec spec;
   spec.p = p;
   spec.start = start;
+  spec.fault_salt = fault_salt;
   QSM_REQUIRE(bytes.size() == start.size(), "bytes matrix must be p x p");
   for (int i = 0; i < p; ++i) {
     const auto& row = bytes[static_cast<std::size_t>(i)];
@@ -263,11 +320,13 @@ ExchangeResult simulate_alltoallv(
 ExchangeResult simulate_alltoallv_sparse(
     const NetworkParams& hw, const SoftwareParams& sw,
     const std::vector<cycles_t>& start,
-    const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic) {
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic,
+    std::uint64_t fault_salt) {
   const int p = static_cast<int>(start.size());
   ExchangeSpec spec;
   spec.p = p;
   spec.start = start;
+  spec.fault_salt = fault_salt;
   spec.transfers.reserve(traffic.size());
   for (const auto& [idx, b] : traffic) {
     QSM_REQUIRE(idx >= 0 && idx < static_cast<std::int64_t>(p) * p,

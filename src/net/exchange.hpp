@@ -42,6 +42,12 @@ struct ExchangeSpec {
   /// 0, 1, 2, ... — which convoys the receivers (ablation only).
   enum class SendOrder { Staggered, FixedTarget };
   SendOrder order{SendOrder::Staggered};
+  /// Fault-injection salt for this exchange (see net/fault.hpp). 0 disables
+  /// message faults regardless of hw.fault; nonzero activates them when
+  /// hw.fault.message_faults_enabled(). The salt — never the simulated
+  /// time — keys every draw, so faulted results stay time-translation
+  /// invariant and memoizable.
+  std::uint64_t fault_salt{0};
 };
 
 struct NodeTimings {
@@ -56,6 +62,12 @@ struct ExchangeResult {
   std::vector<NodeTimings> nodes;
   std::uint64_t messages{0};
   std::int64_t wire_bytes{0};  ///< payload + headers actually serialized
+  // Fault accounting (all 0 on a fault-free exchange). Retried and
+  // duplicated attempts are included in `messages` / `wire_bytes`: they
+  // really crossed the wire.
+  std::uint64_t retries{0};     ///< retransmissions after a drop
+  std::uint64_t drops{0};       ///< attempts lost on the wire
+  std::uint64_t duplicates{0};  ///< extra copies delivered
 };
 
 /// Simulates the exchange; deterministic for a given spec.
@@ -68,7 +80,8 @@ struct ExchangeResult {
 [[nodiscard]] ExchangeResult simulate_alltoallv(
     const NetworkParams& hw, const SoftwareParams& sw,
     const std::vector<cycles_t>& start,
-    const std::vector<std::vector<std::int64_t>>& bytes);
+    const std::vector<std::vector<std::int64_t>>& bytes,
+    std::uint64_t fault_salt = 0);
 
 /// Sparse all-to-all entry point: `traffic` lists only the active messages
 /// as (src * p + dst, bytes) pairs with bytes > 0 and src != dst. Schedules
@@ -78,7 +91,8 @@ struct ExchangeResult {
 [[nodiscard]] ExchangeResult simulate_alltoallv_sparse(
     const NetworkParams& hw, const SoftwareParams& sw,
     const std::vector<cycles_t>& start,
-    const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic);
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& traffic,
+    std::uint64_t fault_salt = 0);
 
 /// Exact closed-form/fold evaluation of the complete-graph control
 /// allgather (every node sends `bytes_per_node` to every other, control
@@ -87,7 +101,9 @@ struct ExchangeResult {
 /// resource is equal, FIFO grant ends depend only on request-time multisets,
 /// never on tie order, which is what makes the analytic schedule exact.
 /// Requires a fully connected topology and no fabric congestion; callers
-/// fall back to simulate_exchange otherwise.
+/// fall back to simulate_exchange otherwise. The closed form is exact only
+/// for a fault-free exchange — callers with an active fault salt must use
+/// simulate_exchange.
 [[nodiscard]] ExchangeResult simulate_control_allgather(
     const NetworkParams& hw, const SoftwareParams& sw,
     const std::vector<cycles_t>& start, std::int64_t bytes_per_node);

@@ -1,0 +1,53 @@
+#include "net/fault.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace qsm::net {
+
+std::uint64_t fault_fingerprint(const FaultParams& fp) {
+  if (!fp.enabled()) return 0;
+  const auto bits = [](double d) {
+    std::uint64_t u = 0;
+    static_assert(sizeof(u) == sizeof(d));
+    __builtin_memcpy(&u, &d, sizeof(u));
+    return u;
+  };
+  std::uint64_t h = FaultModel::mix(fp.seed ^ 0xfa171ULL);
+  const auto fold = [&h](std::uint64_t v) { h = FaultModel::mix(h ^ v); };
+  fold(bits(fp.drop_prob));
+  fold(bits(fp.dup_prob));
+  fold(bits(fp.delay_prob));
+  fold(static_cast<std::uint64_t>(fp.delay_cycles));
+  fold(bits(fp.stall_prob));
+  fold(static_cast<std::uint64_t>(fp.stall_cycles));
+  fold(bits(fp.slow_prob));
+  fold(bits(fp.slow_factor));
+  fold(bits(fp.node_fail_prob));
+  fold(static_cast<std::uint64_t>(fp.detect_cycles));
+  fold(static_cast<std::uint64_t>(fp.recovery_cycles));
+  fold(static_cast<std::uint64_t>(fp.ack_timeout));
+  fold(bits(fp.ack_backoff));
+  fold(static_cast<std::uint64_t>(fp.max_attempts));
+  return h == 0 ? 0xfa171ULL : h;
+}
+
+std::string describe(const FaultParams& fp) {
+  if (!fp.enabled()) return {};
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "fault={drop=%.17g;dup=%.17g;delayp=%.17g;delayc=%lld;stallp=%.17g;"
+      "stallc=%lld;slowp=%.17g;slowf=%.17g;failp=%.17g;detect=%lld;"
+      "recover=%lld;timeout=%lld;backoff=%.17g;attempts=%d;fseed=%llu}",
+      fp.drop_prob, fp.dup_prob, fp.delay_prob,
+      static_cast<long long>(fp.delay_cycles), fp.stall_prob,
+      static_cast<long long>(fp.stall_cycles), fp.slow_prob, fp.slow_factor,
+      fp.node_fail_prob, static_cast<long long>(fp.detect_cycles),
+      static_cast<long long>(fp.recovery_cycles),
+      static_cast<long long>(fp.ack_timeout), fp.ack_backoff, fp.max_attempts,
+      static_cast<unsigned long long>(fp.seed));
+  return std::string(buf);
+}
+
+}  // namespace qsm::net

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "net/fault.hpp"
 #include "net/topology.hpp"
 #include "support/contract.hpp"
 #include "support/cycles.hpp"
@@ -37,12 +38,16 @@ struct NetworkParams {
   /// `fabric_links` parallel links of the per-node rate that every
   /// message must additionally stream through.
   int fabric_links{0};
+  /// Fault-injection knobs (all zero by default: the failure-free machine
+  /// the paper assumes). See net/fault.hpp.
+  FaultParams fault{};
 
   void validate() const {
     QSM_REQUIRE(gap_cpb >= 0.0, "gap must be non-negative");
     QSM_REQUIRE(overhead >= 0, "overhead must be non-negative");
     QSM_REQUIRE(latency >= 0, "latency must be non-negative");
     QSM_REQUIRE(fabric_links >= 0, "fabric links must be non-negative");
+    fault.validate();
   }
 };
 

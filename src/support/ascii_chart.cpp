@@ -40,9 +40,24 @@ void AsciiChart::add_series(const std::string& name, std::vector<double> xs,
   QSM_REQUIRE(xs.size() == ys.size(), "series x/y length mismatch");
   QSM_REQUIRE(!xs.empty(), "empty series");
   QSM_REQUIRE(series_.size() < sizeof(kMarkers), "too many series");
+  // Log scales cannot place non-positive points; drop them instead of
+  // refusing the series — a sweep where some points failed (zero cycles)
+  // should still chart the ones that didn't.
+  if (opts_.log_x || opts_.log_y) {
+    std::vector<double> fx, fy;
+    fx.reserve(xs.size());
+    fy.reserve(ys.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      if (opts_.log_x && !(xs[i] > 0)) continue;
+      if (opts_.log_y && !(ys[i] > 0)) continue;
+      fx.push_back(xs[i]);
+      fy.push_back(ys[i]);
+    }
+    xs = std::move(fx);
+    ys = std::move(fy);
+    if (xs.empty()) return;  // nothing plottable in this series
+  }
   for (std::size_t i = 0; i < xs.size(); ++i) {
-    if (opts_.log_x) QSM_REQUIRE(xs[i] > 0, "log-x needs positive x");
-    if (opts_.log_y) QSM_REQUIRE(ys[i] > 0, "log-y needs positive y");
     if (!has_data_) {
       min_x_ = max_x_ = xs[i];
       min_y_ = max_y_ = ys[i];
@@ -85,7 +100,7 @@ double AsciiChart::ty(double y) const {
 }
 
 std::string AsciiChart::render() const {
-  QSM_REQUIRE(has_data_, "nothing to render");
+  if (!has_data_) return "(no plottable data)\n";
   const int w = opts_.width;
   const int h = opts_.height;
   std::vector<std::string> canvas(static_cast<std::size_t>(h),

@@ -25,6 +25,25 @@ class ContractViolation : public std::logic_error {
   }
 };
 
+/// Thrown for conditions that arise from the *simulated* world or the host
+/// environment at runtime — a point blowing its watchdog budget, a missing
+/// metric in a cached result, an exhausted retry protocol. Unlike
+/// ContractViolation (programmer error, logic_error) these are recoverable:
+/// the sweep harness catches them, records a structured failure row, and
+/// keeps going.
+class SimError : public std::runtime_error {
+ public:
+  enum class Kind { Generic, Timeout, MemoryBudget };
+
+  explicit SimError(const std::string& what_arg, Kind kind = Kind::Generic)
+      : std::runtime_error(what_arg), kind_(kind) {}
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+
+ private:
+  Kind kind_;
+};
+
 [[noreturn]] inline void contract_fail(
     const char* expr, const std::string& msg,
     std::source_location loc = std::source_location::current()) {

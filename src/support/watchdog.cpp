@@ -1,0 +1,69 @@
+#include "support/watchdog.hpp"
+
+#include <cstdio>
+#include <string>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+namespace qsm::support {
+
+namespace {
+
+thread_local WatchdogPolicy g_pending{};
+
+}  // namespace
+
+std::int64_t current_rss_bytes() {
+#if defined(__linux__)
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long size_pages = 0;
+  long long resident_pages = 0;
+  const int got = std::fscanf(f, "%lld %lld", &size_pages, &resident_pages);
+  std::fclose(f);
+  if (got != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  return static_cast<std::int64_t>(resident_pages) *
+         static_cast<std::int64_t>(page > 0 ? page : 4096);
+#else
+  return 0;
+#endif
+}
+
+WatchdogScope::WatchdogScope(WatchdogPolicy policy) : previous_(g_pending) {
+  g_pending = policy;
+}
+
+WatchdogScope::~WatchdogScope() { g_pending = previous_; }
+
+WatchdogPolicy pending_watchdog() { return g_pending; }
+
+void Watchdog::poll(const char* what) const {
+  if (!armed()) return;
+  ++polls_;
+  if (policy_.deadline_seconds > 0.0 &&
+      std::chrono::steady_clock::now() > deadline_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "watchdog: %s exceeded the %.3gs host deadline", what,
+                  policy_.deadline_seconds);
+    throw SimError(buf, SimError::Kind::Timeout);
+  }
+  if (policy_.rss_limit_bytes > 0 && polls_ % 32 == 1) {
+    const std::int64_t rss = current_rss_bytes();
+    if (rss > policy_.rss_limit_bytes) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "watchdog: %s exceeded the memory budget (rss %lld MB "
+                    "> limit %lld MB)",
+                    what, static_cast<long long>(rss >> 20),
+                    static_cast<long long>(policy_.rss_limit_bytes >> 20));
+      throw SimError(buf, SimError::Kind::MemoryBudget);
+    }
+  }
+}
+
+}  // namespace qsm::support

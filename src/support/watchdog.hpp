@@ -1,0 +1,83 @@
+// Per-point watchdog: host wall-clock deadline and RSS budget.
+//
+// The sweep harness arms a thread-local *pending* policy around each point
+// closure; a Runtime constructed inside the closure captures it (the
+// closure's thread constructs the Runtime, but phase completions run on
+// whichever lane arrives last — the armed Watchdog object travels with the
+// Runtime, not with the thread). The runtime polls at every phase boundary
+// and throws support::SimError (Kind::Timeout / Kind::MemoryBudget) through
+// the existing barrier error plumbing, which unwinds every program lane;
+// the sweep catches it and records a structured failure row.
+//
+// Both budgets are *host-side* guards: they bound wall-clock seconds and
+// resident bytes of the simulating process, never simulated cycles — a
+// point that trips them produces no timing numbers at all.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "support/contract.hpp"
+
+namespace qsm::support {
+
+struct WatchdogPolicy {
+  double deadline_seconds{0};       ///< 0 = no deadline
+  std::int64_t rss_limit_bytes{0};  ///< 0 = no limit
+
+  [[nodiscard]] bool enabled() const {
+    return deadline_seconds > 0.0 || rss_limit_bytes > 0;
+  }
+};
+
+/// Resident set size of this process in bytes (Linux /proc/self/statm;
+/// 0 on platforms where it is unavailable — the RSS budget then never
+/// trips).
+[[nodiscard]] std::int64_t current_rss_bytes();
+
+/// RAII arm/disarm of the calling thread's pending policy. Nests: the
+/// previous policy is restored on destruction.
+class WatchdogScope {
+ public:
+  explicit WatchdogScope(WatchdogPolicy policy);
+  ~WatchdogScope();
+  WatchdogScope(const WatchdogScope&) = delete;
+  WatchdogScope& operator=(const WatchdogScope&) = delete;
+
+ private:
+  WatchdogPolicy previous_;
+};
+
+/// The calling thread's pending policy (disabled by default).
+[[nodiscard]] WatchdogPolicy pending_watchdog();
+
+/// An armed watchdog: the policy plus the absolute deadline captured at
+/// arm time. Polls are serialized by the caller (the runtime polls inside
+/// its phase barrier), so no internal synchronization is needed.
+class Watchdog {
+ public:
+  Watchdog() = default;  ///< disarmed; poll() never throws
+  explicit Watchdog(WatchdogPolicy policy)
+      : policy_(policy),
+        deadline_(std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(
+                          policy.deadline_seconds > 0.0
+                              ? policy.deadline_seconds
+                              : 0.0))) {}
+
+  [[nodiscard]] bool armed() const { return policy_.enabled(); }
+
+  /// Throws SimError if a budget is breached. `what` names the work being
+  /// guarded (appears in the error message). The RSS read costs a /proc
+  /// open, so it runs on every 32nd poll only.
+  void poll(const char* what) const;
+
+ private:
+  WatchdogPolicy policy_{};
+  std::chrono::steady_clock::time_point deadline_{};
+  mutable std::uint64_t polls_{0};
+};
+
+}  // namespace qsm::support

@@ -139,6 +139,139 @@ TEST(ResultCache, CorruptLinesAreSkippedNotFatal) {
   EXPECT_EQ(cache.lookup(PointKey{"y"}), nullptr);
 }
 
+TEST(ResultCache, ReportsTornTailSeparatelyFromMidFileCorruption) {
+  const std::string dir = test_dir("torn");
+  const PointKey key{"epoch=qsm1;workload=w;n=5"};
+  {
+    ResultCache cache(dir, "w");
+    cache.store({{key, sample_result()}});
+  }
+  // Clean file: neither counter fires.
+  {
+    ResultCache cache(dir, "w");
+    EXPECT_FALSE(cache.torn_tail());
+    EXPECT_EQ(cache.corrupt_lines(), 0u);
+  }
+  {
+    std::ofstream out(dir + "/w.jsonl", std::ios::app);
+    out << "garbage mid file\n";
+    out << "{\"h\":\"00\",\"k\":\"trunc";  // killed mid-append
+  }
+  ResultCache cache(dir, "w");
+  EXPECT_EQ(cache.loaded_entries(), 1u);
+  EXPECT_TRUE(cache.torn_tail());
+  EXPECT_EQ(cache.corrupt_lines(), 1u);
+}
+
+TEST(ResultCache, TruncationMidRecordLosesOnlyThatRecord) {
+  // Simulate a SIGKILL mid-append: truncate the file inside the last
+  // record. Every earlier record must reload; the torn one recomputes.
+  const std::string dir = test_dir("truncate");
+  const PointKey k1{"epoch=qsm1;workload=w;n=1"};
+  const PointKey k2{"epoch=qsm1;workload=w;n=2"};
+  const PointResult r = sample_result();
+  {
+    ResultCache cache(dir, "w");
+    cache.store({{k1, r}, {k2, r}});
+  }
+  const std::string path = dir + "/w.jsonl";
+  const auto size = fs::file_size(path);
+  fs::resize_file(path, size - 25);  // cut into k2's record
+  ResultCache cache(dir, "w");
+  EXPECT_EQ(cache.loaded_entries(), 1u);
+  EXPECT_TRUE(cache.torn_tail());
+  EXPECT_EQ(cache.corrupt_lines(), 0u);
+  ASSERT_NE(cache.lookup(k1), nullptr);
+  EXPECT_EQ(*cache.lookup(k1), r);
+  EXPECT_EQ(cache.lookup(k2), nullptr);
+  // Storing the recomputed record heals the file: the cache noticed the
+  // missing terminator on load and opens a fresh line before appending, so
+  // the torn fragment cannot garble the replacement record.
+  cache.store_one(k2, r);
+  ResultCache healed(dir, "w");
+  ASSERT_NE(healed.lookup(k1), nullptr);
+  ASSERT_NE(healed.lookup(k2), nullptr);
+  EXPECT_EQ(*healed.lookup(k2), r);
+  EXPECT_FALSE(healed.torn_tail());  // the file ends in '\n' again
+}
+
+TEST(ResultCache, FailureRowsRoundTrip) {
+  PointResult fail;
+  fail.status = "timeout";
+  fail.fail_reason = "watchdog: phase exceeded the 0.5s host deadline";
+  fail.fail_elapsed_s = 0.625;
+  const std::string text = ResultCache::serialize(fail);
+  EXPECT_NE(text.find("\"f\""), std::string::npos);
+  const auto back = ResultCache::deserialize(*support::parse_json(text));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, fail);
+  EXPECT_FALSE(back->ok());
+
+  const std::string dir = test_dir("failrow");
+  const PointKey key{"epoch=qsm1;workload=w;n=5"};
+  {
+    ResultCache cache(dir, "w");
+    cache.store({{key, fail}});
+  }
+  ResultCache cache(dir, "w");
+  const PointResult* hit = cache.lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->status, "timeout");
+  EXPECT_DOUBLE_EQ(hit->fail_elapsed_s, 0.625);
+}
+
+TEST(ResultCache, FreshResultSupersedesCachedFailureRow) {
+  const std::string dir = test_dir("supersede");
+  const PointKey key{"epoch=qsm1;workload=w;n=5"};
+  PointResult fail;
+  fail.status = "error";
+  fail.fail_reason = "transient";
+  const PointResult good = sample_result();
+  ResultCache cache(dir, "w");
+  cache.store({{key, fail}});
+  EXPECT_EQ(file_lines(cache.path()), 1u);
+  cache.store_one(key, good);  // retry succeeded: replacement line
+  EXPECT_EQ(file_lines(cache.path()), 2u);
+  ASSERT_NE(cache.lookup(key), nullptr);
+  EXPECT_TRUE(cache.lookup(key)->ok());
+  // Reload: the later line wins.
+  ResultCache reloaded(dir, "w");
+  ASSERT_NE(reloaded.lookup(key), nullptr);
+  EXPECT_EQ(*reloaded.lookup(key), good);
+  // A success is never overwritten (by a failure or anything else).
+  reloaded.store_one(key, fail);
+  EXPECT_EQ(file_lines(reloaded.path()), 2u);
+}
+
+TEST(ResultCache, FaultCountersExtendTimingRowsOnlyWhenPresent) {
+  PointResult plain = sample_result();
+  const std::string plain_text = ResultCache::serialize(plain);
+
+  PointResult faulted = sample_result();
+  faulted.timing.trace[0].retries = 3;
+  faulted.timing.trace[0].drops = 2;
+  faulted.timing.trace[1].replays = 1;
+  faulted.timing.trace[1].p_effective = 7;
+  faulted.timing.retries = 3;
+  faulted.timing.drops = 2;
+  faulted.timing.replays = 1;
+  const std::string fault_text = ResultCache::serialize(faulted);
+  EXPECT_NE(plain_text, fault_text);
+  // Fault-free records keep the pre-fault byte layout (9 aggregate
+  // fields); faulted ones extend to 13 + 17.
+  EXPECT_LT(plain_text.size(), fault_text.size());
+
+  const auto back = ResultCache::deserialize(*support::parse_json(fault_text));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, faulted);
+  EXPECT_EQ(back->timing.trace[1].p_effective, 7u);
+
+  const auto plain_back =
+      ResultCache::deserialize(*support::parse_json(plain_text));
+  ASSERT_TRUE(plain_back.has_value());
+  EXPECT_EQ(*plain_back, plain);
+}
+
 TEST(ResultCache, SeparateWorkloadsUseSeparateFiles) {
   const std::string dir = test_dir("namespaces");
   const PointKey key{"epoch=qsm1;workload=w;n=5"};

@@ -82,6 +82,24 @@ TEST(KeyBuilder, MachineVariantsProduceDistinctKeys) {
   EXPECT_NE(key_for(renamed), k0);
 }
 
+TEST(KeyBuilder, FaultModelExtendsTheKeyOnlyWhenEnabled) {
+  const auto base = machine::default_sim(8);
+  // A fault-free machine keeps its pre-fault key text, so every cache
+  // entry written before fault injection existed stays reachable.
+  const std::string plain = describe(base);
+  EXPECT_EQ(plain.find("fault="), std::string::npos);
+
+  auto faulty = base;
+  faulty.net.fault.drop_prob = 0.1;
+  const std::string with_fault = describe(faulty);
+  EXPECT_NE(with_fault.find("fault="), std::string::npos);
+  EXPECT_NE(with_fault, plain);
+
+  auto reseeded = faulty;
+  reseeded.net.fault.seed = 99;
+  EXPECT_NE(describe(reseeded), with_fault);
+}
+
 TEST(KeyBuilder, CalibrationFieldsAreAllKeyed) {
   models::Calibration cal;
   cal.p = 8;
@@ -108,7 +126,38 @@ TEST(PointResult, MetricLookup) {
   PointResult r;
   r.metrics["z"] = 2.5;
   EXPECT_DOUBLE_EQ(r.metric("z"), 2.5);
-  EXPECT_THROW((void)r.metric("missing"), std::out_of_range);
+  // The structured error names the missing metric, what the point *does*
+  // have, and (when the scheduler stamped it) which grid point it was.
+  r.key_text = "epoch=qsm1;workload=w;n=5";
+  try {
+    (void)r.metric("missing");
+    FAIL() << "expected MetricError";
+  } catch (const MetricError& e) {
+    EXPECT_EQ(e.metric_name(), "missing");
+    EXPECT_EQ(e.key_text(), "epoch=qsm1;workload=w;n=5");
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'missing'"), std::string::npos);
+    EXPECT_NE(what.find("has: z"), std::string::npos);
+    EXPECT_NE(what.find("workload=w"), std::string::npos);
+  }
+  // MetricError is a SimError: harness-level catch sites see one type.
+  EXPECT_THROW((void)r.metric("missing"), support::SimError);
+}
+
+TEST(PointResult, FailureRowFieldsParticipateInEquality) {
+  PointResult a;
+  a.status = "timeout";
+  a.fail_reason = "watchdog";
+  a.fail_elapsed_s = 1.5;
+  EXPECT_FALSE(a.ok());
+  PointResult b = a;
+  EXPECT_EQ(a, b);
+  b.status = "error";
+  EXPECT_NE(a, b);
+  // key_text is provenance, not value.
+  b = a;
+  b.key_text = "somewhere";
+  EXPECT_EQ(a, b);
 }
 
 TEST(PointResult, EqualityCoversTimingAndMetrics) {

@@ -10,12 +10,14 @@
 #include <atomic>
 #include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/exec.hpp"
 #include "core/runtime.hpp"
+#include "harness/cache.hpp"
 #include "harness/point.hpp"
 #include "harness/sweep.hpp"
 #include "machine/presets.hpp"
@@ -30,6 +32,14 @@ std::string test_dir(const std::string& leaf) {
   const fs::path dir = fs::path(::testing::TempDir()) / "qsm_sweep_test" / leaf;
   fs::remove_all(dir);
   return dir.string();
+}
+
+std::size_t count_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(in, line)) ++n;
+  return n;
 }
 
 /// Restores the process-wide default budget no matter how a test exits.
@@ -219,6 +229,169 @@ TEST(SweepRunner, ClosureExceptionsPropagateAndRestoreBudget) {
   });
   EXPECT_THROW((void)runner.run_all(), std::runtime_error);
   EXPECT_EQ(rt::host_thread_budget(), 4);  // BudgetGuard unwound
+}
+
+TEST(SweepRunner, TolerateFailuresRecordsErrorRowsAndContinues) {
+  const std::string dir = test_dir("tolerate");
+  RunnerOptions opts;
+  opts.workload = "sweep_test";
+  opts.jobs = 2;
+  opts.cache_dir = dir;
+  opts.tolerate_failures = true;
+  SweepRunner runner(opts);
+  runner.submit(PointKey{"good"}, [] {
+    PointResult r;
+    r.metrics["z"] = 1.0;
+    return r;
+  });
+  runner.submit(PointKey{"bad"}, []() -> PointResult {
+    throw std::runtime_error("synthetic chaos");
+  });
+  const auto results = runner.run_all();  // must not throw
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_EQ(results[1].status, "error");
+  EXPECT_NE(results[1].fail_reason.find("synthetic chaos"), std::string::npos);
+  EXPECT_GE(results[1].fail_elapsed_s, 0.0);
+  EXPECT_EQ(runner.stats().failed, 1u);
+  EXPECT_EQ(runner.stats().computed, 2u);
+  // The failure row is persisted so a later --resume can accept it.
+  ResultCache cache(dir, "sweep_test");
+  const PointResult* cached = cache.lookup(PointKey{"bad"});
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached->status, "error");
+}
+
+TEST(SweepRunner, WatchdogDeadlineTurnsPointsIntoTimeoutRows) {
+  // A breached watchdog never aborts the sweep, tolerate_failures or not:
+  // the deadline exists precisely to skip the stuck point and move on. The
+  // Runtime built inside the closure captures the armed policy and trips
+  // its run()-entry poll against the already-expired deadline.
+  RunnerOptions opts;
+  opts.jobs = 1;
+  opts.cache = false;
+  opts.point_timeout_s = 1e-9;
+  SweepRunner runner(opts);
+  runner.submit(PointKey{"stuck"}, [] { return simulate_point(256, 1); });
+  runner.submit(PointKey{"after"}, [] {
+    PointResult r;
+    r.metrics["z"] = 2.0;
+    return r;
+  });
+  const auto results = runner.run_all();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].status, "timeout");
+  EXPECT_FALSE(results[0].fail_reason.empty());
+  EXPECT_TRUE(results[1].ok());  // the sweep continued past the breach
+  EXPECT_EQ(runner.stats().failed, 1u);
+}
+
+TEST(SweepRunner, MemoryBudgetTurnsPointsIntoMemoryRows) {
+  RunnerOptions opts;
+  opts.jobs = 1;
+  opts.cache = false;
+  opts.point_rss_mb = 1;  // any live process dwarfs 1 MiB
+  SweepRunner runner(opts);
+  runner.submit(PointKey{"fat"}, [] { return simulate_point(256, 1); });
+  const auto results = runner.run_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, "memory");
+  EXPECT_EQ(runner.stats().failed, 1u);
+}
+
+TEST(SweepRunner, ResumeAcceptsCachedFailureRowsRetriesThemOtherwise) {
+  const std::string dir = test_dir("resume");
+  {
+    RunnerOptions opts;
+    opts.workload = "sweep_test";
+    opts.cache_dir = dir;
+    opts.jobs = 1;
+    opts.tolerate_failures = true;
+    SweepRunner runner(opts);
+    runner.submit(PointKey{"flaky"}, []() -> PointResult {
+      throw std::runtime_error("first attempt");
+    });
+    (void)runner.run_all();
+    ASSERT_EQ(runner.stats().failed, 1u);
+  }
+  {
+    // --resume: the cached failure row is accepted as-is, nothing runs.
+    RunnerOptions opts;
+    opts.workload = "sweep_test";
+    opts.cache_dir = dir;
+    opts.jobs = 1;
+    opts.resume = true;
+    SweepRunner runner(opts);
+    std::atomic<int> calls{0};
+    runner.submit(PointKey{"flaky"}, [&calls] {
+      calls.fetch_add(1);
+      return PointResult{};
+    });
+    const auto results = runner.run_all();
+    EXPECT_EQ(calls.load(), 0);
+    EXPECT_EQ(runner.stats().resumed, 1u);
+    EXPECT_EQ(runner.stats().cached, 1u);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].status, "error");
+  }
+  {
+    // Default: failure rows are retried; a success supersedes the row.
+    RunnerOptions opts;
+    opts.workload = "sweep_test";
+    opts.cache_dir = dir;
+    opts.jobs = 1;
+    SweepRunner runner(opts);
+    std::atomic<int> calls{0};
+    runner.submit(PointKey{"flaky"}, [&calls] {
+      calls.fetch_add(1);
+      PointResult r;
+      r.metrics["z"] = 9.0;
+      return r;
+    });
+    const auto results = runner.run_all();
+    EXPECT_EQ(calls.load(), 1);
+    EXPECT_EQ(runner.stats().computed, 1u);
+    EXPECT_EQ(runner.stats().resumed, 0u);
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok());
+  }
+  // The fresh success is what reloads from disk now.
+  ResultCache cache(dir, "sweep_test");
+  const PointResult* hit = cache.lookup(PointKey{"flaky"});
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->ok());
+  EXPECT_DOUBLE_EQ(hit->metric("z"), 9.0);
+}
+
+TEST(SweepRunner, KilledSweepKeepsFinishedPrefixOnDisk) {
+  // store_one drains completed points in submission order, so the cache
+  // file after N completions holds exactly the first N records — the
+  // invariant the SIGKILL/--resume script relies on.
+  const std::string dir = test_dir("prefix");
+  RunnerOptions opts;
+  opts.workload = "sweep_test";
+  opts.cache_dir = dir;
+  opts.jobs = 1;
+  SweepRunner runner(opts);
+  std::string path;
+  std::vector<std::size_t> lines_seen;
+  for (int i = 0; i < 3; ++i) {
+    runner.submit(PointKey{"p" + std::to_string(i)}, [&, i] {
+      if (i > 0) lines_seen.push_back(count_lines(path));
+      PointResult r;
+      r.metrics["z"] = i;
+      return r;
+    });
+  }
+  path = dir + "/sweep_test.jsonl";
+  (void)runner.run_all();
+  // When point i ran, points 0..i-1 were already on disk.
+  ASSERT_EQ(lines_seen.size(), 2u);
+  EXPECT_EQ(lines_seen[0], 1u);
+  EXPECT_EQ(lines_seen[1], 2u);
+  ResultCache cache(dir, "sweep_test");
+  EXPECT_EQ(cache.loaded_entries(), 3u);
 }
 
 TEST(SweepRunner, RunAllClearsTheQueueAndAccumulatesStats) {

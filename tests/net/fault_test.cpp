@@ -1,0 +1,258 @@
+// Fault injection: deterministic draws, the retry protocol in the
+// exchange stage machine, and the memo-safety contract (salt 0 == the
+// fault-free simulation, bit for bit).
+#include "net/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/exchange.hpp"
+#include "support/contract.hpp"
+
+namespace qsm::net {
+namespace {
+
+NetworkParams faulty_hw(double drop = 0, double dup = 0, double delay = 0) {
+  NetworkParams hw;
+  hw.fault.drop_prob = drop;
+  hw.fault.dup_prob = dup;
+  hw.fault.delay_prob = delay;
+  hw.fault.validate();
+  return hw;
+}
+
+ExchangeSpec all_to_all(int p, std::int64_t bytes, std::uint64_t salt) {
+  ExchangeSpec spec;
+  spec.p = p;
+  spec.start.assign(static_cast<std::size_t>(p), 0);
+  for (int s = 0; s < p; ++s) {
+    for (int d = 0; d < p; ++d) {
+      if (s != d) spec.transfers.push_back({s, d, bytes});
+    }
+  }
+  spec.fault_salt = salt;
+  return spec;
+}
+
+bool same_result(const ExchangeResult& a, const ExchangeResult& b) {
+  if (a.finish != b.finish || a.messages != b.messages ||
+      a.wire_bytes != b.wire_bytes || a.retries != b.retries ||
+      a.drops != b.drops || a.duplicates != b.duplicates ||
+      a.nodes.size() != b.nodes.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    if (a.nodes[i].cpu_busy != b.nodes[i].cpu_busy ||
+        a.nodes[i].tx_busy != b.nodes[i].tx_busy ||
+        a.nodes[i].rx_busy != b.nodes[i].rx_busy ||
+        a.nodes[i].finish != b.nodes[i].finish) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(FaultParams, ValidateRejectsBadKnobs) {
+  FaultParams fp;
+  fp.validate();  // defaults are the failure-free machine
+  EXPECT_FALSE(fp.enabled());
+
+  fp.drop_prob = 1.5;
+  EXPECT_THROW(fp.validate(), support::ContractViolation);
+  fp.drop_prob = 0.6;
+  fp.dup_prob = 0.6;  // sums past 1
+  EXPECT_THROW(fp.validate(), support::ContractViolation);
+  fp = FaultParams{};
+  fp.slow_factor = 0.5;
+  EXPECT_THROW(fp.validate(), support::ContractViolation);
+  fp = FaultParams{};
+  fp.max_attempts = 0;
+  EXPECT_THROW(fp.validate(), support::ContractViolation);
+  fp.max_attempts = 63;
+  EXPECT_THROW(fp.validate(), support::ContractViolation);
+}
+
+TEST(FaultModel, DrawsArePureFunctionsOfTheKey) {
+  FaultParams fp;
+  fp.drop_prob = 0.3;
+  fp.dup_prob = 0.2;
+  fp.delay_prob = 0.1;
+  fp.stall_prob = 0.25;
+  fp.slow_prob = 0.25;
+  fp.node_fail_prob = 0.25;
+  const FaultModel a(fp);
+  const FaultModel b(fp);
+  const std::uint64_t salt = FaultModel::exchange_salt(7, 3, 1, 2);
+  for (int src = 0; src < 6; ++src) {
+    for (int dst = 0; dst < 6; ++dst) {
+      for (int attempt = 1; attempt <= 4; ++attempt) {
+        EXPECT_EQ(a.message_fate(salt, src, dst, attempt),
+                  b.message_fate(salt, src, dst, attempt));
+      }
+    }
+  }
+  const std::uint64_t nsalt = FaultModel::node_salt(7, 3, 0);
+  for (int node = 0; node < 16; ++node) {
+    EXPECT_EQ(a.node_stall(nsalt, node), b.node_stall(nsalt, node));
+    EXPECT_EQ(a.node_slow_mult(nsalt, node), b.node_slow_mult(nsalt, node));
+    EXPECT_EQ(a.node_failed(nsalt, node), b.node_failed(nsalt, node));
+  }
+}
+
+TEST(FaultModel, SaltsDiscriminatePhaseAttemptAndRound) {
+  const std::uint64_t base = FaultModel::exchange_salt(1, 5, 1, 1);
+  EXPECT_NE(base, 0u);
+  EXPECT_NE(base, FaultModel::exchange_salt(1, 6, 1, 1));
+  EXPECT_NE(base, FaultModel::exchange_salt(1, 5, 2, 1));
+  EXPECT_NE(base, FaultModel::exchange_salt(1, 5, 1, 2));
+  EXPECT_NE(base, FaultModel::exchange_salt(2, 5, 1, 1));
+}
+
+TEST(FaultModel, RetryDelayGrowsExponentially) {
+  FaultParams fp;
+  fp.ack_timeout = 1000;
+  fp.ack_backoff = 2.0;
+  const FaultModel model(fp);
+  EXPECT_EQ(model.retry_delay(1), 1000);
+  EXPECT_EQ(model.retry_delay(2), 2000);
+  EXPECT_EQ(model.retry_delay(3), 4000);
+  EXPECT_EQ(model.retry_delay(5), 16000);
+}
+
+TEST(FaultFingerprint, ZeroOnlyWhenDisabled) {
+  FaultParams fp;
+  EXPECT_EQ(fault_fingerprint(fp), 0u);
+  EXPECT_TRUE(describe(fp).empty());
+
+  fp.drop_prob = 0.05;
+  const std::uint64_t a = fault_fingerprint(fp);
+  EXPECT_NE(a, 0u);
+  EXPECT_FALSE(describe(fp).empty());
+  fp.seed = 2;
+  EXPECT_NE(fault_fingerprint(fp), a);
+}
+
+TEST(FaultExchange, SaltZeroIsBitIdenticalToFaultFree) {
+  // hw carries an armed fault model, but salt 0 must reproduce the plain
+  // simulation exactly — this is what keeps fault-free runs byte-identical
+  // and the memo layer shared with pre-fault cache entries.
+  const auto hw = faulty_hw(0.5, 0.2, 0.1);
+  const SoftwareParams sw;
+  const auto faulted_off = simulate_exchange(hw, sw, all_to_all(6, 512, 0));
+  const auto plain =
+      simulate_exchange(NetworkParams{}, sw, all_to_all(6, 512, 0));
+  EXPECT_TRUE(same_result(faulted_off, plain));
+  EXPECT_EQ(faulted_off.retries, 0u);
+  EXPECT_EQ(faulted_off.drops, 0u);
+  EXPECT_EQ(faulted_off.duplicates, 0u);
+}
+
+TEST(FaultExchange, DeterministicAcrossRepeatedSimulations) {
+  const auto hw = faulty_hw(0.3, 0.1, 0.1);
+  const SoftwareParams sw;
+  const auto spec = all_to_all(8, 256, FaultModel::exchange_salt(3, 11, 1, 2));
+  const auto a = simulate_exchange(hw, sw, spec);
+  const auto b = simulate_exchange(hw, sw, spec);
+  EXPECT_TRUE(same_result(a, b));
+  EXPECT_GT(a.drops + a.duplicates, 0u) << "grid big enough that some fault "
+                                           "should fire at these rates";
+}
+
+TEST(FaultExchange, DropsCauseRetriesAndCostTime) {
+  const SoftwareParams sw;
+  const auto spec = all_to_all(6, 1024, FaultModel::exchange_salt(1, 1, 1, 1));
+  const auto clean = simulate_exchange(faulty_hw(), sw, spec);
+  const auto lossy = simulate_exchange(faulty_hw(0.4), sw, spec);
+  EXPECT_GT(lossy.retries, 0u);
+  EXPECT_EQ(lossy.retries, lossy.drops);
+  EXPECT_GT(lossy.finish, clean.finish);
+  // Retransmitted attempts really crossed the wire.
+  EXPECT_GT(lossy.messages, clean.messages);
+  EXPECT_GT(lossy.wire_bytes, clean.wire_bytes);
+}
+
+TEST(FaultExchange, CertainDropForcesDeliveryAtAttemptCap) {
+  NetworkParams hw = faulty_hw(1.0);
+  hw.fault.max_attempts = 3;
+  const SoftwareParams sw;
+  ExchangeSpec spec;
+  spec.p = 2;
+  spec.start = {0, 0};
+  spec.transfers = {{0, 1, 128}};
+  spec.fault_salt = FaultModel::exchange_salt(1, 1, 1, 1);
+  const auto r = simulate_exchange(hw, sw, spec);
+  // Attempts 1..max_attempts-1 drop; the final attempt is forced through
+  // (and is not counted as a drop), so the exchange terminates.
+  EXPECT_EQ(r.drops, 2u);
+  EXPECT_EQ(r.retries, 2u);
+  EXPECT_EQ(r.messages, 3u);
+  EXPECT_GT(r.finish, 0);
+}
+
+TEST(FaultExchange, CertainDuplicationDoublesTraffic) {
+  const auto hw = faulty_hw(0, 1.0);
+  const SoftwareParams sw;
+  const auto spec = all_to_all(4, 512, FaultModel::exchange_salt(1, 2, 1, 1));
+  const auto clean = simulate_exchange(faulty_hw(), sw, spec);
+  const auto dup = simulate_exchange(hw, sw, spec);
+  EXPECT_EQ(dup.duplicates, clean.messages);
+  EXPECT_EQ(dup.messages, 2 * clean.messages);
+  EXPECT_EQ(dup.wire_bytes, 2 * clean.wire_bytes);
+  EXPECT_GT(dup.finish, clean.finish);
+}
+
+TEST(FaultExchange, DelaySpikesOnlyShiftArrivals) {
+  NetworkParams hw = faulty_hw(0, 0, 1.0);
+  hw.fault.delay_cycles = 30000;
+  const SoftwareParams sw;
+  ExchangeSpec spec;
+  spec.p = 2;
+  spec.start = {0, 0};
+  spec.transfers = {{0, 1, 128}};
+  spec.fault_salt = FaultModel::exchange_salt(1, 3, 1, 1);
+  const auto clean = simulate_exchange(faulty_hw(), sw, spec);
+  const auto delayed = simulate_exchange(hw, sw, spec);
+  EXPECT_EQ(delayed.finish, clean.finish + 30000);
+  EXPECT_EQ(delayed.messages, clean.messages);
+  EXPECT_EQ(delayed.wire_bytes, clean.wire_bytes);
+  EXPECT_EQ(delayed.retries, 0u);
+}
+
+TEST(FaultExchange, TimeTranslationInvarianceHoldsUnderFaults) {
+  // Draws are keyed on counters, never on simulated time: shifting every
+  // start by a constant shifts every completion by exactly that constant.
+  // This is the invariant the comm memo layer's replay relies on.
+  const auto hw = faulty_hw(0.3, 0.1, 0.1);
+  const SoftwareParams sw;
+  auto spec = all_to_all(6, 512, FaultModel::exchange_salt(9, 4, 1, 2));
+  const auto base = simulate_exchange(hw, sw, spec);
+  const cycles_t shift = 123457;
+  for (auto& s : spec.start) s += shift;
+  const auto moved = simulate_exchange(hw, sw, spec);
+  EXPECT_EQ(moved.finish, base.finish + shift);
+  EXPECT_EQ(moved.retries, base.retries);
+  EXPECT_EQ(moved.drops, base.drops);
+  EXPECT_EQ(moved.duplicates, base.duplicates);
+  for (std::size_t i = 0; i < base.nodes.size(); ++i) {
+    EXPECT_EQ(moved.nodes[i].finish, base.nodes[i].finish + shift);
+    EXPECT_EQ(moved.nodes[i].cpu_busy, base.nodes[i].cpu_busy);
+  }
+}
+
+TEST(FaultExchange, DifferentSaltsGiveDifferentFaultPatterns) {
+  const auto hw = faulty_hw(0.3);
+  const SoftwareParams sw;
+  const auto a = simulate_exchange(
+      hw, sw, all_to_all(8, 256, FaultModel::exchange_salt(1, 1, 1, 1)));
+  const auto b = simulate_exchange(
+      hw, sw, all_to_all(8, 256, FaultModel::exchange_salt(1, 2, 1, 1)));
+  // Not a hard guarantee for any single pair, but at these rates and sizes
+  // two independent 56-message drop patterns colliding exactly is (checked)
+  // not the case for these pinned salts.
+  EXPECT_FALSE(same_result(a, b));
+}
+
+}  // namespace
+}  // namespace qsm::net

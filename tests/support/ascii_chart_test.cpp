@@ -30,10 +30,16 @@ TEST(AsciiChart, ExtremePointsLandOnCorners) {
   EXPECT_NE(line.find('*'), std::string::npos);
 }
 
-TEST(AsciiChart, LogXRejectsNonPositive) {
+TEST(AsciiChart, LogScalesDropNonPositivePoints) {
+  // A sweep where some points failed (zero cycles) must still chart the
+  // rest; a log axis silently drops what it cannot place.
   AsciiChart chart({.log_x = true});
-  EXPECT_THROW(chart.add_series("bad", {0.0, 1.0}, {1.0, 2.0}),
-               ContractViolation);
+  EXPECT_NO_THROW(chart.add_series("part", {0.0, 1.0, 2.0}, {1.0, 2.0, 3.0}));
+  EXPECT_NE(chart.render().find('*'), std::string::npos);
+
+  AsciiChart none({.width = 40, .height = 8, .log_x = false, .log_y = true});
+  EXPECT_NO_THROW(none.add_series("all-failed", {1.0, 2.0}, {0.0, 0.0}));
+  EXPECT_NE(none.render().find("no plottable data"), std::string::npos);
 }
 
 TEST(AsciiChart, MismatchedSeriesRejected) {
@@ -43,9 +49,9 @@ TEST(AsciiChart, MismatchedSeriesRejected) {
   EXPECT_THROW(chart.add_series("empty", {}, {}), ContractViolation);
 }
 
-TEST(AsciiChart, EmptyChartRejectsRender) {
+TEST(AsciiChart, EmptyChartRendersPlaceholder) {
   AsciiChart chart;
-  EXPECT_THROW((void)chart.render(), ContractViolation);
+  EXPECT_NE(chart.render().find("no plottable data"), std::string::npos);
 }
 
 TEST(AsciiChart, TinyCanvasRejected) {

@@ -1,0 +1,333 @@
+// Snapshot-cache benchmark: what the lock-free read path buys.
+//
+// The three hot caches (comm plan memo, xfer memo, harness result cache)
+// used to sit behind a mutex: every warm lookup — the overwhelmingly
+// common operation once a sweep is warm — serialized on one lock, and a
+// reader preempted while holding it convoys everyone else. The snapshot
+// cache makes warm reads wait-free: claim the published generation with
+// one fetch_add, probe an immutable map, release.
+//
+// This bench isolates exactly that delta. Keys are shaped like the comm
+// plan memo's (a ~64-word relative-arrival vector keyed by FNV); values
+// composite what the three caches store (per-node resource counters plus
+// a named-metrics map); both implementations hold the identical warm
+// working set, and T reader threads hammer lookups. The
+// mutex baseline is the historical lookup: lock, find, copy the value
+// out, unlock — the copy is not optional, because a pointer into the map
+// is invalid the instant the lock drops. The snapshot side (forced to
+// Mode::Concurrent — the serial fallback would cheat) claims a view and
+// reads the value through a pointer: the claim pins the generation, so
+// no copy ever happens. That zero-copy read is the architectural payoff
+// being measured, exactly how ResultCache::lookup serves the sweep
+// scheduler. Reported: lookups/sec per reader count and the
+// snapshot:mutex speedup; BENCH_caches.json mirrors the table.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "support/cli.hpp"
+#include "support/contract.hpp"
+#include "support/json.hpp"
+#include "support/snapcache.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace qsm;
+
+/// Plan-memo-shaped key: relative arrival pattern plus a fault salt. The
+/// FNV digest is precomputed at construction: in production the key is
+/// built (and hashed) identically no matter which cache design sits
+/// behind it, so per-probe hashing is common-mode cost — prehashing in
+/// the bench isolates the synchronization delta actually under test.
+struct MemoKey {
+  std::vector<std::int64_t> rel;
+  std::uint64_t salt{0};
+  std::uint64_t digest{0};
+
+  void rehash() {
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a, like the memo keys
+    for (const std::int64_t v : rel) {
+      h = (h ^ static_cast<std::uint64_t>(v)) * 1099511628211ULL;
+    }
+    digest = (h ^ salt) * 1099511628211ULL;
+  }
+  bool operator==(const MemoKey& o) const {
+    return digest == o.digest && salt == o.salt && rel == o.rel;
+  }
+};
+
+struct MemoKeyHash {
+  std::size_t operator()(const MemoKey& k) const {
+    return static_cast<std::size_t>(k.digest);
+  }
+};
+
+/// Composite of what the three caches store: four resource counters per
+/// node (finish, rx busy, tx busy, enqueue — net::ExchangeResult's
+/// payload) plus a small named-metrics map (harness::PointResult's). This
+/// is what a warm hit hands back — and what the mutex design must copy,
+/// allocations and all, on every one of them.
+struct MemoValue {
+  std::vector<std::int64_t> per_node;
+  std::map<std::string, double> metrics;
+  std::int64_t total{0};
+};
+
+/// The historical implementation: one mutex in front of the map, lookups
+/// copy the value out under the lock (the old memo shifted a copy).
+class MutexCache {
+ public:
+  void store(MemoKey key, MemoValue value) {
+    const std::lock_guard lk(mu_);
+    map_.emplace(std::move(key), std::move(value));
+  }
+  bool lookup(const MemoKey& key, MemoValue* out) const {
+    const std::lock_guard lk(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<MemoKey, MemoValue, MemoKeyHash> map_;
+};
+
+using SnapshotCache = support::snap::Cache<MemoKey, MemoValue, MemoKeyHash>;
+
+std::uint64_t lcg(std::uint64_t& state) {
+  state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return state >> 33;
+}
+
+std::vector<MemoKey> make_keys(std::size_t entries, std::size_t key_words) {
+  std::vector<MemoKey> keys(entries);
+  std::uint64_t rng = 0x6b656b65ULL;
+  for (std::size_t e = 0; e < entries; ++e) {
+    keys[e].rel.resize(key_words);
+    for (std::size_t w = 0; w < key_words; ++w) {
+      keys[e].rel[w] = static_cast<std::int64_t>(lcg(rng) % 10'000);
+    }
+    keys[e].salt = e % 3;  // a few fault salts, like a chaos sweep
+    keys[e].rehash();
+  }
+  return keys;
+}
+
+MemoValue make_value(const MemoKey& key) {
+  MemoValue v;
+  v.per_node.resize(4 * key.rel.size());
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < v.per_node.size(); ++i) {
+    v.per_node[i] =
+        key.rel[i % key.rel.size()] * 7 + static_cast<std::int64_t>(i);
+    total += v.per_node[i];
+  }
+  v.total = total;
+  v.metrics = {{"z", 0.37},
+               {"remote_fraction", 1.0 / 3.0},
+               {"arrival_spread", static_cast<double>(total % 97)},
+               {"kappa_max", static_cast<double>(total % 1009)}};
+  return v;
+}
+
+/// Runs `readers` threads, each doing `lookups` warm probes against
+/// `probe`, and returns the best wall-clock over `reps` attempts.
+/// `probe(key)` returns the value's total (0 on miss) so the work cannot
+/// be optimized away; every probe must hit.
+template <typename ProbeFn>
+double time_readers(int readers, std::int64_t lookups, int reps,
+                    const std::vector<MemoKey>& keys, const ProbeFn& probe) {
+  double best = 1e30;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::atomic<std::int64_t> sink{0};
+    std::atomic<int> misses{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(readers));
+    for (int r = 0; r < readers; ++r) {
+      threads.emplace_back([&, r] {
+        std::uint64_t rng = 0x9e37 + static_cast<std::uint64_t>(r);
+        std::int64_t local = 0;
+        for (std::int64_t i = 0; i < lookups; ++i) {
+          const MemoKey& key = keys[lcg(rng) % keys.size()];
+          const std::int64_t total = probe(key);
+          if (total == 0) misses.fetch_add(1, std::memory_order_relaxed);
+          local += total;
+        }
+        sink.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (auto& t : threads) t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+    QSM_REQUIRE(misses.load() == 0, "warm lookup missed — bench is broken");
+    QSM_REQUIRE(sink.load() != 0, "checksum collapsed to zero");
+    best = std::min(best,
+                    std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+int run(int argc, const char* const* argv) {
+  support::ArgParser args(
+      "bench_caches",
+      "mutex vs snapshot cache: warm-read throughput under reader "
+      "concurrency");
+  args.flag_i64("entries", 256, "warm entries resident in each cache");
+  args.flag_i64("key-words", 64, "words per key (relative-arrival vector)");
+  args.flag_i64("lookups", 200000, "lookups per reader thread");
+  args.flag_str("readers", "1,2,4,8,16", "comma-separated reader counts");
+  args.flag_i64("reps", 3, "attempts per cell (best wall-clock kept)");
+  args.flag_bool("quick", false, "CI smoke: tiny lookup counts");
+  args.flag_str("out", "BENCH_caches.json", "machine-readable output file");
+  if (!args.parse(argc, argv)) return 0;
+
+  const bool quick = args.boolean("quick");
+  const auto entries = static_cast<std::size_t>(args.i64("entries"));
+  const auto key_words = static_cast<std::size_t>(args.i64("key-words"));
+  const std::int64_t lookups = quick ? 5000 : args.i64("lookups");
+  const int reps = quick ? 1 : static_cast<int>(args.i64("reps"));
+  std::vector<int> reader_counts;
+  {
+    std::size_t pos = 0;
+    const std::string spec = quick ? "1,8" : args.str("readers");
+    while (pos < spec.size()) {
+      const std::size_t comma = spec.find(',', pos);
+      const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+      reader_counts.push_back(std::stoi(spec.substr(pos, end - pos)));
+      pos = end + 1;
+    }
+  }
+
+  const int host_cores =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  std::printf(
+      "== Cache read paths (%zu warm entries, %zu-word keys, %lld "
+      "lookups/thread, %d host core%s) ==\n\n",
+      entries, key_words, static_cast<long long>(lookups), host_cores,
+      host_cores == 1 ? "" : "s");
+
+  // Build identical warm working sets.
+  const std::vector<MemoKey> keys = make_keys(entries, key_words);
+  MutexCache mutex_cache;
+  support::snap::Options snap_opts;
+  snap_opts.mode = support::snap::Mode::Concurrent;  // never the serial cheat
+  SnapshotCache snap_cache(snap_opts);
+  std::vector<std::pair<MemoKey, MemoValue>> bulk;
+  bulk.reserve(keys.size());
+  for (const MemoKey& key : keys) {
+    mutex_cache.store(key, make_value(key));
+    bulk.emplace_back(key, make_value(key));
+  }
+  snap_cache.prime(std::move(bulk));  // the warm-load path ResultCache uses
+
+  const auto mutex_probe = [&mutex_cache](const MemoKey& key) {
+    MemoValue v;
+    return mutex_cache.lookup(key, &v) ? v.total : 0;
+  };
+  const auto snap_probe = [&snap_cache](const MemoKey& key) {
+    const auto view = snap_cache.view();  // pins the generation
+    const MemoValue* v = view.find(key);
+    return v != nullptr ? v->total : 0;
+  };
+
+  struct Row {
+    int readers;
+    double mutex_per_s;
+    double snap_per_s;
+  };
+  std::vector<Row> rows;
+  for (const int readers : reader_counts) {
+    const double ops =
+        static_cast<double>(lookups) * static_cast<double>(readers);
+    Row row;
+    row.readers = readers;
+    row.mutex_per_s =
+        ops / time_readers(readers, lookups, reps, keys, mutex_probe);
+    row.snap_per_s =
+        ops / time_readers(readers, lookups, reps, keys, snap_probe);
+    rows.push_back(row);
+  }
+
+  support::TextTable table(
+      {"readers", "mutex lookups/s", "snapshot lookups/s", "speedup"});
+  table.set_precision(1, 0);
+  table.set_precision(2, 0);
+  table.set_precision(3, 2);
+  bool two_x_at_8 = true;  // vacuously true when 8 isn't in the grid
+  for (const Row& row : rows) {
+    table.add_row({static_cast<long long>(row.readers), row.mutex_per_s,
+                   row.snap_per_s, row.snap_per_s / row.mutex_per_s});
+    if (row.readers == 8) {
+      two_x_at_8 = row.snap_per_s >= 2.0 * row.mutex_per_s;
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("snapshot >= 2x mutex at 8 readers: %s\n",
+              two_x_at_8 ? "yes" : "NO");
+
+  support::JsonWriter json;
+  json.begin_object();
+  json.key("bench");
+  json.value("caches");
+  json.key("entries");
+  json.value(static_cast<std::int64_t>(entries));
+  json.key("key_words");
+  json.value(static_cast<std::int64_t>(key_words));
+  json.key("lookups_per_thread");
+  json.value(lookups);
+  json.key("reps");
+  json.value(static_cast<std::int64_t>(reps));
+  json.key("host_cores");
+  json.value(static_cast<std::int64_t>(host_cores));
+  json.key("quick");
+  json.value(quick);
+  json.key("grid");
+  json.begin_array();
+  for (const Row& row : rows) {
+    json.begin_object();
+    json.key("readers");
+    json.value(static_cast<std::int64_t>(row.readers));
+    json.key("mutex_lookups_per_s");
+    json.value(row.mutex_per_s);
+    json.key("snapshot_lookups_per_s");
+    json.value(row.snap_per_s);
+    json.key("speedup");
+    json.value(row.snap_per_s / row.mutex_per_s);
+    json.end_object();
+  }
+  json.end_array();
+  json.key("snapshot_2x_at_8_readers");
+  json.value(two_x_at_8);
+  json.end_object();
+
+  const std::string out_path = args.str("out");
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "%s\n", json.str().c_str());
+  std::fclose(f);
+  std::printf("(json written to %s)\n", out_path.c_str());
+  std::printf(
+      "expected shape: the snapshot side wins at every reader count — its "
+      "pinned-view read never copies the value, while the mutex side must "
+      "copy under the lock — and the gap widens further on multi-core "
+      "hosts, where the mutex line additionally bounces and convoys while "
+      "the snapshot claim stays wait-free.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

@@ -1,7 +1,6 @@
 #include "algos/listrank.hpp"
 
 #include <algorithm>
-#include <mutex>
 #include <unordered_map>
 
 #include "support/contract.hpp"
@@ -104,7 +103,12 @@ ListRankOutcome list_rank(rt::Runtime& runtime, const ListProblem& list,
   ListRankOutcome out;
   out.iterations = iters;
   out.x.assign(static_cast<std::size_t>(iters), 0);
-  std::mutex stats_mu;  // instrumentation only; no simulated cost
+  // Instrumentation (no simulated cost): each lane records its own active
+  // counts in a private row and the rows are max-merged after run()
+  // returns — no lock in the per-iteration loop, and the run()/join edge
+  // orders the merge.
+  std::vector<std::vector<std::uint64_t>> x_lane(
+      up, std::vector<std::uint64_t>(static_cast<std::size_t>(iters), 0));
 
   out.timing = runtime.run([&](rt::Context& ctx) {
     const int me = ctx.rank();
@@ -122,11 +126,8 @@ ListRankOutcome list_rank(rt::Runtime& runtime, const ListProblem& list,
     // --- Major step 1: random-mate elimination ------------------------------
     std::vector<std::uint8_t> succ_flip(range.size(), 0);
     for (int it = 1; it <= iters; ++it) {
-      {
-        std::lock_guard lk(stats_mu);
-        auto& slot = out.x[static_cast<std::size_t>(it - 1)];
-        slot = std::max(slot, static_cast<std::uint64_t>(active.size()));
-      }
+      x_lane[ume][static_cast<std::size_t>(it - 1)] =
+          static_cast<std::uint64_t>(active.size());
 
       // Phase A: absorb weights from last iteration's removals, then flip.
       for (const std::uint64_t i : active) {
@@ -211,10 +212,8 @@ ListRankOutcome list_rank(rt::Runtime& runtime, const ListProblem& list,
       z += c;
     }
     ctx.charge_ops(2 * p);
-    if (me == 0) {
-      std::lock_guard lk(stats_mu);
-      out.z = z;
-    }
+    // Rank 0 is the only writer, and out is read after run() returns.
+    if (me == 0) out.z = z;
 
     // Ship (index, successor, weight) triples into the gather area.
     {
@@ -307,6 +306,11 @@ ListRankOutcome list_rank(rt::Runtime& runtime, const ListProblem& list,
       ctx.sync();
     }
   });
+  for (const auto& lane : x_lane) {
+    for (std::size_t i = 0; i < lane.size(); ++i) {
+      out.x[i] = std::max(out.x[i], lane[i]);
+    }
+  }
   return out;
 }
 

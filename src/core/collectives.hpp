@@ -1,11 +1,15 @@
 // Word-granularity collectives on top of the QSM runtime.
 //
 // The paper's algorithms keep re-deriving the same one-phase pattern: every
-// node writes its word into a p x p slot matrix (row j is node j's, so the
-// broadcast is p-1 remote puts) and reads its own row locally after the
-// sync. Collectives packages that pattern behind the obvious interfaces —
-// each call is one bulk-synchronous phase costing g(p-1) per node, the
-// same as the prefix-sums algorithm's communication.
+// node deposits one word for every other node into a p x p slot matrix and
+// reads its own incoming column locally after the sync. Collectives
+// packages that pattern behind the obvious interfaces — each call is one
+// bulk-synchronous phase costing g(p-1) per node, the same as the
+// prefix-sums algorithm's communication. The slot matrix is transposed and
+// cyclically laid out so each node's outgoing words are two contiguous
+// put_range spans (O(1) enqueued requests instead of p-1 single-word
+// puts); the simulated traffic — and therefore every trace — is identical
+// to the classic formulation (pinned by the sparse/dense parity test).
 //
 // All calls are collective: every node must make the same call in the same
 // phase. A Collectives object owns its scratch array and may be reused for

@@ -25,8 +25,11 @@ std::string cache_file_stem(std::string_view workload) {
   return stem.empty() ? std::string("default") : stem;
 }
 
-ResultCache::ResultCache(std::string dir, std::string workload)
-    : dir_(std::move(dir)) {
+ResultCache::ResultCache(std::string dir, std::string workload,
+                         support::snap::Mode mode)
+    : dir_(std::move(dir)),
+      mode_(mode),
+      index_(support::snap::Options{.mode = mode}) {
   path_ = dir_ + "/" + cache_file_stem(workload) + ".jsonl";
 }
 
@@ -205,6 +208,11 @@ std::optional<PointResult> ResultCache::deserialize(
 // ---- file I/O -------------------------------------------------------------
 
 void ResultCache::load() {
+  // Concurrent store_one() callers may race to the first use; the load
+  // mutex makes exactly one of them parse the file. Serial mode trusts the
+  // caller's single-thread promise and skips the lock.
+  std::unique_lock<std::mutex> lk(load_mu_, std::defer_lock);
+  if (index_.concurrent()) lk.lock();
   if (loaded_) return;
   loaded_ = true;
   std::ifstream in(path_, std::ios::binary);
@@ -214,6 +222,7 @@ void ResultCache::load() {
   // A file not ending in '\n' was torn mid-append; the next append must
   // open a fresh line or it would garble itself onto the fragment.
   heal_newline_ = !text.empty() && text.back() != '\n';
+  std::vector<std::pair<std::string, PointResult>> items;
   std::size_t pos = 0;
   while (pos < text.size()) {
     const std::size_t nl = text.find('\n', pos);
@@ -237,7 +246,7 @@ void ResultCache::load() {
           !k->is(support::JsonValue::Kind::String)) {
         reject = "missing k/r";
       } else if (auto result = deserialize(*r)) {
-        entries_.insert_or_assign(k->str, std::move(*result));
+        items.emplace_back(k->str, std::move(*result));
       } else {
         reject = "bad result";
       }
@@ -254,11 +263,14 @@ void ResultCache::load() {
                    terminated ? "mid-file" : "torn trailing");
     }
   }
+  // One generation install for the whole file; prime keeps the JSONL
+  // last-line-wins rule for duplicated keys.
+  index_.prime(std::move(items));
 }
 
 std::size_t ResultCache::loaded_entries() {
   load();
-  return entries_.size();
+  return index_.view().entries();
 }
 
 bool ResultCache::torn_tail() {
@@ -273,18 +285,14 @@ std::size_t ResultCache::corrupt_lines() {
 
 const PointResult* ResultCache::lookup(const PointKey& key) {
   load();
-  const auto it = entries_.find(key.text);
-  return it == entries_.end() ? nullptr : &it->second;
+  // Pin the generation the returned pointer lives in: it stays valid until
+  // this consumer's next lookup() or store(), the same contract as the
+  // plain-map implementation. lookup() itself is single-consumer.
+  pinned_ = index_.view();
+  return pinned_.find(key.text);
 }
 
-void ResultCache::append_line(const PointKey& key, const PointResult& result) {
-  // A key already cached with a usable result is not re-appended; a cached
-  // *failure row* is superseded by whatever the caller brings (retry
-  // produced something newer) — the replacement line wins on reload.
-  const auto it = entries_.find(key.text);
-  if (it != entries_.end() && (it->second.ok() || it->second == result)) {
-    return;
-  }
+bool ResultCache::write_line(const std::string& line) {
   if (fd_ < 0) {
     std::error_code ec;
     fs::create_directories(dir_, ec);  // best effort; open reports failure
@@ -292,31 +300,26 @@ void ResultCache::append_line(const PointKey& key, const PointResult& result) {
     if (fd_ < 0) {
       std::fprintf(stderr, "warning: cannot write result cache %s\n",
                    path_.c_str());
-      return;
+      return false;
     }
   }
-  support::JsonWriter w;
-  char hex[24];
-  std::snprintf(hex, sizeof hex, "%016llx",
-                static_cast<unsigned long long>(key.hash()));
-  w.begin_object();
-  w.key("h").value(std::string_view(hex));
-  w.key("k").value(key.text);
   // The whole record goes out in one write() to an O_APPEND descriptor:
   // a kill between records loses nothing, a kill mid-write can only leave
   // one unterminated line at the tail.
-  std::string line;
+  const std::string* out = &line;
+  std::string healed;
   if (heal_newline_) {
-    line += '\n';  // terminate a torn fragment left by a previous kill
+    // Terminate a torn fragment left by a previous kill — still within the
+    // single write() so the healing newline and the record are atomic.
+    healed.reserve(line.size() + 1);
+    healed += '\n';
+    healed += line;
+    out = &healed;
     heal_newline_ = false;
   }
-  line += w.str();
-  line += ",\"r\":";
-  line += serialize(result);
-  line += "}\n";
   std::size_t off = 0;
-  while (off < line.size()) {
-    const ::ssize_t n = ::write(fd_, line.data() + off, line.size() - off);
+  while (off < out->size()) {
+    const ::ssize_t n = ::write(fd_, out->data() + off, out->size() - off);
     if (n < 0) {
       if (errno == EINTR) continue;
       std::fprintf(stderr, "warning: short write to result cache %s\n",
@@ -325,7 +328,35 @@ void ResultCache::append_line(const PointKey& key, const PointResult& result) {
     }
     off += static_cast<std::size_t>(n);
   }
-  entries_.insert_or_assign(key.text, result);
+  return true;
+}
+
+void ResultCache::append_line(const PointKey& key, const PointResult& result) {
+  // Render the record optimistically, outside the writer critical section.
+  support::JsonWriter w;
+  char hex[24];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(key.hash()));
+  w.begin_object();
+  w.key("h").value(std::string_view(hex));
+  w.key("k").value(key.text);
+  std::string line = w.str();
+  line += ",\"r\":";
+  line += serialize(result);
+  line += "}\n";
+
+  // Validated append: under the index's writer lock, a key already cached
+  // with a usable result (or this exact result) rejects the store; a
+  // cached *failure row* is superseded by whatever the caller brings
+  // (retry produced something newer) — the replacement line wins on
+  // reload. The file write is the commit hook, so exactly the stores that
+  // win validation reach the file, in install order.
+  index_.insert_checked(
+      key.text, result, /*words=*/1,
+      [&result](const PointResult& existing) {
+        return existing.ok() || existing == result;
+      },
+      [this, &line] { return write_line(line); });
 }
 
 void ResultCache::store(

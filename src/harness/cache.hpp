@@ -17,24 +17,40 @@
 // at worst duplicate a line. Failure rows (PointResult::status set) are
 // cached like results; storing a fresh result for a key whose cached entry
 // is a failure row appends a replacement line (last line wins on reload).
+//
+// The in-memory index is a snapshot cache (support/snapcache.hpp): the
+// store path is an STM-style validated append — the JSONL line is rendered
+// optimistically, then under the writer lock the skip/supersede rule is
+// re-checked against the current generation and the single write() runs as
+// the commit hook, so the file and the index can never disagree about
+// which writer won a key. store()/store_one() are therefore safe to call
+// from concurrent sweep jobs (in Concurrent mode); lookup() remains a
+// single-consumer API — it pins the generation its returned pointer lives
+// in until the next lookup()/store() by that consumer.
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <optional>
 #include <string>
-#include <unordered_map>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "harness/point.hpp"
 #include "support/json.hpp"
+#include "support/snapcache.hpp"
 
 namespace qsm::harness {
 
 class ResultCache {
  public:
   /// `dir` need not exist yet; it is created on the first store().
-  ResultCache(std::string dir, std::string workload);
+  /// `mode` selects the index's concurrency posture: the sweep scheduler
+  /// passes Serial for one-job runs (zero atomics) and Concurrent when its
+  /// worker pool drains completions from several threads.
+  ResultCache(std::string dir, std::string workload,
+              support::snap::Mode mode = support::snap::Mode::Auto);
   ~ResultCache();
 
   ResultCache(const ResultCache&) = delete;
@@ -70,17 +86,34 @@ class ResultCache {
       const support::JsonValue& v);
 
  private:
+  struct TextHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using Index =
+      support::snap::Cache<std::string, PointResult, TextHash,
+                           std::equal_to<>>;
+
   void load();
   void append_line(const PointKey& key, const PointResult& result);
+  /// The commit hook: opens the descriptor lazily and issues the single
+  /// write(). False only when the file cannot be opened (the store is then
+  /// aborted so memory never claims more than the file holds).
+  bool write_line(const std::string& line);
 
   std::string dir_;
   std::string path_;
+  support::snap::Mode mode_;
+  std::mutex load_mu_;  ///< first-use load (skipped in Serial mode)
   bool loaded_{false};
   bool torn_tail_{false};
   bool heal_newline_{false};  ///< file ended without '\n'; fix on append
   std::size_t corrupt_lines_{0};
   int fd_{-1};  ///< append descriptor, opened lazily, owned
-  std::unordered_map<std::string, PointResult> entries_;
+  Index index_;
+  Index::View pinned_;  ///< generation the last lookup()'s pointer lives in
 };
 
 /// Maps a workload id to a safe file stem ([A-Za-z0-9_-], others -> '_').

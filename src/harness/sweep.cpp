@@ -38,7 +38,13 @@ SweepRunner::SweepRunner(RunnerOptions opts) : opts_(std::move(opts)) {
   stats_.jobs = jobs_;
   stats_.phase_workers_per_job = phase_workers_per_job_;
   if (opts_.cache) {
-    cache_ = std::make_unique<ResultCache>(opts_.cache_dir, opts_.workload);
+    // Multi-job sweeps drain completions to the cache from pool threads;
+    // one-job sweeps run everything on this thread and get the zero-atomic
+    // serial index.
+    cache_ = std::make_unique<ResultCache>(
+        opts_.cache_dir, opts_.workload,
+        jobs_ > 1 ? support::snap::Mode::Concurrent
+                  : support::snap::Mode::Serial);
   }
 }
 

@@ -38,6 +38,15 @@ constexpr std::size_t kXferEntryWordCap = std::size_t{16} << 20;
 
 }  // namespace
 
+Comm::Comm(machine::MachineConfig cfg)
+    : cfg_(std::move(cfg)),
+      plan_cache_(support::snap::Options{.max_entries = kPlanCacheCap}),
+      xfer_cache_(support::snap::Options{
+          .max_words = kXferCacheWordCap,
+          .max_entry_words = kXferEntryWordCap}) {
+  cfg_.validate();
+}
+
 net::ExchangeResult Comm::allgather(const std::vector<cycles_t>& start,
                                     std::int64_t bytes_per_node, bool control,
                                     std::uint64_t fault_salt) const {
@@ -61,10 +70,8 @@ net::ExchangeResult Comm::allgather(const std::vector<cycles_t>& start,
   key.control = control;
   key.fault_salt = fault_salt;
 
-  {
-    std::lock_guard<std::mutex> lk(plan_mu_);
-    const auto it = plan_cache_.find(key);
-    if (it != plan_cache_.end()) return shift_result(it->second, base);
+  if (auto hit = plan_cache_.get(key)) {
+    return shift_result(std::move(*hit), base);
   }
 
   net::ExchangeResult canonical;
@@ -92,9 +99,9 @@ net::ExchangeResult Comm::allgather(const std::vector<cycles_t>& start,
     canonical = net::simulate_exchange(cfg_.net, cfg_.sw, spec);
   }
 
-  std::lock_guard<std::mutex> lk(plan_mu_);
-  if (plan_cache_.size() >= kPlanCacheCap) plan_cache_.clear();
-  plan_cache_.emplace(std::move(key), canonical);
+  // First writer wins; the cache clears itself when the entry cap would be
+  // exceeded (the historical plan-memo policy, now declared in the ctor).
+  plan_cache_.insert(std::move(key), canonical);
   return shift_result(std::move(canonical), base);
 }
 
@@ -171,11 +178,9 @@ net::ExchangeResult Comm::alltoallv_sparse(
   rel_scratch.clear();
   rel_scratch.reserve(up);
   for (const cycles_t s : start) rel_scratch.push_back(s - base);
-  {
-    std::lock_guard<std::mutex> lk(plan_mu_);
-    const auto it =
-        xfer_cache_.find(XferKeyView{rel_scratch, traffic, fault_salt});
-    if (it != xfer_cache_.end()) return shift_result(it->second, base);
+  if (auto hit =
+          xfer_cache_.get(XferKeyView{rel_scratch, traffic, fault_salt})) {
+    return shift_result(std::move(*hit), base);
   }
 
   XferKey key;
@@ -187,30 +192,20 @@ net::ExchangeResult Comm::alltoallv_sparse(
 
 net::ExchangeResult Comm::xfer_lookup_or_simulate(XferKey key,
                                                   cycles_t base) const {
-  {
-    std::lock_guard<std::mutex> lk(plan_mu_);
-    const auto it = xfer_cache_.find(key);
-    if (it != xfer_cache_.end()) return shift_result(it->second, base);
+  if (auto hit = xfer_cache_.get(key)) {
+    return shift_result(std::move(*hit), base);
   }
 
   auto canonical = net::simulate_alltoallv_sparse(
       cfg_.net, cfg_.sw, key.rel_start, key.traffic, key.fault_salt);
 
-  std::lock_guard<std::mutex> lk(plan_mu_);
   // Entries vary wildly in size (a ring keys in O(p), a dense all-to-all in
-  // O(p^2)), so the bound is on total stored words, not entry count.
+  // O(p^2)), so the bound is on total stored words, not entry count; the
+  // cache clears on overflow and skips entries above the per-entry cap.
   const std::size_t entry_words = key.rel_start.size() +
                                   2 * key.traffic.size() +
                                   4 * canonical.nodes.size() + 8;
-  if (entry_words > kXferEntryWordCap) {
-    return shift_result(std::move(canonical), base);
-  }
-  if (xfer_cache_words_ + entry_words > kXferCacheWordCap) {
-    xfer_cache_.clear();
-    xfer_cache_words_ = 0;
-  }
-  xfer_cache_words_ += entry_words;
-  xfer_cache_.emplace(std::move(key), canonical);
+  xfer_cache_.insert(std::move(key), canonical, entry_words);
   return shift_result(std::move(canonical), base);
 }
 

@@ -9,14 +9,13 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "machine/config.hpp"
 #include "net/barrier.hpp"
 #include "net/exchange.hpp"
+#include "support/snapcache.hpp"
 
 namespace qsm::msg {
 
@@ -24,9 +23,7 @@ using support::cycles_t;
 
 class Comm {
  public:
-  explicit Comm(machine::MachineConfig cfg) : cfg_(std::move(cfg)) {
-    cfg_.validate();
-  }
+  explicit Comm(machine::MachineConfig cfg);
 
   [[nodiscard]] const machine::MachineConfig& config() const { return cfg_; }
   [[nodiscard]] int nprocs() const { return cfg_.p; }
@@ -102,6 +99,16 @@ class Comm {
   /// One isolated point-to-point message of `bytes` payload.
   [[nodiscard]] cycles_t point_to_point(std::int64_t bytes) const {
     return net::MsgCost{cfg_.net, cfg_.sw}.isolated(bytes);
+  }
+
+  /// Memo-cache counters (host diagnostics, never in a trace). The sparse
+  /// alltoallv path probes twice on a cold pattern (borrowed view, then
+  /// owning key), so its `misses` counts probes, not simulations.
+  [[nodiscard]] support::snap::Stats plan_cache_stats() const {
+    return plan_cache_.stats();
+  }
+  [[nodiscard]] support::snap::Stats xfer_cache_stats() const {
+    return xfer_cache_.stats();
   }
 
  private:
@@ -188,16 +195,18 @@ class Comm {
       XferKey key, cycles_t base) const;
 
   machine::MachineConfig cfg_;
-  // Pricing runs serially inside a runtime's phase completion, but distinct
-  // harness jobs could in principle share a Comm; the lock is uncontended
-  // in every current caller.
-  mutable std::mutex plan_mu_;
-  mutable std::unordered_map<PlanKey, net::ExchangeResult, PlanKeyHash>
+  // Pricing runs serially inside a runtime's phase completion, but sweep
+  // jobs and a future sweep-as-a-service daemon may share a Comm: both
+  // memos are read-mostly snapshot caches (support/snapcache.hpp), so a
+  // warm lookup is a wait-free generation claim, never a mutex. Capacity
+  // policy (entry cap on the plan memo, word cap + oversize skip on the
+  // xfer memo) is declared per cache in the constructor; under a
+  // single-thread host budget both drop to plain in-place maps.
+  mutable support::snap::Cache<PlanKey, net::ExchangeResult, PlanKeyHash>
       plan_cache_;
-  mutable std::unordered_map<XferKey, net::ExchangeResult, XferKeyHash,
-                             XferKeyEq>
+  mutable support::snap::Cache<XferKey, net::ExchangeResult, XferKeyHash,
+                               XferKeyEq>
       xfer_cache_;
-  mutable std::size_t xfer_cache_words_{0};  ///< memory bound, see .cpp
 };
 
 }  // namespace qsm::msg

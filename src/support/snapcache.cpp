@@ -1,0 +1,130 @@
+#include "support/snapcache.hpp"
+
+#include <thread>
+
+namespace qsm::support::snap {
+
+namespace {
+
+/// -1 = unresolved; the first query falls back to hardware_concurrency().
+/// rt::set_host_thread_budget overwrites it whenever the budget changes.
+std::atomic<int> g_single_thread{-1};
+
+}  // namespace
+
+bool single_thread_process() {
+  const int hint = g_single_thread.load(std::memory_order_relaxed);
+  if (hint >= 0) return hint == 1;
+  return std::thread::hardware_concurrency() <= 1;
+}
+
+void set_single_thread_process(bool single) {
+  g_single_thread.store(single ? 1 : 0, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+namespace {
+
+// packed_ layout: [63..16] generation pointer, [15..0] outstanding reader
+// claims on that generation. Claims count concurrent readers (each View
+// holds at most one), not total traffic, so 16 bits is comfortably above
+// any plausible thread count.
+constexpr unsigned kExtBits = 16;
+constexpr std::uint64_t kExtMask = (std::uint64_t{1} << kExtBits) - 1;
+
+// Publication token on the internal (folded) count. Swap-out adds
+// (observed_claims - bias), so the count stays far from zero until the
+// writer has folded — a racing reader's decrement can never transiently
+// hit zero and double-free.
+constexpr std::int64_t kPublishBias = std::int64_t{1} << 32;
+
+std::uint64_t pack(RefCounted* node) {
+  const auto bits = reinterpret_cast<std::uintptr_t>(node);
+  QSM_REQUIRE((bits >> (64 - kExtBits)) == 0,
+              "snapshot node pointer does not fit in 48 bits");
+  return static_cast<std::uint64_t>(bits) << kExtBits;
+}
+
+RefCounted* unpack(std::uint64_t word) {
+  return reinterpret_cast<RefCounted*>(
+      static_cast<std::uintptr_t>(word >> kExtBits));
+}
+
+}  // namespace
+
+Slot::Slot(RefCounted* initial, bool concurrent) : concurrent_(concurrent) {
+  initial->folded_.store(kPublishBias, std::memory_order_relaxed);
+  packed_.store(pack(initial), std::memory_order_relaxed);
+}
+
+Slot::~Slot() {
+  // Claims must be drained by now: a View outliving its Cache is a caller
+  // lifetime bug, same as for the mutex-guarded maps this replaced.
+  delete unpack(packed_.load(std::memory_order_relaxed));
+}
+
+RefCounted* Slot::acquire() {
+  if (!concurrent_) {
+    return unpack(packed_.load(std::memory_order_relaxed));
+  }
+  // One RMW claims both the pointer and the reference: whatever node the
+  // word held at the increment instant is the node this claim pins.
+  const std::uint64_t w =
+      packed_.fetch_add(1, std::memory_order_acquire) + 1;
+  QSM_REQUIRE((w & kExtMask) != 0, "snapshot reader claim count overflow");
+  return unpack(w);
+}
+
+void Slot::release(RefCounted* node) {
+  if (!concurrent_) return;
+  std::uint64_t w = packed_.load(std::memory_order_relaxed);
+  while (unpack(w) == node) {
+    // Fast path: the node is still published, so the claim can be handed
+    // straight back. (Generations are freshly allocated and freed only
+    // after unpublication, so pointer equality here cannot be ABA: while
+    // this claim is live the node's address is never reused.)
+    QSM_REQUIRE((w & kExtMask) != 0, "release without an outstanding claim");
+    if (packed_.compare_exchange_weak(w, w - 1, std::memory_order_release,
+                                      std::memory_order_relaxed)) {
+      return;
+    }
+  }
+  // The node was swapped out; install() folded (or will fold) the claim
+  // into the internal count. The bias keeps the count positive until that
+  // fold happens, so reaching zero here is an exact last-reference test.
+  if (node->folded_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    delete node;
+  }
+}
+
+void Slot::install(RefCounted* next) {
+  next->folded_.store(kPublishBias, std::memory_order_relaxed);
+  if (!concurrent_) {
+    RefCounted* old = unpack(packed_.load(std::memory_order_relaxed));
+    packed_.store(pack(next), std::memory_order_relaxed);
+    delete old;
+    return;
+  }
+  const std::uint64_t old_word =
+      packed_.exchange(pack(next), std::memory_order_acq_rel);
+  RefCounted* old = unpack(old_word);
+  const auto ext = static_cast<std::int64_t>(old_word & kExtMask);
+  // Fold the outstanding claims in and drop the publication bias. The
+  // fetch_add result is zero exactly when every claim observed at the
+  // exchange has already released through the slow path — then this call
+  // holds the last reference.
+  if (old->folded_.fetch_add(ext - kPublishBias,
+                             std::memory_order_acq_rel) ==
+      kPublishBias - ext) {
+    delete old;
+  }
+}
+
+RefCounted* Slot::unsafe_get() const {
+  return unpack(packed_.load(std::memory_order_relaxed));
+}
+
+}  // namespace detail
+
+}  // namespace qsm::support::snap

@@ -1,0 +1,506 @@
+// Read-mostly snapshot cache: immutable generations behind a split-refcount
+// atomic pointer.
+//
+// The three hot caches in this codebase (the comm plan memo, the alltoallv
+// xfer memo, and the harness result cache) share one access pattern: almost
+// every operation is a lookup of an entry that was stored long ago, and the
+// occasional store must never corrupt or stall readers. A mutex around an
+// unordered_map serves that pattern but makes every lookup a serialization
+// point on many-core hosts. This layer replaces the mutex with generation
+// publication:
+//
+//   * The cache's contents at any instant are one *generation* — an
+//     immutable two-level map (a large `stable` map shared structurally
+//     across generations plus a small `recent` delta). Readers claim the
+//     current generation wait-free (one fetch_add), probe it without any
+//     further synchronization, and release the claim.
+//   * Writers serialize among themselves on a mutex, build the next
+//     generation beside the current one (copying only the O(merge_threshold)
+//     recent delta — keys and values are shared_ptr'd, so a generation copy
+//     is refcount bumps, not deep copies), then install it with one atomic
+//     exchange. Readers mid-probe keep the generation they claimed alive;
+//     the last claim out frees it.
+//   * Stores validate against the *current* generation under the writer
+//     lock before installing (STM style): a `keep` predicate inspects any
+//     existing entry and may veto the store, and a `commit` hook runs after
+//     validation but before publication — the result-cache append uses it
+//     for its torn-tail-safe single-write() JSONL line, so the file and the
+//     in-memory index can never disagree about which writer won.
+//
+// The claim handle is a split reference count packed into one 64-bit word:
+// the low 16 bits count *outstanding* reader claims on the published
+// generation (bounded by the number of concurrent readers, not by total
+// traffic), the high 48 bits are the generation pointer. acquire() is one
+// fetch_add; release() gives the claim back with a CAS when the pointer is
+// unchanged, and otherwise folds into the generation's internal count. A
+// publication bias (2^32) on the internal count makes the swap-out
+// accounting race-free: the count can only reach zero after the writer has
+// folded the external claims in, so a reader's decrement can never free a
+// generation the writer is still accounting for.
+//
+// Single-thread fallback: a cache constructed in Serial mode (or in Auto
+// mode while the process-wide single-thread hint is set — see
+// rt::set_host_thread_budget) skips every atomic RMW and mutex: lookups are
+// plain loads, stores mutate the map in place, replaced generations free
+// immediately. Sweep jobs pinned to one hardware thread pay nothing for a
+// concurrency they cannot have.
+//
+// Hit/miss counters on the concurrent read path are deliberately sloppy
+// (racing load+store, never fetch_add) so readers do not contend on a
+// shared cache line; counts are exact when the cache is driven from one
+// thread, which is what the parity tests rely on.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/contract.hpp"
+
+namespace qsm::support::snap {
+
+/// Process-wide hint consulted by Mode::Auto caches at construction: true
+/// means "this process runs simulation work on one host thread". Installed
+/// by rt::set_host_thread_budget; defaults to hardware_concurrency() <= 1.
+[[nodiscard]] bool single_thread_process();
+void set_single_thread_process(bool single);
+
+enum class Mode {
+  Auto,        ///< Serial iff single_thread_process() at construction.
+  Serial,      ///< Caller guarantees single-threaded use; zero atomics.
+  Concurrent,  ///< Always safe under concurrent readers + writers.
+};
+
+struct Options {
+  Mode mode = Mode::Auto;
+  /// Entry cap; on a store that would exceed it the cache fully clears
+  /// first (the comm plan memo policy). 0 = unbounded.
+  std::size_t max_entries = 0;
+  /// Cap on the sum of caller-declared entry weights ("words"); exceeding
+  /// it on a store fully clears first (the xfer memo policy). 0 = unbounded.
+  std::size_t max_words = 0;
+  /// Entries heavier than this are simulated-but-never-stored (the store
+  /// is skipped, not the clear). 0 = unbounded.
+  std::size_t max_entry_words = 0;
+  /// Recent-delta size at which a store folds the delta into a fresh copy
+  /// of the stable map. Amortizes the O(stable) copy geometrically.
+  std::size_t merge_threshold = 96;
+};
+
+/// Counter snapshot; see the header comment for the sloppiness contract.
+struct Stats {
+  std::uint64_t hits{0};
+  std::uint64_t misses{0};
+  std::uint64_t installs{0};
+  std::uint64_t merges{0};
+  std::uint64_t clears{0};
+  std::uint64_t rejected{0};  ///< stores vetoed by the keep predicate
+  std::uint64_t oversize{0};  ///< stores skipped by max_entry_words
+};
+
+namespace detail {
+
+class Slot;
+
+/// Base of anything published through a Slot. `folded_` carries the
+/// publication bias plus any reader claims folded in at swap-out.
+class RefCounted {
+ public:
+  RefCounted() = default;
+  virtual ~RefCounted() = default;
+  RefCounted(const RefCounted&) = delete;
+  RefCounted& operator=(const RefCounted&) = delete;
+
+ private:
+  friend class Slot;
+  std::atomic<std::int64_t> folded_{0};
+};
+
+/// The split-refcount publication slot (one per cache). Not a template so
+/// the lifecycle protocol lives in one translation unit (snapcache.cpp).
+class Slot {
+ public:
+  /// Takes ownership of `initial` (which must be freshly allocated).
+  Slot(RefCounted* initial, bool concurrent);
+  ~Slot();
+  Slot(const Slot&) = delete;
+  Slot& operator=(const Slot&) = delete;
+
+  /// Wait-free reader claim on the currently published node.
+  [[nodiscard]] RefCounted* acquire();
+  /// Releases a claim from acquire(). May free the node.
+  void release(RefCounted* node);
+  /// Publishes `next` (freshly allocated, never published before) and
+  /// settles the replaced node's accounting. Writer-side: callers must
+  /// already be mutually excluded.
+  void install(RefCounted* next);
+  /// Current node without a claim: writer-side (under the writer lock) or
+  /// serial-mode use only.
+  [[nodiscard]] RefCounted* unsafe_get() const;
+
+ private:
+  std::atomic<std::uint64_t> packed_{0};
+  bool concurrent_;
+};
+
+/// Racy-by-design event counter: load+store instead of fetch_add so hot
+/// readers never issue an RMW on a shared line. Atomic types keep TSan
+/// happy; lost increments under contention are accepted.
+class SloppyCounter {
+ public:
+  void bump() {
+    c_.store(c_.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t get() const {
+    return c_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> c_{0};
+};
+
+}  // namespace detail
+
+/// The cache. `Hash`/`Eq` may be transparent (declare `is_transparent`) to
+/// support borrowed-view probes that construct no Key — the xfer memo
+/// probes with an XferKeyView referencing caller vectors.
+template <typename Key, typename Value, typename Hash = std::hash<Key>,
+          typename Eq = std::equal_to<>>
+class Cache {
+  using KeyPtr = std::shared_ptr<const Key>;
+  using ValuePtr = std::shared_ptr<const Value>;
+
+  /// Adapters dereference stored shared_ptr keys and pass probe types
+  /// through, so one map supports both without wrapping probes.
+  struct KeyHash {
+    using is_transparent = void;
+    [[no_unique_address]] Hash h;
+    std::size_t operator()(const KeyPtr& k) const { return h(*k); }
+    template <typename Probe>
+    std::size_t operator()(const Probe& k) const {
+      return h(k);
+    }
+  };
+  struct KeyEq {
+    using is_transparent = void;
+    [[no_unique_address]] Eq eq;
+    bool operator()(const KeyPtr& a, const KeyPtr& b) const {
+      return eq(*a, *b);
+    }
+    template <typename Probe>
+    bool operator()(const KeyPtr& a, const Probe& b) const {
+      return eq(*a, b);
+    }
+    template <typename Probe>
+    bool operator()(const Probe& a, const KeyPtr& b) const {
+      return eq(a, *b);
+    }
+  };
+
+  using Map = std::unordered_map<KeyPtr, ValuePtr, KeyHash, KeyEq>;
+
+  struct Generation final : detail::RefCounted {
+    std::shared_ptr<Map> stable;  ///< shared across generations; immutable
+                                  ///< once published in concurrent mode
+    Map recent;                   ///< small delta; probed first (shadows
+                                  ///< stable, which implements supersede)
+    std::uint64_t epoch{0};
+    std::size_t entries{0};
+    std::size_t words{0};
+
+    template <typename Probe>
+    [[nodiscard]] const Value* find(const Probe& key) const {
+      // Skip empty maps: hashing the probe is the expensive part of a
+      // warm lookup (keys are O(p) vectors), and right after a merge — or
+      // for a primed cache that never installs — one of the two levels is
+      // empty, so the guard halves the per-probe hash cost.
+      if (!recent.empty()) {
+        if (const auto it = recent.find(key); it != recent.end()) {
+          return it->second.get();
+        }
+      }
+      if (!stable->empty()) {
+        if (const auto it = stable->find(key); it != stable->end()) {
+          return it->second.get();
+        }
+      }
+      return nullptr;
+    }
+  };
+
+ public:
+  explicit Cache(Options opts = {})
+      : opts_(opts),
+        concurrent_(resolve(opts.mode)),
+        empty_(std::make_shared<Map>()),
+        slot_(new_initial(), concurrent_) {
+    QSM_REQUIRE(opts_.merge_threshold >= 1, "merge threshold must be >= 1");
+  }
+
+  Cache(const Cache&) = delete;
+  Cache& operator=(const Cache&) = delete;
+
+  /// RAII claim on one generation. find() pointers stay valid for the
+  /// View's lifetime (in Serial mode: until the next store, matching the
+  /// in-place mutation that mode performs).
+  class View {
+   public:
+    View() = default;
+    View(View&& o) noexcept : slot_(o.slot_), gen_(o.gen_) {
+      o.slot_ = nullptr;
+      o.gen_ = nullptr;
+    }
+    View& operator=(View&& o) noexcept {
+      if (this != &o) {
+        reset();
+        slot_ = o.slot_;
+        gen_ = o.gen_;
+        o.slot_ = nullptr;
+        o.gen_ = nullptr;
+      }
+      return *this;
+    }
+    View(const View&) = delete;
+    View& operator=(const View&) = delete;
+    ~View() { reset(); }
+
+    template <typename Probe>
+    [[nodiscard]] const Value* find(const Probe& key) const {
+      return gen_->find(key);
+    }
+    [[nodiscard]] std::uint64_t epoch() const { return gen_->epoch; }
+    [[nodiscard]] std::size_t entries() const { return gen_->entries; }
+    [[nodiscard]] std::size_t words() const { return gen_->words; }
+    explicit operator bool() const { return gen_ != nullptr; }
+
+   private:
+    friend class Cache;
+    View(detail::Slot* slot, Generation* gen) : slot_(slot), gen_(gen) {}
+    void reset() {
+      if (slot_ != nullptr) slot_->release(gen_);
+      slot_ = nullptr;
+      gen_ = nullptr;
+    }
+
+    detail::Slot* slot_{nullptr};
+    Generation* gen_{nullptr};
+  };
+
+  /// Claims the current generation. Views must not outlive the Cache.
+  [[nodiscard]] View view() const {
+    return View(&slot_, static_cast<Generation*>(slot_.acquire()));
+  }
+
+  /// One-shot probe returning a copy of the value (the comm memo pattern:
+  /// the caller shifts the copy into absolute time anyway).
+  template <typename Probe>
+  [[nodiscard]] std::optional<Value> get(const Probe& key) const {
+    const View v = view();
+    if (const Value* hit = v.find(key)) {
+      stats_.hits.bump();
+      return *hit;
+    }
+    stats_.misses.bump();
+    return std::nullopt;
+  }
+
+  /// First-writer-wins store (existing entries are kept). Returns true if
+  /// the entry was installed. `words` is the entry's weight against
+  /// max_words / max_entry_words.
+  bool insert(Key key, Value value, std::size_t words = 1) {
+    return insert_checked(
+        std::move(key), std::move(value), words,
+        [](const Value&) { return true; }, [] { return true; });
+  }
+
+  /// Validated store. Under the writer lock, in order:
+  ///   1. If an entry exists and keep(existing) is true, the store is
+  ///      rejected (returns false). keep=false means supersede.
+  ///   2. An entry heavier than max_entry_words is skipped.
+  ///   3. commit() runs; returning false aborts the store with no
+  ///      publication (the result cache vetoes when its file cannot open).
+  ///   4. The next generation is built (clearing first if a cap would be
+  ///      exceeded) and installed.
+  template <typename KeepFn, typename CommitFn>
+  bool insert_checked(Key key, Value value, std::size_t words, KeepFn&& keep,
+                      CommitFn&& commit) {
+    std::unique_lock<std::mutex> lk(writer_mu_, std::defer_lock);
+    if (concurrent_) lk.lock();
+    Generation* cur = current();
+
+    const Value* existing = cur->find(key);
+    if (existing != nullptr && keep(*existing)) {
+      stats_.rejected.bump();
+      return false;
+    }
+    if (opts_.max_entry_words != 0 && words > opts_.max_entry_words) {
+      stats_.oversize.bump();
+      return false;
+    }
+    if (!commit()) return false;
+
+    const bool fresh = existing == nullptr;
+    const bool overflow =
+        (opts_.max_entries != 0 && fresh &&
+         cur->entries + 1 > opts_.max_entries) ||
+        (opts_.max_words != 0 && cur->words + words > opts_.max_words);
+    auto k = std::make_shared<const Key>(std::move(key));
+    auto v = std::make_shared<const Value>(std::move(value));
+
+    if (!concurrent_) {
+      // Serial fallback: this generation is private to one thread, so
+      // mutate it in place — no copy, no install, no refcounting.
+      if (overflow) {
+        cur->stable->clear();
+        cur->words = 0;
+        stats_.clears.bump();
+      }
+      cur->stable->insert_or_assign(std::move(k), std::move(v));
+      cur->entries = cur->stable->size();
+      cur->words += words;
+      cur->epoch += 1;
+      stats_.installs.bump();
+      return true;
+    }
+
+    auto* next = new Generation;
+    next->epoch = cur->epoch + 1;
+    if (overflow) {
+      next->stable = empty_;
+      next->recent.insert_or_assign(std::move(k), std::move(v));
+      next->entries = 1;
+      next->words = words;
+      stats_.clears.bump();
+    } else {
+      next->stable = cur->stable;
+      next->recent = cur->recent;
+      next->recent.insert_or_assign(std::move(k), std::move(v));
+      next->entries = cur->entries + (fresh ? 1 : 0);
+      next->words = cur->words + words;
+      if (next->recent.size() >= opts_.merge_threshold) {
+        auto merged = std::make_shared<Map>(*next->stable);
+        for (const auto& [mk, mv] : next->recent) {
+          merged->insert_or_assign(mk, mv);
+        }
+        next->stable = std::move(merged);
+        next->recent.clear();
+        // The fold resolves recent-over-stable shadowing, so the entry
+        // count is exact again even after supersedes.
+        next->entries = next->stable->size();
+        stats_.merges.bump();
+      }
+    }
+    slot_.install(next);
+    stats_.installs.bump();
+    return true;
+  }
+
+  /// Bulk install for cold loads: merges `items` in order (later duplicates
+  /// win, the JSONL last-line-wins rule) at unit weight per entry.
+  void prime(std::vector<std::pair<Key, Value>> items) {
+    std::unique_lock<std::mutex> lk(writer_mu_, std::defer_lock);
+    if (concurrent_) lk.lock();
+    Generation* cur = current();
+    if (!concurrent_) {
+      for (auto& [key, value] : items) {
+        cur->stable->insert_or_assign(
+            std::make_shared<const Key>(std::move(key)),
+            std::make_shared<const Value>(std::move(value)));
+      }
+      cur->entries = cur->stable->size();
+      cur->words = cur->entries;
+      cur->epoch += 1;
+      stats_.installs.bump();
+      return;
+    }
+    auto merged = std::make_shared<Map>(*cur->stable);
+    for (const auto& [mk, mv] : cur->recent) merged->insert_or_assign(mk, mv);
+    for (auto& [key, value] : items) {
+      merged->insert_or_assign(std::make_shared<const Key>(std::move(key)),
+                               std::make_shared<const Value>(std::move(value)));
+    }
+    auto* next = new Generation;
+    next->epoch = cur->epoch + 1;
+    next->stable = std::move(merged);
+    next->entries = next->stable->size();
+    next->words = next->entries;
+    slot_.install(next);
+    stats_.installs.bump();
+  }
+
+  /// Drops every entry (a new empty generation; claimed old generations
+  /// stay alive until their readers finish).
+  void clear() {
+    std::unique_lock<std::mutex> lk(writer_mu_, std::defer_lock);
+    if (concurrent_) lk.lock();
+    Generation* cur = current();
+    if (!concurrent_) {
+      cur->stable->clear();
+      cur->entries = 0;
+      cur->words = 0;
+      cur->epoch += 1;
+    } else {
+      auto* next = new Generation;
+      next->epoch = cur->epoch + 1;
+      next->stable = empty_;
+      slot_.install(next);
+    }
+    stats_.clears.bump();
+  }
+
+  [[nodiscard]] bool concurrent() const { return concurrent_; }
+
+  [[nodiscard]] Stats stats() const {
+    Stats s;
+    s.hits = stats_.hits.get();
+    s.misses = stats_.misses.get();
+    s.installs = stats_.installs.get();
+    s.merges = stats_.merges.get();
+    s.clears = stats_.clears.get();
+    s.rejected = stats_.rejected.get();
+    s.oversize = stats_.oversize.get();
+    return s;
+  }
+
+ private:
+  static bool resolve(Mode mode) {
+    switch (mode) {
+      case Mode::Serial: return false;
+      case Mode::Concurrent: return true;
+      case Mode::Auto: break;
+    }
+    return !single_thread_process();
+  }
+
+  Generation* new_initial() {
+    auto* g = new Generation;
+    // Serial mode mutates stable in place, so it must own the map; the
+    // concurrent empty map is shared and never touched.
+    g->stable = concurrent_ ? empty_ : std::make_shared<Map>();
+    return g;
+  }
+
+  [[nodiscard]] Generation* current() const {
+    return static_cast<Generation*>(slot_.unsafe_get());
+  }
+
+  Options opts_;
+  bool concurrent_;
+  std::shared_ptr<Map> empty_;
+  mutable detail::Slot slot_;
+  std::mutex writer_mu_;
+  mutable struct {
+    detail::SloppyCounter hits, misses, installs, merges, clears, rejected,
+        oversize;
+  } stats_;
+};
+
+}  // namespace qsm::support::snap

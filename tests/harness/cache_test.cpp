@@ -10,6 +10,7 @@
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "harness/cache.hpp"
@@ -270,6 +271,85 @@ TEST(ResultCache, FaultCountersExtendTimingRowsOnlyWhenPresent) {
       ResultCache::deserialize(*support::parse_json(plain_text));
   ASSERT_TRUE(plain_back.has_value());
   EXPECT_EQ(*plain_back, plain);
+}
+
+TEST(ResultCache, ConcurrentStoresAppendEachKeyExactlyOnce) {
+  // Multi-job sweeps drain completions from pool threads. Under
+  // Mode::Concurrent every distinct key must land in the file exactly once
+  // even when racing writers carry the same key, and the file must reload
+  // cleanly (no torn or interleaved lines) — the snapshot index validates
+  // each append against the already-installed generation before the
+  // single write().
+  const std::string dir = test_dir("concurrent");
+  constexpr int kThreads = 4;
+  constexpr int kKeys = 24;
+  const PointResult r = sample_result();
+  {
+    ResultCache cache(dir, "w", support::snap::Mode::Concurrent);
+    std::vector<std::thread> writers;
+    writers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&cache, &r, t] {
+        for (int k = 0; k < kKeys; ++k) {
+          // Interleave so every key is contended by all threads, in
+          // different orders per thread.
+          const int key_id = (k + t * 7) % kKeys;
+          const PointKey key{"epoch=qsm1;workload=w;n=" +
+                             std::to_string(key_id)};
+          cache.store_one(key, r);
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+    EXPECT_EQ(file_lines(cache.path()), static_cast<std::size_t>(kKeys));
+  }
+  ResultCache reloaded(dir, "w");
+  EXPECT_EQ(reloaded.loaded_entries(), static_cast<std::size_t>(kKeys));
+  EXPECT_FALSE(reloaded.torn_tail());
+  EXPECT_EQ(reloaded.corrupt_lines(), 0u);
+  for (int k = 0; k < kKeys; ++k) {
+    const PointKey key{"epoch=qsm1;workload=w;n=" + std::to_string(k)};
+    const PointResult* hit = reloaded.lookup(key);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, r);
+  }
+}
+
+TEST(ResultCache, ConcurrentSupersedeKeepsFileParseable) {
+  // Failure rows may be superseded by racing successes; whatever
+  // interleaving wins, the file must stay line-parseable and reload to a
+  // success for every key.
+  const std::string dir = test_dir("concurrent_supersede");
+  constexpr int kKeys = 8;
+  PointResult fail;
+  fail.status = "error";
+  fail.fail_reason = "transient";
+  const PointResult good = sample_result();
+  {
+    ResultCache cache(dir, "w", support::snap::Mode::Concurrent);
+    for (int k = 0; k < kKeys; ++k) {
+      cache.store_one(PointKey{"n=" + std::to_string(k)}, fail);
+    }
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+      writers.emplace_back([&cache, &good, t] {
+        for (int k = 0; k < kKeys; ++k) {
+          cache.store_one(PointKey{"n=" + std::to_string((k + t) % kKeys)},
+                          good);
+        }
+      });
+    }
+    for (auto& w : writers) w.join();
+  }
+  ResultCache reloaded(dir, "w");
+  EXPECT_EQ(reloaded.corrupt_lines(), 0u);
+  EXPECT_FALSE(reloaded.torn_tail());
+  EXPECT_EQ(reloaded.loaded_entries(), static_cast<std::size_t>(kKeys));
+  for (int k = 0; k < kKeys; ++k) {
+    const PointResult* hit = reloaded.lookup(PointKey{"n=" + std::to_string(k)});
+    ASSERT_NE(hit, nullptr);
+    EXPECT_TRUE(hit->ok());  // the success superseded the failure row
+  }
 }
 
 TEST(ResultCache, SeparateWorkloadsUseSeparateFiles) {

@@ -132,6 +132,83 @@ TEST(Comm, SparseAlltoallvRejectsMalformedTraffic) {
                support::ContractViolation);
 }
 
+TEST(Comm, AllgatherMemoHitsOnRepeatAndRelativePattern) {
+  const auto c = default_comm(4);
+  const std::vector<support::cycles_t> flat(4, 0);
+  auto s0 = c.plan_cache_stats();
+  EXPECT_EQ(s0.hits, 0u);
+  EXPECT_EQ(s0.misses, 0u);
+
+  const auto a = c.allgather(flat, 64);
+  auto s1 = c.plan_cache_stats();
+  EXPECT_EQ(s1.misses, 1u);
+  EXPECT_EQ(s1.hits, 0u);
+  EXPECT_EQ(s1.installs, 1u);
+
+  // Identical call: pure memo hit, identical result.
+  const auto b = c.allgather(flat, 64);
+  auto s2 = c.plan_cache_stats();
+  EXPECT_EQ(s2.hits, 1u);
+  EXPECT_EQ(s2.misses, 1u);
+  EXPECT_EQ(a.finish, b.finish);
+
+  // The key is the relative arrival pattern: a uniform shift hits the
+  // same entry and the result is re-based, not re-simulated.
+  std::vector<support::cycles_t> shifted(4, 1000);
+  const auto shifted_result = c.allgather(shifted, 64);
+  auto s3 = c.plan_cache_stats();
+  EXPECT_EQ(s3.hits, 2u);
+  EXPECT_EQ(s3.misses, 1u);
+  EXPECT_EQ(shifted_result.finish, a.finish + 1000);
+
+  // Different payload size is a genuinely different plan: miss + install.
+  (void)c.allgather(flat, 128);
+  auto s4 = c.plan_cache_stats();
+  EXPECT_EQ(s4.hits, 2u);
+  EXPECT_EQ(s4.misses, 2u);
+  EXPECT_EQ(s4.installs, 2u);
+}
+
+TEST(Comm, SparseAlltoallvMemoSharesEntriesAcrossEntryPoints) {
+  const auto c = default_comm(4);
+  const std::vector<support::cycles_t> start(4, 0);
+  using Traffic = std::vector<std::pair<std::int64_t, std::int64_t>>;
+  const Traffic traffic{{1, 64}, {4, 64}, {11, 32}};
+
+  // Cold pattern: the borrowed-view probe misses, then the owned-key
+  // lookup inside simulation misses again before the install — two probes
+  // per cold pattern by design.
+  (void)c.alltoallv_sparse(start, traffic);
+  const auto s1 = c.xfer_cache_stats();
+  EXPECT_EQ(s1.misses, 2u);
+  EXPECT_EQ(s1.hits, 0u);
+  EXPECT_EQ(s1.installs, 1u);
+
+  // Warm repeat through the sparse entry point: one view-probe hit.
+  (void)c.alltoallv_sparse(start, traffic);
+  const auto s2 = c.xfer_cache_stats();
+  EXPECT_EQ(s2.hits, 1u);
+  EXPECT_EQ(s2.misses, 2u);
+
+  // The flat entry point builds the same canonical key, so it hits the
+  // entry the sparse call installed.
+  std::vector<std::int64_t> flat(16, 0);
+  flat[1] = 64;
+  flat[4] = 64;
+  flat[11] = 32;
+  (void)c.alltoallv_flat(start, flat);
+  const auto s3 = c.xfer_cache_stats();
+  EXPECT_EQ(s3.hits, 2u);
+  EXPECT_EQ(s3.installs, 1u);
+
+  // A different byte on one pair is a different pattern: new install.
+  Traffic other = traffic;
+  other[2].second = 48;
+  (void)c.alltoallv_sparse(start, other);
+  const auto s4 = c.xfer_cache_stats();
+  EXPECT_EQ(s4.installs, 2u);
+}
+
 TEST(Comm, BiggerMachineHasCostlierBarrier) {
   EXPECT_GT(default_comm(64).barrier_cost(), default_comm(4).barrier_cost());
 }

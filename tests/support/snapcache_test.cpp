@@ -1,0 +1,447 @@
+#include "support/snapcache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace qsm::support::snap {
+namespace {
+
+using Int64Cache = Cache<std::int64_t, std::int64_t>;
+
+Options concurrent_opts() {
+  Options o;
+  o.mode = Mode::Concurrent;
+  return o;
+}
+
+Options serial_opts() {
+  Options o;
+  o.mode = Mode::Serial;
+  return o;
+}
+
+TEST(SnapCache, MissThenHitWithStats) {
+  Int64Cache cache(concurrent_opts());
+  EXPECT_FALSE(cache.get(7).has_value());
+  EXPECT_TRUE(cache.insert(7, 70));
+  const auto hit = cache.get(7);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 70);
+  const Stats s = cache.stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.installs, 1u);
+}
+
+TEST(SnapCache, FirstWriterWins) {
+  Int64Cache cache(concurrent_opts());
+  EXPECT_TRUE(cache.insert(1, 10));
+  EXPECT_FALSE(cache.insert(1, 99));  // rejected: entry already present
+  EXPECT_EQ(*cache.get(1), 10);
+  EXPECT_EQ(cache.stats().rejected, 1u);
+}
+
+TEST(SnapCache, KeepPredicateControlsSupersede) {
+  Int64Cache cache(concurrent_opts());
+  ASSERT_TRUE(cache.insert(1, -1));
+  // keep == false means supersede (the result cache's failure-row rule).
+  EXPECT_TRUE(cache.insert_checked(
+      1, 42, 1, [](const std::int64_t& existing) { return existing >= 0; },
+      [] { return true; }));
+  EXPECT_EQ(*cache.get(1), 42);
+  // Now the existing entry is "good" and the same predicate keeps it.
+  EXPECT_FALSE(cache.insert_checked(
+      1, 7, 1, [](const std::int64_t& existing) { return existing >= 0; },
+      [] { return true; }));
+  EXPECT_EQ(*cache.get(1), 42);
+}
+
+TEST(SnapCache, CommitVetoAbortsTheStore) {
+  Int64Cache cache(concurrent_opts());
+  bool commit_ran = false;
+  EXPECT_FALSE(cache.insert_checked(
+      5, 50, 1, [](const std::int64_t&) { return true; },
+      [&commit_ran] {
+        commit_ran = true;
+        return false;
+      }));
+  EXPECT_TRUE(commit_ran);
+  EXPECT_FALSE(cache.get(5).has_value());
+  EXPECT_EQ(cache.stats().installs, 0u);
+}
+
+TEST(SnapCache, CommitRunsOnlyAfterValidation) {
+  Int64Cache cache(concurrent_opts());
+  ASSERT_TRUE(cache.insert(5, 50));
+  int commits = 0;
+  // Rejected store: commit must not run (no duplicate JSONL lines).
+  EXPECT_FALSE(cache.insert_checked(
+      5, 51, 1, [](const std::int64_t&) { return true; },
+      [&commits] {
+        ++commits;
+        return true;
+      }));
+  EXPECT_EQ(commits, 0);
+}
+
+TEST(SnapCache, EntryCapClearsLikeThePlanMemo) {
+  Options o = concurrent_opts();
+  o.max_entries = 2;
+  Int64Cache cache(o);
+  ASSERT_TRUE(cache.insert(1, 10));
+  ASSERT_TRUE(cache.insert(2, 20));
+  // Both fit; the third store clears first (the comm plan-memo policy).
+  EXPECT_TRUE(cache.get(1).has_value());
+  ASSERT_TRUE(cache.insert(3, 30));
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_EQ(*cache.get(3), 30);
+  EXPECT_EQ(cache.stats().clears, 1u);
+}
+
+TEST(SnapCache, WordCapAndOversizeSkipLikeTheXferMemo) {
+  Options o = concurrent_opts();
+  o.max_words = 10;
+  o.max_entry_words = 5;
+  Int64Cache cache(o);
+  ASSERT_TRUE(cache.insert(1, 10, 4));
+  ASSERT_TRUE(cache.insert(2, 20, 4));
+  // 8 + 4 > 10: clears, then stores the new entry alone.
+  ASSERT_TRUE(cache.insert(3, 30, 4));
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(*cache.get(3), 30);
+  EXPECT_EQ(cache.stats().clears, 1u);
+  // Heavier than max_entry_words: skipped outright, nothing cleared.
+  EXPECT_FALSE(cache.insert(4, 40, 6));
+  EXPECT_FALSE(cache.get(4).has_value());
+  EXPECT_EQ(*cache.get(3), 30);
+  EXPECT_EQ(cache.stats().oversize, 1u);
+}
+
+TEST(SnapCache, ClearDropsEverythingAndBumpsEpoch) {
+  Int64Cache cache(concurrent_opts());
+  cache.insert(1, 10);
+  cache.insert(2, 20);
+  const auto before = cache.view().epoch();
+  cache.clear();
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.view().entries(), 0u);
+  EXPECT_GT(cache.view().epoch(), before);
+}
+
+TEST(SnapCache, MergeFoldsRecentIntoStable) {
+  Options o = concurrent_opts();
+  o.merge_threshold = 4;
+  Int64Cache cache(o);
+  for (std::int64_t k = 0; k < 20; ++k) {
+    ASSERT_TRUE(cache.insert(k, k * 10));
+  }
+  EXPECT_GE(cache.stats().merges, 4u);
+  for (std::int64_t k = 0; k < 20; ++k) {
+    ASSERT_TRUE(cache.get(k).has_value());
+    EXPECT_EQ(*cache.get(k), k * 10);
+  }
+  EXPECT_EQ(cache.view().entries(), 20u);
+}
+
+TEST(SnapCache, SupersedeAcrossTheMergeBoundaryStaysExact) {
+  Options o = concurrent_opts();
+  o.merge_threshold = 3;
+  Int64Cache cache(o);
+  const auto supersede = [](const std::int64_t&) { return false; };
+  const auto ok = [] { return true; };
+  for (std::int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(cache.insert(k, k));
+  }
+  // Overwrite keys that have already been folded into stable: the recent
+  // delta shadows them until the next merge resolves the duplicate.
+  for (std::int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(cache.insert_checked(k, k + 100, 1, supersede, ok));
+  }
+  for (std::int64_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(*cache.get(k), k + 100);
+  }
+  EXPECT_EQ(cache.view().entries(), 10u);
+}
+
+TEST(SnapCache, ViewPinsItsGenerationAcrossClears) {
+  Int64Cache cache(concurrent_opts());
+  cache.insert(1, 10);
+  const auto pinned = cache.view();
+  cache.clear();
+  cache.insert(2, 20);
+  // The pinned generation still answers with the old world.
+  ASSERT_NE(pinned.find(std::int64_t{1}), nullptr);
+  EXPECT_EQ(*pinned.find(std::int64_t{1}), 10);
+  EXPECT_EQ(pinned.find(std::int64_t{2}), nullptr);
+  // A fresh view sees the new world.
+  const auto fresh = cache.view();
+  EXPECT_EQ(fresh.find(std::int64_t{1}), nullptr);
+  ASSERT_NE(fresh.find(std::int64_t{2}), nullptr);
+}
+
+TEST(SnapCache, PrimeKeepsLastLineWins) {
+  Cache<std::string, int> cache(concurrent_opts());
+  cache.insert("pre", 1);
+  cache.prime({{"a", 1}, {"b", 2}, {"a", 3}});
+  EXPECT_EQ(*cache.get(std::string("a")), 3);
+  EXPECT_EQ(*cache.get(std::string("b")), 2);
+  EXPECT_EQ(*cache.get(std::string("pre")), 1);
+  EXPECT_EQ(cache.view().entries(), 3u);
+}
+
+// Borrowed-view probe through transparent hash/eq, mirroring the comm xfer
+// memo's XferKeyView: the hot path must construct no key.
+struct VecKey {
+  std::vector<std::int64_t> v;
+  bool operator==(const VecKey&) const = default;
+};
+struct VecView {
+  const std::vector<std::int64_t>& v;
+};
+struct VecHash {
+  using is_transparent = void;
+  template <typename K>
+  std::size_t operator()(const K& k) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::int64_t x : k.v) {
+      h = (h ^ static_cast<std::uint64_t>(x)) * 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+struct VecEq {
+  using is_transparent = void;
+  template <typename A, typename B>
+  bool operator()(const A& a, const B& b) const {
+    return a.v == b.v;
+  }
+};
+
+TEST(SnapCache, HeterogeneousViewProbe) {
+  Cache<VecKey, int, VecHash, VecEq> cache(concurrent_opts());
+  cache.insert(VecKey{{1, 2, 3}}, 6);
+  const std::vector<std::int64_t> probe{1, 2, 3};
+  const auto hit = cache.get(VecView{probe});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 6);
+  const std::vector<std::int64_t> other{1, 2, 4};
+  EXPECT_FALSE(cache.get(VecView{other}).has_value());
+}
+
+TEST(SnapCache, SerialModeMatchesConcurrentMode) {
+  Options cs = concurrent_opts();
+  Options ss = serial_opts();
+  cs.max_entries = ss.max_entries = 8;
+  cs.merge_threshold = ss.merge_threshold = 3;
+  Int64Cache conc(cs);
+  Int64Cache serial(ss);
+  EXPECT_TRUE(conc.concurrent());
+  EXPECT_FALSE(serial.concurrent());
+
+  // Deterministic mixed op sequence over a small key space; results and
+  // exact hit/miss/install/clear counters must agree between the modes.
+  std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  for (int step = 0; step < 500; ++step) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto key = static_cast<std::int64_t>((rng >> 33) % 13);
+    const auto a = conc.get(key);
+    const auto b = serial.get(key);
+    EXPECT_EQ(a.has_value(), b.has_value());
+    if (a && b) {
+      EXPECT_EQ(*a, *b);
+    }
+    if (!a) {
+      EXPECT_EQ(conc.insert(key, key * 1000 + step),
+                serial.insert(key, key * 1000 + step));
+    }
+  }
+  const Stats c = conc.stats();
+  const Stats s = serial.stats();
+  EXPECT_EQ(c.hits, s.hits);
+  EXPECT_EQ(c.misses, s.misses);
+  EXPECT_EQ(c.installs, s.installs);
+  EXPECT_EQ(c.clears, s.clears);
+  EXPECT_EQ(c.rejected, s.rejected);
+}
+
+// Mutex-guarded reference implementing the historical comm plan-memo
+// policy (clear when the cap is reached, first writer wins): the snapshot
+// cache must produce the identical hit/miss sequence on the same key
+// stream — the memo port changed the synchronization, not the behavior.
+class MutexPlanMemo {
+ public:
+  explicit MutexPlanMemo(std::size_t cap) : cap_(cap) {}
+  bool lookup(const VecKey& k, std::int64_t* out) {
+    std::lock_guard lk(mu_);
+    const auto it = map_.find(k);
+    if (it == map_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+  void store(VecKey k, std::int64_t v) {
+    std::lock_guard lk(mu_);
+    if (map_.size() >= cap_) map_.clear();
+    map_.emplace(std::move(k), v);
+  }
+
+ private:
+  std::size_t cap_;
+  std::mutex mu_;
+  std::unordered_map<VecKey, std::int64_t, VecHash, VecEq> map_;
+};
+
+TEST(SnapCache, HitMissSequenceMatchesMutexReferenceOnMemoTraffic) {
+  constexpr std::size_t kCap = 16;
+  Options o = concurrent_opts();
+  o.max_entries = kCap;
+  o.merge_threshold = 5;  // force merges mid-sequence
+  Cache<VecKey, std::int64_t, VecHash, VecEq> snap_memo(o);
+  MutexPlanMemo mutex_memo(kCap);
+
+  // Key stream shaped like phase arrival patterns: a few hot shapes that
+  // repeat (memo hits) plus a drift of fresh shapes that eventually trips
+  // the cap-clear on both implementations at the same step.
+  std::uint64_t rng = 42;
+  std::vector<char> sequence_snap, sequence_mutex;
+  for (int step = 0; step < 400; ++step) {
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto draw = (rng >> 33) % 100;
+    VecKey key;
+    if (draw < 60) {
+      key.v = {static_cast<std::int64_t>(draw % 7), 0, 1};  // hot shapes
+    } else {
+      key.v = {static_cast<std::int64_t>(step), 9, 9};  // fresh shape
+    }
+    const std::int64_t value = static_cast<std::int64_t>(step);
+
+    const auto hit = snap_memo.get(key);
+    sequence_snap.push_back(hit ? 'H' : 'M');
+    if (!hit) snap_memo.insert(key, value);
+
+    std::int64_t ref_value = 0;
+    const bool ref_hit = mutex_memo.lookup(key, &ref_value);
+    sequence_mutex.push_back(ref_hit ? 'H' : 'M');
+    if (!ref_hit) mutex_memo.store(key, value);
+    if (hit && ref_hit) {
+      EXPECT_EQ(*hit, ref_value);
+    }
+  }
+  EXPECT_EQ(sequence_snap, sequence_mutex);
+  const Stats s = snap_memo.stats();
+  EXPECT_EQ(s.hits + s.misses, 400u);
+  EXPECT_GT(s.clears, 0u);  // the stream tripped the cap at least once
+}
+
+// TSan stress: concurrent readers probing while a writer installs
+// generations, merges, supersedes, and clears. Values carry an invariant
+// derived from their key so a torn or stale-freed read is detectable.
+TEST(SnapCacheStress, ConcurrentReadersDuringInstalls) {
+  constexpr int kReaders = 8;
+  constexpr std::int64_t kKeys = 64;
+  Options o = concurrent_opts();
+  o.merge_threshold = 8;  // churn generations hard
+  Cache<std::int64_t, std::vector<std::int64_t>> cache(o);
+
+  const auto supersede = [](const std::vector<std::int64_t>&) {
+    return false;
+  };
+  const auto yes = [] { return true; };
+  const auto install_round = [&cache, supersede, yes](int round) {
+    for (std::int64_t key = 0; key < kKeys; ++key) {
+      const std::int64_t salt = round * kKeys + key;
+      cache.insert_checked(
+          key, std::vector<std::int64_t>{key, key * 3, salt, salt ^ key}, 1,
+          supersede, yes);
+    }
+  };
+  // Prefill so readers observe hits under any thread schedule (on a
+  // one-core host the writer loop below can finish before a reader runs).
+  install_round(0);
+
+  std::atomic<bool> ok{true};
+  std::atomic<std::uint64_t> observed_hits{0};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&cache, &ok, &observed_hits, r] {
+      std::uint64_t rng = 0x1234 + static_cast<std::uint64_t>(r);
+      std::uint64_t hits = 0;
+      for (int probe = 0; probe < 4000; ++probe) {
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        const auto key = static_cast<std::int64_t>((rng >> 33) % kKeys);
+        const auto view = cache.view();
+        if (const auto* v = view.find(key)) {
+          // Every generation of a value satisfies v = {key, key*3, x, x^key}.
+          if (v->size() != 4 || (*v)[0] != key || (*v)[1] != key * 3 ||
+              ((*v)[2] ^ key) != (*v)[3]) {
+            ok.store(false, std::memory_order_relaxed);
+          }
+          ++hits;
+        }
+      }
+      observed_hits.fetch_add(hits, std::memory_order_relaxed);
+    });
+  }
+
+  for (int round = 1; round < 60; ++round) {
+    install_round(round);
+    if (round % 7 == 6) cache.clear();
+  }
+  // Keep installing fresh generations (no clears, so hits stay guaranteed)
+  // until every reader has drained its probes.
+  install_round(60);
+  for (auto& t : readers) t.join();
+
+  EXPECT_TRUE(ok.load());
+  EXPECT_GT(observed_hits.load(), 0u);
+  const Stats s = cache.stats();
+  EXPECT_EQ(s.installs, 61u * kKeys);
+}
+
+// Lifecycle stress for the split refcount itself: readers that hold views
+// across writer installs/clears, so generation frees constantly race
+// against claim releases (double-free or leak would trip TSan/ASan).
+TEST(SnapCacheStress, ViewLifetimesOverlapGenerationTurnover) {
+  constexpr int kReaders = 8;
+  Options o = concurrent_opts();
+  o.merge_threshold = 4;
+  Cache<std::int64_t, std::int64_t> cache(o);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&cache, &stop, r] {
+      std::uint64_t rng = 77 + static_cast<std::uint64_t>(r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Hold two overlapping views so releases interleave with installs
+        // out of acquisition order.
+        auto a = cache.view();
+        rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+        auto b = cache.view();
+        const auto key = static_cast<std::int64_t>((rng >> 33) % 32);
+        (void)a.find(key);
+        a = std::move(b);  // drops a's claim, keeps b's
+        (void)a.find(key);
+      }
+    });
+  }
+  for (int round = 0; round < 400; ++round) {
+    cache.insert(round % 32, round);
+    if (round % 11 == 10) cache.clear();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : readers) t.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace qsm::support::snap

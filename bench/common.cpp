@@ -23,7 +23,11 @@ void register_common_flags(support::ArgParser& args) {
   args.flag_bool("no-cache", false,
                  "recompute every grid point, ignore the result cache");
   args.flag_str("cache-dir", "outputs/.cache",
-                "content-addressed result cache location (JSONL per workload)");
+                "content-addressed result cache location (one segment store "
+                "per workload)");
+  args.flag_str("cache-sync", "data",
+                "cache durability: none (process-crash safe only), data "
+                "(fdatasync per record), full (also fsync metadata + dir)");
   args.flag_str("lanes", "auto",
                 "program lane engine: auto, threads, or fibers (host "
                 "throughput only; traces are identical)");
@@ -71,6 +75,13 @@ CommonConfig read_common_flags(const support::ArgParser& args) {
   QSM_REQUIRE(cfg.jobs >= 0, "--jobs must be non-negative");
   cfg.cache = !args.boolean("no-cache");
   cfg.cache_dir = args.str("cache-dir");
+  {
+    const std::string& sync = args.str("cache-sync");
+    const auto policy = support::durable::sync_policy_from_string(sync);
+    QSM_REQUIRE(policy.has_value(),
+                "--cache-sync must be none, data, or full");
+    cfg.cache_sync = *policy;
+  }
   cfg.lanes = rt::lane_mode_from_string(args.str("lanes"));
   // Installed process-wide: every Runtime the sweeps build (their Options
   // leave `lanes` at Auto) resolves through this default. Not part of any
@@ -109,6 +120,7 @@ harness::RunnerOptions runner_options(const CommonConfig& cfg,
   opts.jobs = cfg.jobs;
   opts.cache = cfg.cache;
   opts.cache_dir = cfg.cache_dir;
+  opts.cache_sync = cfg.cache_sync;
   opts.point_timeout_s = cfg.point_timeout_s;
   opts.point_rss_mb = cfg.point_rss_mb;
   opts.tolerate_failures = cfg.tolerate_failures;

@@ -37,7 +37,9 @@ struct CommonConfig {
   // Scheduler knobs (see harness::SweepRunner).
   int jobs{0};            ///< 0 = auto (host thread budget, capped at 16)
   bool cache{true};       ///< false with --no-cache
-  std::string cache_dir;  ///< JSONL result cache location
+  std::string cache_dir;  ///< result cache location (segment stores)
+  /// Cache durability policy (--cache-sync={none,data,full}).
+  support::durable::SyncPolicy cache_sync{support::durable::SyncPolicy::Data};
   /// Program lane engine (--lanes); also installed as the process default.
   rt::LaneMode lanes{rt::LaneMode::Auto};
   // Robustness knobs (--point-timeout, --point-rss-mb, --tolerate-failures,

@@ -1,18 +1,31 @@
 #!/usr/bin/env bash
-# Crash-safety check for the sweep harness: SIGKILL a sweep mid-run, then
-# prove the surviving cache file resumes it.
+# Crash-safety check for the sweep harness: SIGKILL a sweep at several
+# randomized points mid-run, then prove the surviving segment store
+# resumes it.
 #
-# Run 1 is killed once the cache holds a few records. The file may end in
-# a torn line (the kill can land mid-write); that must not poison run 2,
-# which picks up every record completed before the kill (cached >= lines
-# observed at kill time) and computes exactly the remainder. Run 3 is
-# fully warm and must recompute nothing (computed=0).
+# Each kill round waits until the store holds a randomized number of new
+# records (observed via `qsmctl cache-info`, which scans read-only), then
+# SIGKILLs the sweep and relaunches it. A kill can land mid-write, leaving
+# a torn record at the tail of the store; recovery must shrug that off and
+# keep every record completed before the kill. The final run picks up all
+# surviving records (cached >= records observed at the last kill) and
+# computes exactly the remainder. The last run is fully warm and must
+# recompute nothing (computed=0).
 #
-# Usage: chaos_kill.sh <bench_chaos binary> [extra args...]
+# The kill points are drawn from bash's seeded RNG; set CHAOS_KILL_SEED to
+# reproduce a run (the seed is echoed either way).
+#
+# Usage: chaos_kill.sh <bench_chaos binary> <qsmctl binary> [extra args...]
 set -euo pipefail
 
 bin=$1
-shift
+qsmctl=$2
+shift 2
+
+seed=${CHAOS_KILL_SEED:-20260808}
+RANDOM=$seed
+kills=${CHAOS_KILL_ROUNDS:-3}
+echo "chaos_kill: seed=$seed rounds=$kills"
 
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
@@ -20,36 +33,63 @@ trap 'rm -rf "$work"' EXIT
 args=(--procs 64 --drops 0,0.02,0.05,0.1 --slows 0.25,0.5
       --n-prefix 16384 --n-list 8192 --jobs 2 --cache-dir "$work/cache"
       --out "$work/chaos.json" "$@")
-cachefile="$work/cache/chaos.jsonl"
+store="$work/cache/chaos.qstore"
 
-"$bin" "${args[@]}" > "$work/out1.txt" 2>&1 &
-pid=$!
-for _ in $(seq 1 400); do
-  kill -0 "$pid" 2>/dev/null || break
-  lines=$(2>/dev/null wc -l < "$cachefile" || echo 0)
-  [ "$lines" -ge 2 ] && break
-  sleep 0.05
+records_now() {
+  local n
+  n=$("$qsmctl" cache-info --store "$store" 2>/dev/null \
+        | grep -o ' records=[0-9]*' | cut -d= -f2) || n=""
+  echo "${n:-0}"
+}
+
+records_at_kill=0
+kills_done=0
+for round in $(seq 1 "$kills"); do
+  # Each round demands a randomized number of records beyond the last
+  # kill point, so the SIGKILLs land at different byte offsets per seed.
+  target=$((records_at_kill + 1 + RANDOM % 4))
+  round_args=("${args[@]}")
+  [ "$round" -gt 1 ] && round_args+=(--resume)
+  "$bin" "${round_args[@]}" > "$work/out_round$round.txt" 2>&1 &
+  pid=$!
+  finished=0
+  for _ in $(seq 1 400); do
+    if ! kill -0 "$pid" 2>/dev/null; then
+      finished=1
+      break
+    fi
+    [ "$(records_now)" -ge "$target" ] && break
+    sleep 0.05
+  done
+  if [ "$finished" -eq 1 ] || ! kill -0 "$pid" 2>/dev/null; then
+    wait "$pid" 2>/dev/null || true
+    if [ "$round" -eq 1 ]; then
+      echo "FAIL: sweep finished before the first kill (grid too small)" >&2
+      exit 1
+    fi
+    echo "chaos_kill: round $round finished before reaching $target records"
+    break
+  fi
+  kill -9 "$pid"
+  wait "$pid" 2>/dev/null || true
+  records_at_kill=$(records_now)
+  kills_done=$((kills_done + 1))
+  echo "chaos_kill: round $round killed at $records_at_kill records" \
+       "(target $target)"
+  if [ "$records_at_kill" -lt 1 ]; then
+    echo "FAIL: no cache records survived kill round $round" >&2
+    exit 1
+  fi
 done
-if ! kill -0 "$pid" 2>/dev/null; then
-  echo "FAIL: sweep finished before the kill (grid too small to test)" >&2
-  exit 1
-fi
-kill -9 "$pid"
-wait "$pid" 2>/dev/null || true
-lines_at_kill=$(2>/dev/null wc -l < "$cachefile" || echo 0)
-if [ "$lines_at_kill" -lt 1 ]; then
-  echo "FAIL: no cache records survived the kill" >&2
-  exit 1
-fi
 
-"$bin" "${args[@]}" --resume > "$work/out2.txt" 2>&1
-stats=$(grep '^harness:' "$work/out2.txt")
+"$bin" "${args[@]}" --resume > "$work/out_final.txt" 2>&1
+stats=$(grep '^harness:' "$work/out_final.txt")
 points=$(echo "$stats" | grep -o 'points=[0-9]*' | cut -d= -f2)
 cached=$(echo "$stats" | grep -o 'cached=[0-9]*' | cut -d= -f2)
 computed=$(echo "$stats" | grep -o 'computed=[0-9]*' | cut -d= -f2)
-if [ "$cached" -lt "$lines_at_kill" ]; then
-  echo "FAIL: resume run reused $cached points but $lines_at_kill were on" \
-       "disk at kill time" >&2
+if [ "$cached" -lt "$records_at_kill" ]; then
+  echo "FAIL: resume run reused $cached points but $records_at_kill were" \
+       "on disk at the last kill" >&2
   exit 1
 fi
 if [ "$((cached + computed))" -ne "$points" ]; then
@@ -57,12 +97,13 @@ if [ "$((cached + computed))" -ne "$points" ]; then
   exit 1
 fi
 
-"$bin" "${args[@]}" --resume > "$work/out3.txt" 2>&1
-if ! grep -q "computed=0 " "$work/out3.txt"; then
+"$bin" "${args[@]}" --resume > "$work/out_warm.txt" 2>&1
+if ! grep -q "computed=0 " "$work/out_warm.txt"; then
   echo "FAIL: warm resume recomputed points (expected computed=0):" >&2
-  grep '^harness:' "$work/out3.txt" >&2 || true
+  grep '^harness:' "$work/out_warm.txt" >&2 || true
   exit 1
 fi
 
-echo "OK: killed at $lines_at_kill cached records; resume reused $cached," \
-     "computed $computed of $points; warm resume computed=0"
+echo "OK: $kills_done seeded kills (last at $records_at_kill records);" \
+     "resume reused $cached, computed $computed of $points;" \
+     "warm resume computed=0"

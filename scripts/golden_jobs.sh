@@ -38,12 +38,14 @@ if ! grep -q "computed=0 " "$work/warm.txt"; then
   grep "^harness:" "$work/warm.txt" >&2 || true
   exit 1
 fi
-# The cache files themselves must be independent of the job count: results
-# are appended in submission order regardless of which worker computed them.
-for f in "$work"/cache1/*.jsonl; do
-  twin="$work/cache8/$(basename "$f")"
-  if ! cmp -s "$f" "$twin"; then
-    echo "FAIL: cache file $(basename "$f") differs between job counts" >&2
+# The cache stores themselves must be independent of the job count: results
+# drain to the segment store in submission order regardless of which worker
+# computed them, so every segment file is byte-identical across --jobs.
+for d in "$work"/cache1/*.qstore; do
+  twin="$work/cache8/$(basename "$d")"
+  if ! diff -r "$d" "$twin" > /dev/null 2>&1; then
+    echo "FAIL: cache store $(basename "$d") differs between job counts" >&2
+    diff -r "$d" "$twin" >&2 || true
     exit 1
   fi
 done

@@ -26,16 +26,16 @@ std::string cache_file_stem(std::string_view workload) {
 }
 
 ResultCache::ResultCache(std::string dir, std::string workload,
-                         support::snap::Mode mode)
+                         support::snap::Mode mode,
+                         support::durable::StoreOptions store_opts)
     : dir_(std::move(dir)),
+      path_(dir_ + "/" + cache_file_stem(workload) + ".qstore"),
+      legacy_path_(dir_ + "/" + cache_file_stem(workload) + ".jsonl"),
       mode_(mode),
-      index_(support::snap::Options{.mode = mode}) {
-  path_ = dir_ + "/" + cache_file_stem(workload) + ".jsonl";
-}
+      store_(path_, store_opts),
+      index_(support::snap::Options{.mode = mode}) {}
 
-ResultCache::~ResultCache() {
-  if (fd_ >= 0) ::close(fd_);
-}
+ResultCache::~ResultCache() = default;
 
 // ---- serialization --------------------------------------------------------
 
@@ -209,20 +209,61 @@ std::optional<PointResult> ResultCache::deserialize(
 
 void ResultCache::load() {
   // Concurrent store_one() callers may race to the first use; the load
-  // mutex makes exactly one of them parse the file. Serial mode trusts the
+  // mutex makes exactly one of them scan the store. Serial mode trusts the
   // caller's single-thread promise and skips the lock.
   std::unique_lock<std::mutex> lk(load_mu_, std::defer_lock);
   if (index_.concurrent()) lk.lock();
   if (loaded_) return;
   loaded_ = true;
-  std::ifstream in(path_, std::ios::binary);
-  if (!in) return;  // no cache yet
+  std::vector<std::pair<std::string, PointResult>> items;
+  std::error_code ec;
+  if (fs::exists(legacy_path_, ec)) {
+    // A flat JSONL from an older build: absorb it into the segment store.
+    migrate_legacy(&items);
+  } else {
+    support::durable::ScanReport rep;
+    auto records = store_.load(&rep);
+    torn_tail_ = rep.torn_tail;
+    corrupt_lines_ = rep.corrupt_events;
+    if (rep.torn_tail || rep.corrupt_events != 0) {
+      std::fprintf(stderr,
+                   "warning: result cache %s: recovered %llu records "
+                   "(%llu corrupt event%s%s)\n",
+                   path_.c_str(),
+                   static_cast<unsigned long long>(rep.records),
+                   static_cast<unsigned long long>(rep.corrupt_events),
+                   rep.corrupt_events == 1 ? "" : "s",
+                   rep.torn_tail ? ", torn tail" : "");
+    }
+    items.reserve(records.size());
+    for (auto& rec : records) {
+      // The frame passed its CRC, so a value that fails to parse is a
+      // writer bug, not disk damage — but tolerate it the same way.
+      const auto doc = support::parse_json(rec.value);
+      const std::optional<PointResult> result =
+          doc ? deserialize(*doc) : std::nullopt;
+      if (result) {
+        items.emplace_back(std::move(rec.key), std::move(*result));
+      } else {
+        corrupt_lines_++;
+        std::fprintf(stderr,
+                     "warning: result cache %s: skipping undecodable "
+                     "record\n",
+                     path_.c_str());
+      }
+    }
+  }
+  // One generation install for the whole log; prime keeps the
+  // last-record-wins rule for duplicated keys.
+  index_.prime(std::move(items));
+}
+
+void ResultCache::migrate_legacy(
+    std::vector<std::pair<std::string, PointResult>>* items) {
+  std::ifstream in(legacy_path_, std::ios::binary);
+  if (!in) return;
   const std::string text((std::istreambuf_iterator<char>(in)),
                          std::istreambuf_iterator<char>());
-  // A file not ending in '\n' was torn mid-append; the next append must
-  // open a fresh line or it would garble itself onto the fragment.
-  heal_newline_ = !text.empty() && text.back() != '\n';
-  std::vector<std::pair<std::string, PointResult>> items;
   std::size_t pos = 0;
   while (pos < text.size()) {
     const std::size_t nl = text.find('\n', pos);
@@ -231,10 +272,10 @@ void ResultCache::load() {
                                 (terminated ? nl : text.size()) - pos);
     pos = terminated ? nl + 1 : text.size();
     if (line.empty()) continue;
-    // Parse the whole record; any failure on an unterminated final line is
-    // the benign signature of a process killed mid-append (every complete
-    // record is one write() and ends in '\n'), anywhere else it suggests
-    // real corruption. Either way the point just recomputes.
+    // Same tolerant reader the flat cache always used: a failure on an
+    // unterminated final line is the benign signature of a process killed
+    // mid-append; anywhere else it suggests real corruption. Either way
+    // the point just recomputes.
     const char* reject = nullptr;
     const auto doc = support::parse_json(line);
     if (!doc) {
@@ -246,7 +287,7 @@ void ResultCache::load() {
           !k->is(support::JsonValue::Kind::String)) {
         reject = "missing k/r";
       } else if (auto result = deserialize(*r)) {
-        items.emplace_back(k->str, std::move(*result));
+        items->emplace_back(k->str, std::move(*result));
       } else {
         reject = "bad result";
       }
@@ -259,13 +300,55 @@ void ResultCache::load() {
       }
       std::fprintf(stderr,
                    "warning: result cache %s: skipping %s %s line\n",
-                   path_.c_str(), reject,
+                   legacy_path_.c_str(), reject,
                    terminated ? "mid-file" : "torn trailing");
     }
   }
-  // One generation install for the whole file; prime keeps the JSONL
-  // last-line-wins rule for duplicated keys.
-  index_.prime(std::move(items));
+  // Replay into the segment store. The legacy file coexisting with
+  // segments means a previous migration was interrupted — redo it from
+  // scratch (the legacy file is the authority until it is renamed away,
+  // which only happens after the replayed records are synced).
+  std::error_code ec;
+  fs::remove_all(path_, ec);
+  std::optional<support::durable::Written> last;
+  bool io_ok = true;
+  for (const auto& [key, result] : *items) {
+    auto written = store_.append(store_.make(key, serialize(result)));
+    if (!written.has_value()) {
+      io_ok = false;
+      break;
+    }
+    last.emplace(std::move(*written));
+  }
+  if (io_ok && last.has_value()) {
+    // One sync certifies the whole replay (earlier segments were synced
+    // as they sealed).
+    if (auto synced = store_.sync(std::move(*last))) {
+      (void)store_.publish(std::move(*synced));
+    } else {
+      io_ok = false;
+    }
+  }
+  if (io_ok) {
+    fs::rename(legacy_path_, legacy_path_ + ".migrated", ec);
+    if (ec) {
+      std::fprintf(stderr,
+                   "warning: result cache: cannot retire legacy %s: %s\n",
+                   legacy_path_.c_str(), ec.message().c_str());
+    } else {
+      migrated_ = true;
+      std::fprintf(stderr,
+                   "note: result cache: migrated %zu records from %s\n",
+                   items->size(), legacy_path_.c_str());
+    }
+  } else {
+    // Keep the legacy file so the next run retries the replay; the
+    // in-memory view is still correct (it came from the legacy parse).
+    std::fprintf(stderr,
+                 "warning: result cache: migration of %s did not complete; "
+                 "will retry next run\n",
+                 legacy_path_.c_str());
+  }
 }
 
 std::size_t ResultCache::loaded_entries() {
@@ -283,6 +366,11 @@ std::size_t ResultCache::corrupt_lines() {
   return corrupt_lines_;
 }
 
+bool ResultCache::migrated_legacy() {
+  load();
+  return migrated_;
+}
+
 const PointResult* ResultCache::lookup(const PointKey& key) {
   load();
   // Pin the generation the returned pointer lives in: it stays valid until
@@ -292,82 +380,52 @@ const PointResult* ResultCache::lookup(const PointKey& key) {
   return pinned_.find(key.text);
 }
 
-bool ResultCache::write_line(const std::string& line) {
-  if (fd_ < 0) {
-    std::error_code ec;
-    fs::create_directories(dir_, ec);  // best effort; open reports failure
-    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
-    if (fd_ < 0) {
-      std::fprintf(stderr, "warning: cannot write result cache %s\n",
-                   path_.c_str());
-      return false;
-    }
-  }
-  // The whole record goes out in one write() to an O_APPEND descriptor:
-  // a kill between records loses nothing, a kill mid-write can only leave
-  // one unterminated line at the tail.
-  const std::string* out = &line;
-  std::string healed;
-  if (heal_newline_) {
-    // Terminate a torn fragment left by a previous kill — still within the
-    // single write() so the healing newline and the record are atomic.
-    healed.reserve(line.size() + 1);
-    healed += '\n';
-    healed += line;
-    out = &healed;
-    heal_newline_ = false;
-  }
-  std::size_t off = 0;
-  while (off < out->size()) {
-    const ::ssize_t n = ::write(fd_, out->data() + off, out->size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      std::fprintf(stderr, "warning: short write to result cache %s\n",
-                   path_.c_str());
-      break;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-void ResultCache::append_line(const PointKey& key, const PointResult& result) {
+void ResultCache::append_record(const PointKey& key,
+                                const PointResult& result) {
   // Render the record optimistically, outside the writer critical section.
-  support::JsonWriter w;
-  char hex[24];
-  std::snprintf(hex, sizeof hex, "%016llx",
-                static_cast<unsigned long long>(key.hash()));
-  w.begin_object();
-  w.key("h").value(std::string_view(hex));
-  w.key("k").value(key.text);
-  std::string line = w.str();
-  line += ",\"r\":";
-  line += serialize(result);
-  line += "}\n";
+  const std::string value = serialize(result);
 
   // Validated append: under the index's writer lock, a key already cached
   // with a usable result (or this exact result) rejects the store; a
   // cached *failure row* is superseded by whatever the caller brings
-  // (retry produced something newer) — the replacement line wins on
-  // reload. The file write is the commit hook, so exactly the stores that
-  // win validation reach the file, in install order.
-  index_.insert_checked(
+  // (retry produced something newer) — the replacement record wins on
+  // reload. The typestate pipeline is the commit hook: the index install
+  // only proceeds once the record is Written AND Synced, so memory never
+  // claims more than the disk durably holds. The Synced token escapes to
+  // be redeemed as Indexed after the install (the publish is accounting;
+  // the ordering guarantee was enforced by the hook).
+  std::optional<support::durable::Synced> synced;
+  const bool installed = index_.insert_checked(
       key.text, result, /*words=*/1,
       [&result](const PointResult& existing) {
         return existing.ok() || existing == result;
       },
-      [this, &line] { return write_line(line); });
+      [this, &key, &value, &synced] {
+        auto written = store_.append(store_.make(key.text, value));
+        if (!written.has_value()) {
+          std::fprintf(stderr, "warning: cannot write result cache %s\n",
+                       path_.c_str());
+          return false;
+        }
+        auto s = store_.sync(std::move(*written));
+        if (!s.has_value()) return false;
+        synced.emplace(std::move(*s));
+        return true;
+      });
+  if (installed && synced.has_value()) {
+    (void)store_.publish(std::move(*synced));
+  }
 }
 
 void ResultCache::store(
     const std::vector<std::pair<PointKey, PointResult>>& batch) {
   load();
-  for (const auto& [key, result] : batch) append_line(key, result);
+  for (const auto& [key, result] : batch) append_record(key, result);
 }
 
 void ResultCache::store_one(const PointKey& key, const PointResult& result) {
   load();
-  append_line(key, result);
+  append_record(key, result);
 }
 
 }  // namespace qsm::harness

@@ -1,32 +1,42 @@
 // Content-addressed result cache for the experiment scheduler.
 //
-// One JSONL file per workload under the cache directory
-// (outputs/.cache/<workload>.jsonl by default); each line is
-// {"h":"<fnv64 hex>","k":"<canonical key text>","r":{<serialized result>}}.
-// Lookups compare the full key text, not just the hash, so collisions are
-// impossible and the files stay greppable. Serialization round-trips
-// doubles bit-exactly (%.17g), which is what lets a warm run regenerate
-// byte-identical tables without executing a single simulation.
+// One durable segment store per workload under the cache directory
+// (outputs/.cache/<workload>.qstore by default — a directory of
+// checksummed segment files, see support/durable/segment_store.hpp).
+// Each record maps the canonical key text to the serialized result.
+// Lookups compare the full key text, not just a hash, so collisions are
+// impossible. Serialization round-trips doubles bit-exactly (%.17g),
+// which is what lets a warm run regenerate byte-identical tables without
+// executing a single simulation.
 //
-// Robustness contract: every record is appended with a *single* write()
-// to an O_APPEND descriptor, so a killed process leaves at most one torn
-// line at the end of the file, never a corrupt middle. Reloading skips
-// unreadable lines (the points just recompute) and reports them —
-// torn_tail() distinguishes the benign kill artifact from mid-file
-// corruption (corrupt_lines()). Concurrent binaries writing the same file
-// at worst duplicate a line. Failure rows (PointResult::status set) are
-// cached like results; storing a fresh result for a key whose cached entry
-// is a failure row appends a replacement line (last line wins on reload).
+// Robustness contract: every record is framed with a CRC32C and appended
+// with a single write(); the store's typestate pipeline
+// (Pending -> Written -> Synced -> Indexed) makes the in-memory index
+// structurally unable to get ahead of durable state — the snapcache
+// commit hook only succeeds once the record is written *and* synced per
+// the configured SyncPolicy, so a crash at any instant recovers every
+// record the index ever exposed. Reload classifies damage: torn_tail()
+// is the benign crash artifact at the end of the log, corrupt_lines()
+// counts mid-log corruption events (both just recompute the points).
+// Failure rows (PointResult::status set) are cached like results;
+// storing a fresh result for a key whose cached entry is a failure row
+// appends a superseding record (last record wins on reload).
+//
+// Migration: a legacy flat <workload>.jsonl from older builds is
+// absorbed on first load — parsed with the old tolerant reader, replayed
+// into the segment store, then renamed to <workload>.jsonl.migrated. An
+// interrupted migration redoes the replay from the legacy file (which is
+// only renamed after the replayed records are synced).
 //
 // The in-memory index is a snapshot cache (support/snapcache.hpp): the
-// store path is an STM-style validated append — the JSONL line is rendered
-// optimistically, then under the writer lock the skip/supersede rule is
-// re-checked against the current generation and the single write() runs as
-// the commit hook, so the file and the index can never disagree about
-// which writer won a key. store()/store_one() are therefore safe to call
-// from concurrent sweep jobs (in Concurrent mode); lookup() remains a
-// single-consumer API — it pins the generation its returned pointer lives
-// in until the next lookup()/store() by that consumer.
+// store path is an STM-style validated append — under the writer lock
+// the skip/supersede rule is re-checked against the current generation
+// and the append+sync runs as the commit hook, so the store and the
+// index can never disagree about which writer won a key.
+// store()/store_one() are safe from concurrent sweep jobs (in Concurrent
+// mode); lookup() remains a single-consumer API — it pins the generation
+// its returned pointer lives in until that consumer's next
+// lookup()/store().
 #pragma once
 
 #include <cstddef>
@@ -38,6 +48,7 @@
 #include <vector>
 
 #include "harness/point.hpp"
+#include "support/durable/segment_store.hpp"
 #include "support/json.hpp"
 #include "support/snapcache.hpp"
 
@@ -48,19 +59,22 @@ class ResultCache {
   /// `dir` need not exist yet; it is created on the first store().
   /// `mode` selects the index's concurrency posture: the sweep scheduler
   /// passes Serial for one-job runs (zero atomics) and Concurrent when its
-  /// worker pool drains completions from several threads.
+  /// worker pool drains completions from several threads. `store_opts`
+  /// tunes the durable store, most notably the sync policy
+  /// (--cache-sync).
   ResultCache(std::string dir, std::string workload,
-              support::snap::Mode mode = support::snap::Mode::Auto);
+              support::snap::Mode mode = support::snap::Mode::Auto,
+              support::durable::StoreOptions store_opts = {});
   ~ResultCache();
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
 
-  /// Loads the file on first use, then looks `key` up. Returns nullptr on
-  /// a miss. The pointer stays valid until the next store().
+  /// Loads the store on first use, then looks `key` up. Returns nullptr
+  /// on a miss. The pointer stays valid until the next store().
   [[nodiscard]] const PointResult* lookup(const PointKey& key);
 
-  /// Appends `batch` to the file and the in-memory index, skipping keys
+  /// Appends `batch` to the store and the in-memory index, skipping keys
   /// already present (unless the present entry is a failure row — those
   /// are superseded).
   void store(const std::vector<std::pair<PointKey, PointResult>>& batch);
@@ -69,15 +83,28 @@ class ResultCache {
   /// so a killed sweep keeps everything finished before the kill.
   void store_one(const PointKey& key, const PointResult& result);
 
+  /// The segment-store directory for this workload (<dir>/<stem>.qstore).
   [[nodiscard]] const std::string& path() const { return path_; }
+  /// Where a pre-segment-store flat cache would live; consumed (renamed
+  /// to *.migrated) by the first load that finds it.
+  [[nodiscard]] const std::string& legacy_path() const {
+    return legacy_path_;
+  }
   /// Entries usable after load (diagnostics).
   [[nodiscard]] std::size_t loaded_entries();
-  /// True when the file ended in an unterminated, unparseable line — the
-  /// signature of a process killed mid-append (or a truncated copy).
+  /// True when the log ended in an unterminated record — the signature of
+  /// a process killed mid-append (or a truncated copy).
   [[nodiscard]] bool torn_tail();
-  /// Newline-terminated lines that failed to parse on load (these suggest
-  /// real corruption, unlike a torn tail).
+  /// Mid-log corruption events survived on load (these suggest real
+  /// damage, unlike a torn tail).
   [[nodiscard]] std::size_t corrupt_lines();
+  /// True when this load absorbed a legacy flat JSONL cache.
+  [[nodiscard]] bool migrated_legacy();
+
+  /// The durable store under the index (bench/introspection access).
+  [[nodiscard]] support::durable::SegmentStore& durable_store() {
+    return store_;
+  }
 
   /// JSON object text for one result (stable field order).
   [[nodiscard]] static std::string serialize(const PointResult& r);
@@ -97,21 +124,20 @@ class ResultCache {
                            std::equal_to<>>;
 
   void load();
-  void append_line(const PointKey& key, const PointResult& result);
-  /// The commit hook: opens the descriptor lazily and issues the single
-  /// write(). False only when the file cannot be opened (the store is then
-  /// aborted so memory never claims more than the file holds).
-  bool write_line(const std::string& line);
+  void migrate_legacy(
+      std::vector<std::pair<std::string, PointResult>>* items);
+  void append_record(const PointKey& key, const PointResult& result);
 
   std::string dir_;
-  std::string path_;
+  std::string path_;         ///< segment-store directory
+  std::string legacy_path_;  ///< flat JSONL from older builds
   support::snap::Mode mode_;
+  support::durable::SegmentStore store_;
   std::mutex load_mu_;  ///< first-use load (skipped in Serial mode)
   bool loaded_{false};
   bool torn_tail_{false};
-  bool heal_newline_{false};  ///< file ended without '\n'; fix on append
+  bool migrated_{false};
   std::size_t corrupt_lines_{0};
-  int fd_{-1};  ///< append descriptor, opened lazily, owned
   Index index_;
   Index::View pinned_;  ///< generation the last lookup()'s pointer lives in
 };

@@ -43,6 +43,11 @@ struct RunnerOptions {
   int jobs{0};
   bool cache{true};
   std::string cache_dir{"outputs/.cache"};
+  /// Durability policy for cache appends (--cache-sync): `none` never
+  /// syncs (survives process kills only), `data` fdatasyncs each record
+  /// (survives host crashes; the default), `full` additionally fsyncs
+  /// file metadata and the directory on segment create/rename.
+  support::durable::SyncPolicy cache_sync{support::durable::SyncPolicy::Data};
   /// Host wall-clock deadline per point (0 = none). Armed as a watchdog
   /// around each compute closure; a Runtime built inside the closure polls
   /// it at every phase boundary, so a runaway point unwinds with a

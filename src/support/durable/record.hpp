@@ -1,0 +1,126 @@
+// Typestate tokens of the durable segment store.
+//
+// Soft-updates discipline, enforced by the compiler: a durable record moves
+// through
+//
+//   Pending  --append-->  Written  --sync-->  Synced  --publish-->  Indexed
+//
+// and each arrow is a SegmentStore method that *consumes* the previous
+// token (rvalue parameter, move-only type, private constructor). There is
+// no way to construct a Synced except from a Written that the store
+// actually wrote, and no way to construct an Indexed except from a Synced
+// the store actually made durable — so an in-memory index that demands a
+// Synced token before publication can never get ahead of the on-disk
+// state, by type error rather than by convention. Dropping a token early
+// is legal (a record may be written and never indexed — that is an
+// aborted store, recovered as garbage); skipping a step is not.
+//
+// The states mean:
+//   Pending — the record is framed (header + CRC32C + payload) in memory.
+//   Written — the frame was handed to the kernel with one write() on an
+//             O_APPEND descriptor. Survives a process crash, not a host
+//             crash.
+//   Synced  — fdatasync/fsync completed per the store's SyncPolicy.
+//             Survives a host crash (modulo the policy's documented gap:
+//             SyncPolicy::None makes this transition logical only).
+//   Indexed — the store was told the record is visible in an in-memory
+//             index; recovery counts it against the no-lost-record
+//             contract.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace qsm::support::durable {
+
+class SegmentStore;
+
+/// When does an append become durable against host crashes?
+///   None — never explicitly synced; fastest, torn-tail-safe for process
+///          kills only (the pre-durable-store JSONL behavior).
+///   Data — fdatasync after each record (and on segment seal). Record
+///          contents survive power loss; file metadata may lag.
+///   Full — fsync the segment *and* the directory on create/rename, so
+///          even a brand-new segment file's existence is durable.
+enum class SyncPolicy { None, Data, Full };
+
+[[nodiscard]] std::optional<SyncPolicy> sync_policy_from_string(
+    std::string_view name);
+[[nodiscard]] const char* to_string(SyncPolicy policy);
+
+/// A framed record that has not been written anywhere. Obtained from
+/// SegmentStore::make(); consumed by SegmentStore::append().
+class Pending {
+ public:
+  Pending(Pending&&) noexcept = default;
+  Pending& operator=(Pending&&) noexcept = default;
+  Pending(const Pending&) = delete;
+  Pending& operator=(const Pending&) = delete;
+
+  [[nodiscard]] std::size_t frame_bytes() const { return frame_.size(); }
+
+ private:
+  friend class SegmentStore;
+  Pending(std::string key, std::string frame, std::uint32_t crc)
+      : key_(std::move(key)), frame_(std::move(frame)), crc_(crc) {}
+
+  std::string key_;
+  std::string frame_;
+  std::uint32_t crc_;
+};
+
+/// Proof that one record's frame was written (single write(), O_APPEND).
+/// Consumed by SegmentStore::sync().
+class Written {
+ public:
+  Written(Written&&) noexcept = default;
+  Written& operator=(Written&&) noexcept = default;
+  Written(const Written&) = delete;
+  Written& operator=(const Written&) = delete;
+
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+
+ private:
+  friend class SegmentStore;
+  explicit Written(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_;
+};
+
+/// Proof that the record is durable per the store's SyncPolicy. The only
+/// currency an index may accept before publishing the record; consumed by
+/// SegmentStore::publish().
+class Synced {
+ public:
+  Synced(Synced&&) noexcept = default;
+  Synced& operator=(Synced&&) noexcept = default;
+  Synced(const Synced&) = delete;
+  Synced& operator=(const Synced&) = delete;
+
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+
+ private:
+  friend class SegmentStore;
+  explicit Synced(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_;
+};
+
+/// Terminal state: the index acknowledged a durable record. Held for
+/// accounting (SegmentStore::indexed_records()); safe to discard.
+class Indexed {
+ public:
+  Indexed(Indexed&&) noexcept = default;
+  Indexed& operator=(Indexed&&) noexcept = default;
+  Indexed(const Indexed&) = delete;
+  Indexed& operator=(const Indexed&) = delete;
+
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+
+ private:
+  friend class SegmentStore;
+  explicit Indexed(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_;
+};
+
+}  // namespace qsm::support::durable

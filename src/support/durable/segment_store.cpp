@@ -1,0 +1,680 @@
+#include "support/durable/segment_store.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <unordered_map>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/durable/crc32c.hpp"
+
+namespace qsm::support::durable {
+
+namespace fs = std::filesystem;
+
+std::optional<SyncPolicy> sync_policy_from_string(std::string_view name) {
+  if (name == "none") return SyncPolicy::None;
+  if (name == "data") return SyncPolicy::Data;
+  if (name == "full") return SyncPolicy::Full;
+  return std::nullopt;
+}
+
+const char* to_string(SyncPolicy policy) {
+  switch (policy) {
+    case SyncPolicy::None: return "none";
+    case SyncPolicy::Data: return "data";
+    case SyncPolicy::Full: return "full";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr std::size_t kPicked = static_cast<std::size_t>(-1);
+constexpr char kTypeData = 'D';
+constexpr char kTypeFooter = 'F';
+constexpr std::size_t kHeaderBytes = 8;       // u32 len + u32 crc
+constexpr std::size_t kFooterPayload = 13;    // 'F' + u64 count + u32 rollup
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFFu));
+  out.push_back(static_cast<char>((v >> 8) & 0xFFu));
+  out.push_back(static_cast<char>((v >> 16) & 0xFFu));
+  out.push_back(static_cast<char>((v >> 24) & 0xFFu));
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  put_u32le(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  put_u32le(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32le(const char* p) {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) |
+         static_cast<std::uint32_t>(u[1]) << 8 |
+         static_cast<std::uint32_t>(u[2]) << 16 |
+         static_cast<std::uint32_t>(u[3]) << 24;
+}
+
+std::uint64_t get_u64le(const char* p) {
+  return static_cast<std::uint64_t>(get_u32le(p)) |
+         static_cast<std::uint64_t>(get_u32le(p + 4)) << 32;
+}
+
+/// len_le || crc_le || payload, with crc = CRC32C(len_le || payload).
+std::string frame_payload(std::string_view payload, std::uint32_t* crc_out) {
+  std::string frame;
+  frame.reserve(kHeaderBytes + payload.size());
+  put_u32le(frame, static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t crc = crc32c(frame.data(), 4);
+  crc = crc32c(crc, payload.data(), payload.size());
+  put_u32le(frame, crc);
+  frame.append(payload);
+  if (crc_out != nullptr) *crc_out = crc;
+  return frame;
+}
+
+struct Frame {
+  std::string_view payload;
+  std::uint32_t crc = 0;
+  std::size_t end = 0;  // offset one past this frame
+};
+
+/// Parse one frame at `off`; nullopt when the bytes there cannot be a
+/// valid frame (bad length, short file, CRC mismatch).
+std::optional<Frame> parse_frame(std::string_view buf, std::size_t off) {
+  if (buf.size() - off < kHeaderBytes) return std::nullopt;
+  const std::uint32_t len = get_u32le(buf.data() + off);
+  if (len == 0 || len > kMaxPayloadBytes) return std::nullopt;
+  if (buf.size() - off - kHeaderBytes < len) return std::nullopt;
+  const std::uint32_t want = get_u32le(buf.data() + off + 4);
+  std::uint32_t got = crc32c(buf.data() + off, 4);
+  got = crc32c(got, buf.data() + off + kHeaderBytes, len);
+  if (got != want) return std::nullopt;
+  return Frame{std::string_view(buf.data() + off + kHeaderBytes, len), want,
+               off + kHeaderBytes + len};
+}
+
+/// Data-record payload: 'D' || u32 key_len || key || value.
+bool parse_data_payload(std::string_view payload, std::string_view* key,
+                        std::string_view* value) {
+  if (payload.size() < 5 || payload[0] != kTypeData) return false;
+  const std::uint32_t klen = get_u32le(payload.data() + 1);
+  if (payload.size() - 5 < klen) return false;
+  *key = payload.substr(5, klen);
+  *value = payload.substr(5 + klen);
+  return true;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool write_all(int fd, const char* data, std::size_t len, std::size_t* done) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ::ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (done != nullptr) *done = off;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (done != nullptr) *done = off;
+  return true;
+}
+
+/// What one segment scan learned (tail bookkeeping for the last segment).
+struct SegmentScan {
+  std::uint64_t valid_end = 0;
+  std::uint64_t disk_size = 0;
+  std::uint64_t data_records = 0;
+  std::uint32_t rollup = 0;
+  bool sealed = false;
+  bool torn = false;              // parse failure ran to end-of-file
+  std::uint64_t corrupt_events = 0;
+};
+
+/// Scan one segment buffer; appends parsed records to `out` when non-null.
+SegmentScan scan_segment(std::string_view buf,
+                         std::vector<StoreRecord>* out) {
+  SegmentScan s;
+  s.disk_size = buf.size();
+  std::size_t off = 0;
+  while (off < buf.size()) {
+    auto frame = parse_frame(buf, off);
+    bool accepted = false;
+    if (frame) {
+      std::string_view key, value;
+      if (parse_data_payload(frame->payload, &key, &value)) {
+        if (out != nullptr) {
+          out->push_back({std::string(key), std::string(value)});
+        }
+        char crc_le[4];
+        crc_le[0] = static_cast<char>(frame->crc & 0xFFu);
+        crc_le[1] = static_cast<char>((frame->crc >> 8) & 0xFFu);
+        crc_le[2] = static_cast<char>((frame->crc >> 16) & 0xFFu);
+        crc_le[3] = static_cast<char>((frame->crc >> 24) & 0xFFu);
+        s.rollup = crc32c(s.rollup, crc_le, 4);
+        s.data_records++;
+        accepted = true;
+      } else if (frame->payload.size() == kFooterPayload &&
+                 frame->payload[0] == kTypeFooter) {
+        const std::uint64_t count = get_u64le(frame->payload.data() + 1);
+        const std::uint32_t rollup = get_u32le(frame->payload.data() + 9);
+        if (count == s.data_records && rollup == s.rollup) {
+          s.sealed = true;
+          s.valid_end = frame->end;
+          // A sealed segment ends at its footer; any trailing bytes are
+          // garbage (they can only come from external interference).
+          if (frame->end < buf.size()) s.corrupt_events++;
+          return s;
+        }
+        // Footer that does not match what precedes it: the records it
+        // summarized were damaged. Count it and keep scanning.
+        s.corrupt_events++;
+        accepted = true;  // frame itself was well-formed; move past it
+      }
+      // else: well-formed frame with an unknown payload — fall through to
+      // resync, same as a corrupt frame.
+    }
+    if (accepted) {
+      s.valid_end = frame->end;
+      off = frame->end;
+      continue;
+    }
+    // Resync: slide forward looking for a later valid frame. Finding one
+    // means the gap was mid-file corruption; running off the end is the
+    // torn tail an interrupted append leaves.
+    std::size_t probe = off + 1;
+    bool found = false;
+    for (; probe + kHeaderBytes <= buf.size(); ++probe) {
+      if (parse_frame(buf, probe)) {
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      s.corrupt_events++;
+      off = probe;
+    } else {
+      s.torn = true;
+      break;
+    }
+  }
+  return s;
+}
+
+std::optional<std::uint32_t> parse_segment_id(const std::string& name) {
+  constexpr std::string_view prefix = "seg-";
+  const std::string_view suffix = kSegmentSuffix;
+  if (name.size() <= prefix.size() + suffix.size() ||
+      name.compare(0, prefix.size(), prefix) != 0 ||
+      name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return std::nullopt;
+  }
+  std::uint32_t id = 0;
+  for (std::size_t i = prefix.size(); i < name.size() - suffix.size(); ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    id = id * 10 + static_cast<std::uint32_t>(c - '0');
+  }
+  return id;
+}
+
+}  // namespace
+
+std::string SegmentStore::segment_name(std::uint32_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seg-%06u%s", id, kSegmentSuffix);
+  return buf;
+}
+
+SegmentStore::SegmentStore(std::string dir, StoreOptions options)
+    : dir_(std::move(dir)), options_(options) {}
+
+SegmentStore::~SegmentStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+// ---- recovery scan --------------------------------------------------------
+
+std::vector<StoreRecord> SegmentStore::load(ScanReport* report) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return scan_locked(report);
+}
+
+std::vector<StoreRecord> SegmentStore::scan_locked(ScanReport* report) {
+  // A rescan invalidates any open tail descriptor.
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+
+  std::vector<std::uint32_t> ids;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (auto id = parse_segment_id(entry.path().filename().string())) {
+      ids.push_back(*id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+
+  std::vector<StoreRecord> records;
+  ScanReport rep;
+  rep.segments = ids.size();
+  SegmentScan tail_scan;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    std::string buf;
+    if (!read_file(dir_ + "/" + segment_name(ids[i]), &buf)) {
+      rep.corrupt_events++;
+      continue;
+    }
+    SegmentScan s = scan_segment(buf, &records);
+    rep.records += s.data_records;
+    rep.corrupt_events += s.corrupt_events;
+    rep.bytes += s.valid_end;
+    if (s.sealed) rep.sealed++;
+    const bool last = i + 1 == ids.size();
+    if (s.torn) {
+      // Only the last segment may legitimately end mid-record.
+      if (last) {
+        rep.torn_tail = true;
+      } else {
+        rep.corrupt_events++;
+      }
+    }
+    if (last) tail_scan = s;
+  }
+
+  // Refresh mutable state from what the disk actually holds.
+  segment_ids_ = std::move(ids);
+  records_ = rep.records;
+  live_keys_.clear();
+  for (const auto& r : records) live_keys_.insert(r.key);
+  rep.live = live_keys_.size();
+  rep.dead = rep.records - rep.live;
+  if (segment_ids_.empty()) {
+    tail_id_ = 0;
+    tail_valid_ = 0;
+    tail_disk_ = 0;
+    tail_records_ = 0;
+    tail_rollup_ = 0;
+    tail_sealed_ = false;
+  } else {
+    tail_id_ = segment_ids_.back();
+    tail_valid_ = tail_scan.valid_end;
+    tail_disk_ = tail_scan.disk_size;
+    tail_records_ = tail_scan.data_records;
+    tail_rollup_ = tail_scan.rollup;
+    tail_sealed_ = tail_scan.sealed;
+  }
+  damaged_ = false;
+  scanned_ = true;
+  if (report != nullptr) *report = rep;
+  return records;
+}
+
+// ---- the typestate pipeline -----------------------------------------------
+
+Pending SegmentStore::make(std::string_view key, std::string_view value) const {
+  std::string payload;
+  payload.reserve(5 + key.size() + value.size());
+  payload.push_back(kTypeData);
+  put_u32le(payload, static_cast<std::uint32_t>(key.size()));
+  payload.append(key);
+  payload.append(value);
+  std::uint32_t crc = 0;
+  std::string frame = frame_payload(payload, &crc);
+  return Pending(std::string(key), std::move(frame), crc);
+}
+
+bool SegmentStore::sync_fd_locked(int fd) const {
+  for (;;) {
+    const int rc = options_.sync == SyncPolicy::Full ? ::fsync(fd)
+                                                     : ::fdatasync(fd);
+    if (rc == 0) return true;
+    if (errno != EINTR) return false;
+  }
+}
+
+bool SegmentStore::sync_dir_locked() const {
+  const int dfd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return false;
+  int rc;
+  do {
+    rc = ::fsync(dfd);
+  } while (rc != 0 && errno == EINTR);
+  ::close(dfd);
+  return rc == 0;
+}
+
+bool SegmentStore::heal_locked() {
+  // Truncate away a torn suffix (crash leftover or our own partial write)
+  // so the next append starts at the last valid byte.
+  if (tail_disk_ == tail_valid_) {
+    damaged_ = false;
+    return true;
+  }
+  if (fd_ < 0) return false;
+  if (::ftruncate(fd_, static_cast<::off_t>(tail_valid_)) != 0) return false;
+  tail_disk_ = tail_valid_;
+  damaged_ = false;
+  return true;
+}
+
+bool SegmentStore::open_tail_locked() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);  // best effort; open reports failure
+  // Sweep aborted-compaction leftovers; they are invisible to the scanner
+  // but there is no reason to keep them.
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  const std::string path = dir_ + "/" + segment_name(tail_id_);
+  const bool existed = fs::exists(path, ec);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) return false;
+  if (!existed) {
+    if (segment_ids_.empty() || segment_ids_.back() != tail_id_) {
+      segment_ids_.push_back(tail_id_);
+    }
+    // Under Full, a new file's *existence* must be durable too.
+    if (options_.sync == SyncPolicy::Full) sync_dir_locked();
+  }
+  return true;
+}
+
+bool SegmentStore::seal_locked() {
+  // Footer: 'F' || u64 data-record count || u32 rollup CRC.
+  std::string payload;
+  payload.reserve(kFooterPayload);
+  payload.push_back(kTypeFooter);
+  put_u64le(payload, tail_records_);
+  put_u32le(payload, tail_rollup_);
+  const std::string frame = frame_payload(payload, nullptr);
+  std::size_t done = 0;
+  if (!write_all(fd_, frame.data(), frame.size(), &done)) {
+    // A torn footer is just a torn tail: heal truncates it away and the
+    // seal retries after the next append.
+    tail_disk_ = tail_valid_ + done;
+    damaged_ = true;
+    return false;
+  }
+  tail_valid_ += frame.size();
+  tail_disk_ = tail_valid_;
+  // Sealing is a durability point: everything in this segment is synced
+  // before the segment is retired (policy permitting). A sync failure
+  // does not unwrite the footer — the segment is sealed either way; it
+  // only withholds the durability certificate (synced_seq_ stays back,
+  // so outstanding Written tokens cannot become Synced for free).
+  const bool synced =
+      options_.sync == SyncPolicy::None || sync_fd_locked(fd_);
+  if (synced) {
+    synced_seq_ = last_written_seq_;
+  } else {
+    // After a failed fsync the kernel may have dropped the dirty pages;
+    // re-syncing cannot certify them. Everything up to here is
+    // permanently uncertifiable — sync() refuses those tokens.
+    sync_error_floor_ = last_written_seq_;
+  }
+  ::close(fd_);
+  fd_ = -1;
+  tail_sealed_ = true;  // append() rotates to a fresh segment lazily
+  return synced;
+}
+
+std::optional<Written> SegmentStore::append(Pending&& pending) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!scanned_) {
+    // First touch without an explicit load(): scan in place, discarding
+    // the records (the caller keeps its own index).
+    (void)scan_locked(nullptr);
+  }
+  if (tail_sealed_) {
+    // The tail ended in a footer (scanned that way, or sealed by a prior
+    // append); new records go to a fresh segment.
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    tail_id_++;
+    tail_valid_ = 0;
+    tail_disk_ = 0;
+    tail_records_ = 0;
+    tail_rollup_ = 0;
+    tail_sealed_ = false;
+  }
+  if (fd_ < 0 && !open_tail_locked()) return std::nullopt;
+  if ((damaged_ || tail_disk_ != tail_valid_) && !heal_locked()) {
+    return std::nullopt;
+  }
+  std::size_t done = 0;
+  if (!write_all(fd_, pending.frame_.data(), pending.frame_.size(), &done)) {
+    std::fprintf(stderr, "warning: short write to segment store %s\n",
+                 dir_.c_str());
+    tail_disk_ = tail_valid_ + done;
+    damaged_ = true;
+    return std::nullopt;
+  }
+  tail_valid_ += pending.frame_.size();
+  tail_disk_ = tail_valid_;
+  tail_records_++;
+  char crc_le[4];
+  crc_le[0] = static_cast<char>(pending.crc_ & 0xFFu);
+  crc_le[1] = static_cast<char>((pending.crc_ >> 8) & 0xFFu);
+  crc_le[2] = static_cast<char>((pending.crc_ >> 16) & 0xFFu);
+  crc_le[3] = static_cast<char>((pending.crc_ >> 24) & 0xFFu);
+  tail_rollup_ = crc32c(tail_rollup_, crc_le, 4);
+  records_++;
+  live_keys_.insert(std::move(pending.key_));
+  const std::uint64_t seq = ++last_written_seq_;
+  if (tail_valid_ >= options_.segment_bytes) {
+    // Seal failure is not an append failure — the record is written; the
+    // footer retry happens implicitly because the segment stays the tail.
+    if (seal_locked()) maybe_compact_locked();
+  }
+  return Written(seq);
+}
+
+std::optional<Synced> SegmentStore::sync(Written&& written) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::uint64_t seq = written.seq_;
+  if (options_.sync == SyncPolicy::None) {
+    // Logical transition only: the typestate pipeline still flows, the
+    // durability gap is the policy's documented contract.
+    synced_seq_ = std::max(synced_seq_, seq);
+    return Synced(seq);
+  }
+  if (seq <= synced_seq_) return Synced(seq);  // a later sync covered us
+  if (seq <= sync_error_floor_ || fd_ < 0 || !sync_fd_locked(fd_)) {
+    // Either a prior fsync failure made this range uncertifiable, or the
+    // descriptor covering it is gone, or the sync itself just failed.
+    std::fprintf(stderr, "warning: cannot sync segment store %s\n",
+                 dir_.c_str());
+    return std::nullopt;
+  }
+  // fdatasync covers every write issued to the descriptor so far.
+  synced_seq_ = last_written_seq_;
+  return Synced(seq);
+}
+
+Indexed SegmentStore::publish(Synced&& synced) {
+  std::lock_guard<std::mutex> lk(mu_);
+  indexed_++;
+  return Indexed(synced.seq_);
+}
+
+// ---- compaction -----------------------------------------------------------
+
+void SegmentStore::maybe_compact_locked() {
+  const std::uint64_t dead = records_ - live_keys_.size();
+  if (!options_.auto_compact || dead < options_.compact_min_dead) return;
+  if (static_cast<double>(dead) <
+      options_.compact_dead_ratio * static_cast<double>(records_)) {
+    return;
+  }
+  (void)compact_locked();
+}
+
+bool SegmentStore::compact() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (!scanned_) (void)scan_locked(nullptr);
+  return compact_locked();
+}
+
+bool SegmentStore::compact_locked() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // Rescan from disk: the files are authoritative and already hold every
+  // append (each append is a completed write before its token exists).
+  std::vector<std::uint32_t> ids = segment_ids_;
+  std::vector<StoreRecord> all;
+  for (const std::uint32_t id : ids) {
+    std::string buf;
+    if (!read_file(dir_ + "/" + segment_name(id), &buf)) continue;
+    scan_segment(buf, &all);
+  }
+  if (all.empty()) return true;
+
+  // Last-writer-wins, first-occurrence order: stable against replay.
+  // Decide which indices survive before moving anything — the views
+  // keying the map point into `all` and must stay valid throughout.
+  std::unordered_map<std::string_view, std::size_t> last;
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    last[std::string_view(all[i].key)] = i;
+  }
+  std::vector<std::size_t> pick;
+  pick.reserve(last.size());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const auto it = last.find(all[i].key);
+    if (it->second != kPicked) {
+      pick.push_back(it->second);
+      it->second = kPicked;
+    }
+  }
+  std::vector<StoreRecord> live;
+  live.reserve(pick.size());
+  for (const std::size_t i : pick) live.push_back(std::move(all[i]));
+
+  // The compacted segment takes an id above every input: id-ordered
+  // last-wins replay then prefers it no matter which side of the rename a
+  // crash lands on.
+  const std::uint32_t new_id = tail_id_ + 1;
+  const std::string final_path = dir_ + "/" + segment_name(new_id);
+  const std::string tmp_path = final_path + ".tmp";
+  std::string buf;
+  std::uint64_t count = 0;
+  std::uint32_t rollup = 0;
+  for (const auto& r : live) {
+    std::string payload;
+    payload.reserve(5 + r.key.size() + r.value.size());
+    payload.push_back(kTypeData);
+    put_u32le(payload, static_cast<std::uint32_t>(r.key.size()));
+    payload.append(r.key);
+    payload.append(r.value);
+    std::uint32_t crc = 0;
+    buf += frame_payload(payload, &crc);
+    char crc_le[4];
+    crc_le[0] = static_cast<char>(crc & 0xFFu);
+    crc_le[1] = static_cast<char>((crc >> 8) & 0xFFu);
+    crc_le[2] = static_cast<char>((crc >> 16) & 0xFFu);
+    crc_le[3] = static_cast<char>((crc >> 24) & 0xFFu);
+    rollup = crc32c(rollup, crc_le, 4);
+    count++;
+  }
+  std::string footer;
+  footer.reserve(kFooterPayload);
+  footer.push_back(kTypeFooter);
+  put_u64le(footer, count);
+  put_u32le(footer, rollup);
+  buf += frame_payload(footer, nullptr);
+
+  // write-new, fsync, rename, fsync-dir — then, and only then, unlink.
+  const int tfd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tfd < 0) return false;
+  const bool wrote = write_all(tfd, buf.data(), buf.size(), nullptr);
+  const bool synced =
+      wrote && (options_.sync == SyncPolicy::None || sync_fd_locked(tfd));
+  ::close(tfd);
+  if (!wrote || !synced) {
+    ::unlink(tmp_path.c_str());
+    return false;
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return false;
+  }
+  if (options_.sync != SyncPolicy::None) sync_dir_locked();
+  for (const std::uint32_t id : ids) {
+    ::unlink((dir_ + "/" + segment_name(id)).c_str());
+  }
+  if (options_.sync != SyncPolicy::None) sync_dir_locked();
+
+  segment_ids_ = {new_id};
+  records_ = count;
+  tail_id_ = new_id + 1;  // compacted segment is sealed; appends go past it
+  tail_valid_ = 0;
+  tail_disk_ = 0;
+  tail_records_ = 0;
+  tail_rollup_ = 0;
+  tail_sealed_ = false;
+  damaged_ = false;
+  return true;
+}
+
+// ---- introspection --------------------------------------------------------
+
+std::uint64_t SegmentStore::records() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_;
+}
+
+std::uint64_t SegmentStore::live_records() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return live_keys_.size();
+}
+
+std::uint64_t SegmentStore::dead_records() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_ - live_keys_.size();
+}
+
+std::uint64_t SegmentStore::indexed_records() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return indexed_;
+}
+
+std::size_t SegmentStore::segment_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return segment_ids_.size();
+}
+
+std::uint32_t SegmentStore::tail_segment_id() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tail_sealed_ ? tail_id_ + 1 : tail_id_;
+}
+
+std::uint64_t SegmentStore::tail_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tail_sealed_ ? 0 : tail_valid_;
+}
+
+}  // namespace qsm::support::durable

@@ -15,6 +15,7 @@
 
 #include "harness/cache.hpp"
 #include "harness/point.hpp"
+#include "support/durable/segment_store.hpp"
 #include "support/json.hpp"
 
 namespace qsm::harness {
@@ -49,12 +50,11 @@ PointResult sample_result() {
   return r;
 }
 
-std::size_t file_lines(const std::string& path) {
-  std::ifstream in(path);
-  std::string line;
-  std::size_t n = 0;
-  while (std::getline(in, line)) ++n;
-  return n;
+/// Records on disk, duplicates included — a cold read-only scan of the
+/// store directory (the segment-store analogue of counting JSONL lines).
+std::size_t store_records(const std::string& store_dir) {
+  support::durable::SegmentStore store(store_dir, {});
+  return store.load(nullptr).size();
 }
 
 TEST(CacheFileStem, SanitizesWorkloadIds) {
@@ -108,23 +108,83 @@ TEST(ResultCache, DuplicateStoresAppendNothing) {
   cache.store({{key, r}});
   cache.store({{key, r}});              // same instance: in-memory dedup
   cache.store({{key, r}, {key, r}});    // duplicate within one batch
-  EXPECT_EQ(file_lines(cache.path()), 1u);
+  EXPECT_EQ(store_records(cache.path()), 1u);
   ResultCache twin(dir, "w");
   twin.store({{key, r}});               // fresh instance: dedup via load()
-  EXPECT_EQ(file_lines(cache.path()), 1u);
+  EXPECT_EQ(store_records(cache.path()), 1u);
 }
 
-TEST(ResultCache, CorruptLinesAreSkippedNotFatal) {
+/// One legacy flat-cache line, as older builds wrote them.
+std::string legacy_line(const std::string& key, const PointResult& r) {
+  return "{\"h\":\"0000000000000000\",\"k\":\"" + key +
+         "\",\"r\":" + ResultCache::serialize(r) + "}\n";
+}
+
+TEST(ResultCache, LegacyJsonlMigratesOnFirstLoad) {
+  const std::string dir = test_dir("migrate");
+  const PointKey key{"epoch=qsm1;workload=w;n=5"};
+  const PointResult r = sample_result();
+  fs::create_directories(dir);
+  {
+    std::ofstream out(dir + "/w.jsonl", std::ios::binary);
+    out << legacy_line("stale", PointResult{});
+    out << legacy_line(key.text, r);
+    out << legacy_line("stale", r);  // duplicate: last line must win
+  }
+  {
+    ResultCache cache(dir, "w");
+    EXPECT_EQ(cache.loaded_entries(), 2u);
+    EXPECT_TRUE(cache.migrated_legacy());
+    const PointResult* hit = cache.lookup(key);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, r);
+    ASSERT_NE(cache.lookup(PointKey{"stale"}), nullptr);
+    EXPECT_EQ(*cache.lookup(PointKey{"stale"}), r);
+  }
+  // The flat file was retired, the segment store took over, and a fresh
+  // instance reads the same results back from it byte-exactly.
+  EXPECT_FALSE(fs::exists(dir + "/w.jsonl"));
+  EXPECT_TRUE(fs::exists(dir + "/w.jsonl.migrated"));
+  EXPECT_EQ(store_records(dir + "/w.qstore"), 3u);  // dups migrate as-is
+  ResultCache reloaded(dir, "w");
+  EXPECT_EQ(reloaded.loaded_entries(), 2u);
+  EXPECT_FALSE(reloaded.migrated_legacy());
+  ASSERT_NE(reloaded.lookup(key), nullptr);
+  EXPECT_EQ(*reloaded.lookup(key), r);
+}
+
+TEST(ResultCache, InterruptedMigrationRedoesFromLegacyFile) {
+  // Legacy file and segment store coexisting = a migration that died
+  // before the rename. The legacy file is still the authority: the redo
+  // must wipe the partial store, not merge with it.
+  const std::string dir = test_dir("remigrate");
+  const PointKey key{"epoch=qsm1;workload=w;n=5"};
+  const PointResult r = sample_result();
+  fs::create_directories(dir);
+  std::ofstream(dir + "/w.jsonl", std::ios::binary)
+      << legacy_line(key.text, r);
+  {
+    support::durable::SegmentStore partial(dir + "/w.qstore", {});
+    auto w = partial.append(partial.make("partial", "{\"m\":{\"z\":1}}"));
+    ASSERT_TRUE(w.has_value());
+  }
+  ResultCache cache(dir, "w");
+  EXPECT_EQ(cache.loaded_entries(), 1u);
+  ASSERT_NE(cache.lookup(key), nullptr);
+  EXPECT_EQ(cache.lookup(PointKey{"partial"}), nullptr);  // wiped
+  EXPECT_EQ(store_records(dir + "/w.qstore"), 1u);
+}
+
+TEST(ResultCache, CorruptLegacyLinesAreSkippedNotFatal) {
+  // The migration path keeps the old tolerant reader: damaged lines are
+  // reported and skipped, never fatal, and never reach the new store.
   const std::string dir = test_dir("corrupt");
   const PointKey key{"epoch=qsm1;workload=w;n=5"};
   const PointResult r = sample_result();
+  fs::create_directories(dir);
   {
-    ResultCache cache(dir, "w");
-    cache.store({{key, r}});
-  }
-  const std::string path = dir + "/w.jsonl";
-  {
-    std::ofstream out(path, std::ios::app);
+    std::ofstream out(dir + "/w.jsonl", std::ios::binary);
+    out << legacy_line(key.text, r);
     out << "not json at all\n";
     out << "{\"h\":\"00\"}\n";                       // missing k/r
     out << "{\"h\":\"00\",\"k\":\"x\",\"r\":{\"t\":[1]}}\n";  // bad timing
@@ -133,39 +193,51 @@ TEST(ResultCache, CorruptLinesAreSkippedNotFatal) {
   }
   ResultCache cache(dir, "w");
   EXPECT_EQ(cache.loaded_entries(), 1u);
+  EXPECT_TRUE(cache.torn_tail());
+  EXPECT_EQ(cache.corrupt_lines(), 4u);
   const PointResult* hit = cache.lookup(key);
   ASSERT_NE(hit, nullptr);
   EXPECT_EQ(*hit, r);
   EXPECT_EQ(cache.lookup(PointKey{"x"}), nullptr);
   EXPECT_EQ(cache.lookup(PointKey{"y"}), nullptr);
+  // The redone store holds only the usable record.
+  EXPECT_EQ(store_records(dir + "/w.qstore"), 1u);
 }
 
 TEST(ResultCache, ReportsTornTailSeparatelyFromMidFileCorruption) {
   const std::string dir = test_dir("torn");
-  const PointKey key{"epoch=qsm1;workload=w;n=5"};
+  const PointKey k1{"epoch=qsm1;workload=w;n=1"};
+  const PointKey k2{"epoch=qsm1;workload=w;n=2"};
   {
     ResultCache cache(dir, "w");
-    cache.store({{key, sample_result()}});
+    cache.store({{k1, sample_result()}, {k2, sample_result()}});
   }
-  // Clean file: neither counter fires.
+  // Clean store: neither counter fires.
   {
     ResultCache cache(dir, "w");
     EXPECT_FALSE(cache.torn_tail());
     EXPECT_EQ(cache.corrupt_lines(), 0u);
   }
+  // Damage the first record in place (mid-log corruption) and append
+  // trailing garbage (the torn artifact a crash leaves).
+  const std::string seg =
+      dir + "/w.qstore/" + support::durable::SegmentStore::segment_name(0);
   {
-    std::ofstream out(dir + "/w.jsonl", std::ios::app);
-    out << "garbage mid file\n";
-    out << "{\"h\":\"00\",\"k\":\"trunc";  // killed mid-append
+    std::fstream f(seg, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(16);
+    f.put('~');
   }
+  std::ofstream(seg, std::ios::binary | std::ios::app) << "torn!";
   ResultCache cache(dir, "w");
-  EXPECT_EQ(cache.loaded_entries(), 1u);
+  EXPECT_EQ(cache.loaded_entries(), 1u);  // k1 damaged, k2 recovered
   EXPECT_TRUE(cache.torn_tail());
-  EXPECT_EQ(cache.corrupt_lines(), 1u);
+  EXPECT_GE(cache.corrupt_lines(), 1u);
+  EXPECT_EQ(cache.lookup(k1), nullptr);
+  EXPECT_NE(cache.lookup(k2), nullptr);
 }
 
 TEST(ResultCache, TruncationMidRecordLosesOnlyThatRecord) {
-  // Simulate a SIGKILL mid-append: truncate the file inside the last
+  // Simulate a SIGKILL mid-append: truncate the segment inside the last
   // record. Every earlier record must reload; the torn one recomputes.
   const std::string dir = test_dir("truncate");
   const PointKey k1{"epoch=qsm1;workload=w;n=1"};
@@ -175,9 +247,10 @@ TEST(ResultCache, TruncationMidRecordLosesOnlyThatRecord) {
     ResultCache cache(dir, "w");
     cache.store({{k1, r}, {k2, r}});
   }
-  const std::string path = dir + "/w.jsonl";
-  const auto size = fs::file_size(path);
-  fs::resize_file(path, size - 25);  // cut into k2's record
+  const std::string seg =
+      dir + "/w.qstore/" + support::durable::SegmentStore::segment_name(0);
+  const auto size = fs::file_size(seg);
+  fs::resize_file(seg, size - 25);  // cut into k2's record
   ResultCache cache(dir, "w");
   EXPECT_EQ(cache.loaded_entries(), 1u);
   EXPECT_TRUE(cache.torn_tail());
@@ -185,15 +258,15 @@ TEST(ResultCache, TruncationMidRecordLosesOnlyThatRecord) {
   ASSERT_NE(cache.lookup(k1), nullptr);
   EXPECT_EQ(*cache.lookup(k1), r);
   EXPECT_EQ(cache.lookup(k2), nullptr);
-  // Storing the recomputed record heals the file: the cache noticed the
-  // missing terminator on load and opens a fresh line before appending, so
-  // the torn fragment cannot garble the replacement record.
+  // Storing the recomputed record heals the store: the first append
+  // truncates the torn fragment away before writing, so it can never
+  // garble the replacement record.
   cache.store_one(k2, r);
   ResultCache healed(dir, "w");
   ASSERT_NE(healed.lookup(k1), nullptr);
   ASSERT_NE(healed.lookup(k2), nullptr);
   EXPECT_EQ(*healed.lookup(k2), r);
-  EXPECT_FALSE(healed.torn_tail());  // the file ends in '\n' again
+  EXPECT_FALSE(healed.torn_tail());  // the log ends at a frame boundary
 }
 
 TEST(ResultCache, FailureRowsRoundTrip) {
@@ -230,18 +303,18 @@ TEST(ResultCache, FreshResultSupersedesCachedFailureRow) {
   const PointResult good = sample_result();
   ResultCache cache(dir, "w");
   cache.store({{key, fail}});
-  EXPECT_EQ(file_lines(cache.path()), 1u);
-  cache.store_one(key, good);  // retry succeeded: replacement line
-  EXPECT_EQ(file_lines(cache.path()), 2u);
+  EXPECT_EQ(store_records(cache.path()), 1u);
+  cache.store_one(key, good);  // retry succeeded: superseding record
+  EXPECT_EQ(store_records(cache.path()), 2u);
   ASSERT_NE(cache.lookup(key), nullptr);
   EXPECT_TRUE(cache.lookup(key)->ok());
-  // Reload: the later line wins.
+  // Reload: the later record wins.
   ResultCache reloaded(dir, "w");
   ASSERT_NE(reloaded.lookup(key), nullptr);
   EXPECT_EQ(*reloaded.lookup(key), good);
   // A success is never overwritten (by a failure or anything else).
   reloaded.store_one(key, fail);
-  EXPECT_EQ(file_lines(reloaded.path()), 2u);
+  EXPECT_EQ(store_records(reloaded.path()), 2u);
 }
 
 TEST(ResultCache, FaultCountersExtendTimingRowsOnlyWhenPresent) {
@@ -301,7 +374,8 @@ TEST(ResultCache, ConcurrentStoresAppendEachKeyExactlyOnce) {
       });
     }
     for (auto& w : writers) w.join();
-    EXPECT_EQ(file_lines(cache.path()), static_cast<std::size_t>(kKeys));
+    EXPECT_EQ(cache.durable_store().records(),
+              static_cast<std::size_t>(kKeys));
   }
   ResultCache reloaded(dir, "w");
   EXPECT_EQ(reloaded.loaded_entries(), static_cast<std::size_t>(kKeys));

@@ -34,14 +34,6 @@ std::string test_dir(const std::string& leaf) {
   return dir.string();
 }
 
-std::size_t count_lines(const std::string& path) {
-  std::ifstream in(path);
-  std::string line;
-  std::size_t n = 0;
-  while (std::getline(in, line)) ++n;
-  return n;
-}
-
 /// Restores the process-wide default budget no matter how a test exits.
 struct BudgetReset {
   ~BudgetReset() { rt::set_host_thread_budget(0); }
@@ -374,24 +366,124 @@ TEST(SweepRunner, KilledSweepKeepsFinishedPrefixOnDisk) {
   opts.cache_dir = dir;
   opts.jobs = 1;
   SweepRunner runner(opts);
-  std::string path;
-  std::vector<std::size_t> lines_seen;
+  std::string store_dir;
+  std::vector<std::size_t> records_seen;
   for (int i = 0; i < 3; ++i) {
     runner.submit(PointKey{"p" + std::to_string(i)}, [&, i] {
-      if (i > 0) lines_seen.push_back(count_lines(path));
+      if (i > 0) {
+        // A cold read-only scan of the live store directory: exactly
+        // what a post-kill recovery would find at this instant.
+        support::durable::SegmentStore probe(store_dir, {});
+        records_seen.push_back(probe.load(nullptr).size());
+      }
       PointResult r;
       r.metrics["z"] = i;
       return r;
     });
   }
-  path = dir + "/sweep_test.jsonl";
+  store_dir = dir + "/sweep_test.qstore";
   (void)runner.run_all();
   // When point i ran, points 0..i-1 were already on disk.
-  ASSERT_EQ(lines_seen.size(), 2u);
-  EXPECT_EQ(lines_seen[0], 1u);
-  EXPECT_EQ(lines_seen[1], 2u);
+  ASSERT_EQ(records_seen.size(), 2u);
+  EXPECT_EQ(records_seen[0], 1u);
+  EXPECT_EQ(records_seen[1], 2u);
   ResultCache cache(dir, "sweep_test");
   EXPECT_EQ(cache.loaded_entries(), 3u);
+}
+
+TEST(SweepRunner, RecoveredUnsealedSegmentBehavesLikeCleanShutdown) {
+  // A sweep killed mid-point leaves an unsealed (footerless) tail
+  // segment, possibly with a torn final record. On the next run —
+  // resumed or not — the records recovered from that segment must behave
+  // exactly like records written by a clean shutdown: successes hit,
+  // failure rows resume or retry per --resume.
+  const std::string dir = test_dir("recovered_rows");
+  {
+    RunnerOptions opts;
+    opts.workload = "sweep_test";
+    opts.cache_dir = dir;
+    opts.jobs = 1;
+    opts.tolerate_failures = true;
+    SweepRunner runner(opts);
+    runner.submit(PointKey{"good"}, [] {
+      PointResult r;
+      r.metrics["z"] = 1.0;
+      return r;
+    });
+    runner.submit(PointKey{"flaky"}, []() -> PointResult {
+      throw std::runtime_error("transient");
+    });
+    (void)runner.run_all();
+    ASSERT_EQ(runner.stats().failed, 1u);
+  }
+  // Simulate the kill: the tail segment gains a torn half-record, as if
+  // the process died inside the very next append. The two finished
+  // records now live in a recovered-but-unsealed segment.
+  {
+    std::ofstream out(dir + "/sweep_test.qstore/" +
+                          support::durable::SegmentStore::segment_name(0),
+                      std::ios::binary | std::ios::app);
+    out.write("\x40\x00\x00\x00torn", 8);
+  }
+  {
+    // --resume: the recovered success hits, the recovered failure row is
+    // accepted as-is; nothing recomputes.
+    RunnerOptions opts;
+    opts.workload = "sweep_test";
+    opts.cache_dir = dir;
+    opts.jobs = 1;
+    opts.resume = true;
+    SweepRunner runner(opts);
+    std::atomic<int> calls{0};
+    runner.submit(PointKey{"good"}, [&calls] {
+      calls.fetch_add(1);
+      return PointResult{};
+    });
+    runner.submit(PointKey{"flaky"}, [&calls] {
+      calls.fetch_add(1);
+      return PointResult{};
+    });
+    const auto results = runner.run_all();
+    EXPECT_EQ(calls.load(), 0);
+    EXPECT_EQ(runner.stats().cached, 2u);
+    EXPECT_EQ(runner.stats().resumed, 1u);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok());
+    EXPECT_EQ(results[1].status, "error");
+  }
+  {
+    // Default: the recovered failure row is retried (and superseded by
+    // the fresh success); the recovered success still hits.
+    RunnerOptions opts;
+    opts.workload = "sweep_test";
+    opts.cache_dir = dir;
+    opts.jobs = 1;
+    SweepRunner runner(opts);
+    std::atomic<int> calls{0};
+    runner.submit(PointKey{"good"}, [&calls] {
+      calls.fetch_add(1);
+      return PointResult{};
+    });
+    runner.submit(PointKey{"flaky"}, [&calls] {
+      calls.fetch_add(1);
+      PointResult r;
+      r.metrics["z"] = 9.0;
+      return r;
+    });
+    const auto results = runner.run_all();
+    EXPECT_EQ(calls.load(), 1);  // only the failure row recomputed
+    EXPECT_EQ(runner.stats().cached, 1u);
+    EXPECT_EQ(runner.stats().computed, 1u);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_TRUE(results[0].ok());
+    EXPECT_TRUE(results[1].ok());
+  }
+  // The retry's success — appended after healing the torn tail — is what
+  // a fresh recovery reads back.
+  ResultCache cache(dir, "sweep_test");
+  EXPECT_FALSE(cache.torn_tail());
+  ASSERT_NE(cache.lookup(PointKey{"flaky"}), nullptr);
+  EXPECT_TRUE(cache.lookup(PointKey{"flaky"})->ok());
 }
 
 TEST(SweepRunner, RunAllClearsTheQueueAndAccumulatesStats) {

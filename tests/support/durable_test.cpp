@@ -1,0 +1,392 @@
+// SegmentStore: the crash-consistent record log under the result cache.
+//
+// These are the functional tests — framing, typestate flow, sealing,
+// recovery classification (torn tail vs mid-file corruption), compaction
+// and its crash windows. The exhaustive every-byte-boundary crash matrix
+// lives in durable_crash_test.cpp.
+#include "support/durable/segment_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "support/durable/crc32c.hpp"
+#include "support/durable/record.hpp"
+
+namespace qsm::support::durable {
+namespace {
+
+namespace fs = std::filesystem;
+
+// The ordering discipline is only as strong as the type system makes it:
+// no token can be copied (a copy would be a forged durability proof) or
+// default-constructed (a proof of nothing).
+static_assert(!std::is_copy_constructible_v<Pending>);
+static_assert(!std::is_copy_constructible_v<Written>);
+static_assert(!std::is_copy_constructible_v<Synced>);
+static_assert(!std::is_copy_constructible_v<Indexed>);
+static_assert(!std::is_default_constructible_v<Pending>);
+static_assert(!std::is_default_constructible_v<Written>);
+static_assert(!std::is_default_constructible_v<Synced>);
+static_assert(!std::is_default_constructible_v<Indexed>);
+
+/// Fresh per-test directory under the gtest temp root.
+std::string test_dir(const std::string& leaf) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "qsm_durable_test" / leaf;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+StoreOptions small_segments(std::size_t bytes = 256) {
+  StoreOptions o;
+  o.segment_bytes = bytes;
+  o.sync = SyncPolicy::None;  // tests simulate crashes by file surgery
+  o.auto_compact = false;
+  return o;
+}
+
+/// Append one key/value through the full typestate pipeline.
+void put(SegmentStore& store, const std::string& key,
+         const std::string& value) {
+  auto written = store.append(store.make(key, value));
+  ASSERT_TRUE(written.has_value());
+  auto synced = store.sync(std::move(*written));
+  ASSERT_TRUE(synced.has_value());
+  (void)store.publish(std::move(*synced));
+}
+
+std::map<std::string, std::string> last_wins(
+    const std::vector<StoreRecord>& records) {
+  std::map<std::string, std::string> m;
+  for (const auto& r : records) m[r.key] = r.value;
+  return m;
+}
+
+TEST(Crc32c, KnownAnswerAndChaining) {
+  // The CRC32C check value from the iSCSI RFC test vector.
+  const char digits[] = "123456789";
+  EXPECT_EQ(crc32c(digits, 9), 0xE3069283u);
+  // Incremental chaining must equal the one-shot result.
+  std::uint32_t c = crc32c(digits, 4);
+  c = crc32c(c, digits + 4, 5);
+  EXPECT_EQ(c, 0xE3069283u);
+  EXPECT_EQ(crc32c(nullptr, 0), 0u);
+}
+
+TEST(SegmentStore, RoundTripsRecordsThroughReopen) {
+  const std::string dir = test_dir("roundtrip");
+  {
+    SegmentStore store(dir, small_segments(1 << 16));
+    put(store, "alpha", "{\"v\":1}");
+    put(store, "beta", "{\"v\":2}");
+    put(store, "gamma", "");  // empty value is legal
+    EXPECT_EQ(store.records(), 3u);
+    EXPECT_EQ(store.live_records(), 3u);
+    EXPECT_EQ(store.indexed_records(), 3u);
+  }
+  SegmentStore reopened(dir, small_segments(1 << 16));
+  ScanReport rep;
+  const auto records = reopened.load(&rep);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].key, "alpha");
+  EXPECT_EQ(records[0].value, "{\"v\":1}");
+  EXPECT_EQ(records[2].key, "gamma");
+  EXPECT_EQ(records[2].value, "");
+  EXPECT_EQ(rep.records, 3u);
+  EXPECT_EQ(rep.live, 3u);
+  EXPECT_EQ(rep.corrupt_events, 0u);
+  EXPECT_FALSE(rep.torn_tail);
+}
+
+TEST(SegmentStore, DuplicateKeysAreKeptInOrderAndCountedDead) {
+  const std::string dir = test_dir("dups");
+  SegmentStore store(dir, small_segments(1 << 16));
+  put(store, "k", "old");
+  put(store, "other", "x");
+  put(store, "k", "new");
+  EXPECT_EQ(store.records(), 3u);
+  EXPECT_EQ(store.live_records(), 2u);
+  EXPECT_EQ(store.dead_records(), 1u);
+
+  SegmentStore reopened(dir, small_segments(1 << 16));
+  ScanReport rep;
+  const auto records = reopened.load(&rep);
+  // The log keeps both versions in append order; the index's last-wins
+  // replay is what resolves them.
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].value, "old");
+  EXPECT_EQ(records[2].value, "new");
+  EXPECT_EQ(rep.dead, 1u);
+  EXPECT_EQ(last_wins(records)["k"], "new");
+}
+
+TEST(SegmentStore, SealsFullSegmentsAndRotates) {
+  const std::string dir = test_dir("seal");
+  SegmentStore store(dir, small_segments(128));
+  for (int i = 0; i < 20; ++i) {
+    put(store, "key" + std::to_string(i), std::string(16, 'v'));
+  }
+  EXPECT_GT(store.segment_count(), 1u);
+
+  SegmentStore reopened(dir, small_segments(128));
+  ScanReport rep;
+  const auto records = reopened.load(&rep);
+  EXPECT_EQ(records.size(), 20u);
+  EXPECT_GT(rep.segments, 1u);
+  // Every segment except (at most) the open tail carries a valid footer.
+  EXPECT_GE(rep.sealed + 1, rep.segments);
+  EXPECT_EQ(rep.corrupt_events, 0u);
+}
+
+TEST(SegmentStore, AppendAfterSealedTailOpensNewSegment) {
+  const std::string dir = test_dir("sealed_tail");
+  {
+    SegmentStore store(dir, small_segments(64));
+    put(store, "a", std::string(64, 'x'));  // crosses the seal threshold
+  }
+  SegmentStore reopened(dir, small_segments(64));
+  ScanReport rep;
+  (void)reopened.load(&rep);
+  ASSERT_EQ(rep.sealed, rep.segments);  // tail ended sealed
+  put(reopened, "b", "y");
+  EXPECT_EQ(reopened.segment_count(), rep.segments + 1);
+
+  SegmentStore again(dir, small_segments(64));
+  const auto records = again.load(nullptr);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].key, "b");
+}
+
+TEST(SegmentStore, TruncatedTailIsTornNotCorrupt) {
+  const std::string dir = test_dir("torn");
+  {
+    SegmentStore store(dir, small_segments(1 << 16));
+    put(store, "keep", "safe");
+    put(store, "lost", "this record gets torn");
+  }
+  const std::string seg = dir + "/" + SegmentStore::segment_name(0);
+  const auto size = fs::file_size(seg);
+  fs::resize_file(seg, size - 5);
+
+  SegmentStore reopened(dir, small_segments(1 << 16));
+  ScanReport rep;
+  const auto records = reopened.load(&rep);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "keep");
+  EXPECT_TRUE(rep.torn_tail);
+  EXPECT_EQ(rep.corrupt_events, 0u);
+
+  // The first append heals: the torn bytes are truncated away, so a
+  // subsequent scan sees a clean two-record log.
+  put(reopened, "next", "fine");
+  SegmentStore again(dir, small_segments(1 << 16));
+  ScanReport rep2;
+  const auto healed = again.load(&rep2);
+  ASSERT_EQ(healed.size(), 2u);
+  EXPECT_EQ(healed[1].key, "next");
+  EXPECT_FALSE(rep2.torn_tail);
+  EXPECT_EQ(rep2.corrupt_events, 0u);
+}
+
+TEST(SegmentStore, MidFileDamageIsCorruptAndResyncs) {
+  const std::string dir = test_dir("corrupt");
+  {
+    SegmentStore store(dir, small_segments(1 << 16));
+    put(store, "first", "aaaa");
+    put(store, "second", "bbbb");
+    put(store, "third", "cccc");
+  }
+  // Flip one byte inside the first record's payload.
+  const std::string seg = dir + "/" + SegmentStore::segment_name(0);
+  std::fstream f(seg, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(12);
+  f.put('~');
+  f.close();
+
+  SegmentStore reopened(dir, small_segments(1 << 16));
+  ScanReport rep;
+  const auto records = reopened.load(&rep);
+  // The damaged record is gone; the scanner resynced to the survivors.
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].key, "second");
+  EXPECT_EQ(records[1].key, "third");
+  EXPECT_GE(rep.corrupt_events, 1u);
+  EXPECT_FALSE(rep.torn_tail);
+}
+
+TEST(SegmentStore, ZeroedBlockCannotFrameParse) {
+  const std::string dir = test_dir("zeroed");
+  {
+    SegmentStore store(dir, small_segments(1 << 16));
+    put(store, "ok", "value");
+    put(store, "gone", "zeroed away");
+  }
+  const std::string seg = dir + "/" + SegmentStore::segment_name(0);
+  const auto size = fs::file_size(seg);
+  {
+    // Zero the trailing 24 bytes in place — a partial page write leaves
+    // exactly this shape: correct length, zero content.
+    std::fstream f(seg, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(size - 24));
+    for (int i = 0; i < 24; ++i) f.put('\0');
+  }
+  SegmentStore reopened(dir, small_segments(1 << 16));
+  ScanReport rep;
+  const auto records = reopened.load(&rep);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "ok");
+  // Zeros are a torn tail (length 0 never frame-parses), not corruption.
+  EXPECT_TRUE(rep.torn_tail);
+  EXPECT_EQ(rep.corrupt_events, 0u);
+}
+
+TEST(SegmentStore, CompactionKeepsLastWinsAndDropsDead) {
+  const std::string dir = test_dir("compact");
+  SegmentStore store(dir, small_segments(128));
+  for (int round = 0; round < 6; ++round) {
+    for (int k = 0; k < 5; ++k) {
+      put(store, "key" + std::to_string(k),
+          "r" + std::to_string(round) + "k" + std::to_string(k));
+    }
+  }
+  EXPECT_EQ(store.records(), 30u);
+  EXPECT_EQ(store.live_records(), 5u);
+  const auto before = last_wins(SegmentStore(dir, small_segments(128))
+                                    .load(nullptr));
+  ASSERT_TRUE(store.compact());
+  EXPECT_EQ(store.records(), 5u);
+  EXPECT_EQ(store.dead_records(), 0u);
+  EXPECT_EQ(store.segment_count(), 1u);
+
+  SegmentStore reopened(dir, small_segments(128));
+  ScanReport rep;
+  const auto records = reopened.load(&rep);
+  EXPECT_EQ(rep.records, 5u);
+  EXPECT_EQ(rep.sealed, 1u);  // the compacted segment carries a footer
+  EXPECT_EQ(rep.corrupt_events, 0u);
+  EXPECT_EQ(last_wins(records), before);
+  for (const auto& r : records) {
+    EXPECT_EQ(r.value.substr(0, 2), "r5") << r.key;
+  }
+}
+
+TEST(SegmentStore, AppendsResumeAfterCompaction) {
+  const std::string dir = test_dir("compact_resume");
+  SegmentStore store(dir, small_segments(128));
+  for (int i = 0; i < 10; ++i) put(store, "k", "v" + std::to_string(i));
+  ASSERT_TRUE(store.compact());
+  put(store, "post", "compaction");
+  SegmentStore reopened(dir, small_segments(128));
+  const auto m = last_wins(reopened.load(nullptr));
+  EXPECT_EQ(m.at("k"), "v9");
+  EXPECT_EQ(m.at("post"), "compaction");
+}
+
+TEST(SegmentStore, CrashBetweenRenameAndUnlinkIsHarmless) {
+  // Simulate the compaction crash window where the compacted segment was
+  // renamed into place but the inputs were not yet unlinked: both
+  // generations coexist, and id-ordered last-wins replay must come out
+  // identical to the clean compaction.
+  const std::string pre = test_dir("compact_crash_pre");
+  {
+    SegmentStore store(pre, small_segments(128));
+    for (int round = 0; round < 4; ++round) {
+      for (int k = 0; k < 4; ++k) {
+        put(store, "key" + std::to_string(k), "round" + std::to_string(round));
+      }
+    }
+  }
+  // Clean compaction in a copy of the directory...
+  const std::string post = test_dir("compact_crash_post");
+  fs::copy(pre, post, fs::copy_options::recursive);
+  SegmentStore compacted(post, small_segments(128));
+  ASSERT_TRUE(compacted.compact());
+  // ...then overlay its output onto the *uncompacted* directory, which is
+  // exactly the on-disk state a crash before the unlinks leaves behind.
+  for (const auto& entry : fs::directory_iterator(post)) {
+    fs::copy_file(entry.path(), fs::path(pre) / entry.path().filename(),
+                  fs::copy_options::overwrite_existing);
+  }
+  SegmentStore crashed(pre, small_segments(128));
+  ScanReport rep;
+  const auto records = crashed.load(&rep);
+  EXPECT_EQ(rep.corrupt_events, 0u);
+  const auto resolved = last_wins(records);
+  EXPECT_EQ(resolved, last_wins(SegmentStore(post, small_segments(128))
+                                    .load(nullptr)));
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(resolved.at("key" + std::to_string(k)), "round3");
+  }
+}
+
+TEST(SegmentStore, IgnoresAndSweepsTmpFiles) {
+  const std::string dir = test_dir("tmp_sweep");
+  {
+    SegmentStore store(dir, small_segments(1 << 16));
+    put(store, "real", "record");
+  }
+  // An aborted compaction leaves a half-written temporary behind.
+  const std::string tmp =
+      dir + "/" + SegmentStore::segment_name(7) + ".tmp";
+  std::ofstream(tmp, std::ios::binary) << "half-written garbage";
+
+  SegmentStore reopened(dir, small_segments(1 << 16));
+  ScanReport rep;
+  const auto records = reopened.load(&rep);
+  ASSERT_EQ(records.size(), 1u);  // the .tmp is invisible to recovery
+  EXPECT_EQ(rep.segments, 1u);
+  put(reopened, "more", "data");  // first append sweeps leftovers
+  EXPECT_FALSE(fs::exists(tmp));
+}
+
+TEST(SegmentStore, SyncPolicyParsesAndPrints) {
+  EXPECT_EQ(sync_policy_from_string("none"), SyncPolicy::None);
+  EXPECT_EQ(sync_policy_from_string("data"), SyncPolicy::Data);
+  EXPECT_EQ(sync_policy_from_string("full"), SyncPolicy::Full);
+  EXPECT_FALSE(sync_policy_from_string("maybe").has_value());
+  EXPECT_STREQ(to_string(SyncPolicy::Data), "data");
+}
+
+TEST(SegmentStore, DataAndFullPoliciesAppendAndRecover) {
+  for (const SyncPolicy policy : {SyncPolicy::Data, SyncPolicy::Full}) {
+    const std::string dir =
+        test_dir(std::string("policy_") + to_string(policy));
+    StoreOptions o = small_segments(128);
+    o.sync = policy;
+    {
+      SegmentStore store(dir, o);
+      for (int i = 0; i < 8; ++i) {
+        put(store, "k" + std::to_string(i), "v");
+      }
+    }
+    SegmentStore reopened(dir, o);
+    ScanReport rep;
+    EXPECT_EQ(reopened.load(&rep).size(), 8u) << to_string(policy);
+    EXPECT_EQ(rep.corrupt_events, 0u);
+  }
+}
+
+TEST(SegmentStore, AutoCompactionTriggersOnDeadRatio) {
+  const std::string dir = test_dir("auto_compact");
+  StoreOptions o = small_segments(256);
+  o.auto_compact = true;
+  o.compact_min_dead = 8;
+  o.compact_dead_ratio = 0.5;
+  SegmentStore store(dir, o);
+  // Hammer one key: almost everything is dead, so the first seal after
+  // crossing the thresholds compacts down to the single live record.
+  for (int i = 0; i < 64; ++i) put(store, "hot", "v" + std::to_string(i));
+  EXPECT_LT(store.records(), 64u);
+  EXPECT_EQ(store.live_records(), 1u);
+  SegmentStore reopened(dir, o);
+  EXPECT_EQ(last_wins(reopened.load(nullptr)).at("hot"), "v63");
+}
+
+}  // namespace
+}  // namespace qsm::support::durable

@@ -29,6 +29,7 @@
 #include "models/nmin.hpp"
 #include "models/predictors.hpp"
 #include "support/cli.hpp"
+#include "support/durable/segment_store.hpp"
 #include "support/rng.hpp"
 #include "support/table.hpp"
 
@@ -231,6 +232,36 @@ int cmd_membench(int argc, const char* const* argv) {
   return 0;
 }
 
+int cmd_cacheinfo(int argc, const char* const* argv) {
+  support::ArgParser args("qsmctl cache-info",
+                          "scan a result-cache segment store and report "
+                          "recovery statistics");
+  args.flag_str("store", "", "path to a <workload>.qstore directory");
+  if (!args.parse(argc, argv)) return 0;
+  const std::string& dir = args.str("store");
+  if (dir.empty()) {
+    std::fputs("qsmctl cache-info: --store <dir> is required\n", stderr);
+    return 2;
+  }
+  // Read-only scan: never heals, never appends, safe to run while a sweep
+  // (or a crash test) owns the store. A missing directory is an empty
+  // store, so pollers can start before the first record lands.
+  support::durable::StoreOptions opts;
+  opts.sync = support::durable::SyncPolicy::None;
+  support::durable::SegmentStore store(dir, opts);
+  support::durable::ScanReport rep;
+  (void)store.load(&rep);
+  std::printf(
+      "store=%s records=%llu live=%llu dead=%llu segments=%zu sealed=%zu "
+      "bytes=%llu torn_tail=%d corrupt_events=%llu\n",
+      dir.c_str(), static_cast<unsigned long long>(rep.records),
+      static_cast<unsigned long long>(rep.live),
+      static_cast<unsigned long long>(rep.dead), rep.segments, rep.sealed,
+      static_cast<unsigned long long>(rep.bytes), rep.torn_tail ? 1 : 0,
+      static_cast<unsigned long long>(rep.corrupt_events));
+  return 0;
+}
+
 int usage() {
   std::fputs(
       "qsmctl <command> [flags]\n"
@@ -240,6 +271,7 @@ int usage() {
       "  run         run a workload, print timing and optional trace\n"
       "  predict     closed-form QSM/BSP predictions\n"
       "  membench    the Section-4 bank-contention microbenchmark\n"
+      "  cache-info  scan a result-cache segment store, print recovery stats\n"
       "each command accepts --help for its flags\n",
       stdout);
   return 2;
@@ -258,6 +290,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(sub_argc, sub_argv);
     if (cmd == "predict") return cmd_predict(sub_argc, sub_argv);
     if (cmd == "membench") return cmd_membench(sub_argc, sub_argv);
+    if (cmd == "cache-info") return cmd_cacheinfo(sub_argc, sub_argv);
     if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       usage();
       return 0;
